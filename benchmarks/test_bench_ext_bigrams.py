@@ -1,0 +1,86 @@
+"""Extension Ext-7: can phrase (bigram) language models be learned too?
+
+The paper's Section 2.1 mentions phrase information as the natural next
+step beyond unigram models, and Section 7 argues sampling enables it —
+the service holds actual documents, "a set of several hundred documents
+from which to mine frequent phrases".  This bench runs that experiment:
+from one baseline sampling run, build unigram *and* bigram learned
+models at each 50-document prefix and compare their ctf-ratio learning
+curves against the corresponding actual models.
+
+Expected shape: bigram coverage grows with the same rising-then-
+leveling profile but converges **slower and lower** than unigram
+coverage at every budget — bigram vocabulary is far larger and far
+more hapax-heavy, so the same sample covers less of its mass.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.reporting import format_series
+from repro.lm import ctf_ratio
+from repro.lm.ngrams import bigram_model_from_documents
+from repro.sampling import MaxDocuments, QueryBasedSampler, RandomFromOther
+from repro.text import Analyzer
+
+BUDGET = 300
+SNAPSHOT = 50
+
+
+def _experiment(testbed):
+    server = testbed.server("wsj88")
+    corpus = server.index.corpus
+    analyzer = Analyzer.inquery_style()
+    budget = min(BUDGET, testbed.document_budget("wsj88"))
+
+    actual_unigrams = server.actual_language_model()
+    actual_bigrams = bigram_model_from_documents(corpus, analyzer, name="wsj88-bigrams")
+
+    sampler = QueryBasedSampler(
+        server,
+        bootstrap=RandomFromOther(testbed.actual_model("trec123")),
+        stopping=MaxDocuments(budget),
+        seed=37,
+    )
+    run = sampler.run()
+
+    series: dict[str, list[tuple[int, float]]] = {"unigram": [], "bigram": []}
+    for cut in range(SNAPSHOT, budget + 1, SNAPSHOT):
+        prefix = run.documents[:cut]
+        learned_unigrams = run.snapshot_at(cut).model.project(analyzer)
+        learned_bigrams = bigram_model_from_documents(prefix, analyzer)
+        series["unigram"].append((cut, ctf_ratio(learned_unigrams, actual_unigrams)))
+        series["bigram"].append((cut, ctf_ratio(learned_bigrams, actual_bigrams)))
+    vocab_sizes = {
+        "unigram_vocabulary": len(actual_unigrams),
+        "bigram_vocabulary": len(actual_bigrams),
+    }
+    return series, vocab_sizes
+
+
+def test_bench_ext_bigrams(benchmark, testbed):
+    series, vocab_sizes = benchmark.pedantic(
+        lambda: _experiment(testbed), rounds=1, iterations=1
+    )
+    emit(
+        format_series(
+            series,
+            title="Ext-7: unigram vs bigram ctf-ratio learning curves (wsj88)",
+        )
+    )
+    emit(
+        f"Actual vocabulary sizes: {vocab_sizes['unigram_vocabulary']:,} unigrams, "
+        f"{vocab_sizes['bigram_vocabulary']:,} bigrams"
+    )
+
+    unigram = dict(series["unigram"])
+    bigram = dict(series["bigram"])
+    # Bigram models are learnable — real, growing coverage...
+    bigram_values = [value for _, value in series["bigram"]]
+    assert bigram_values[-1] > 0.1
+    assert bigram_values[-1] > bigram_values[0]
+    # ...but converge below unigram coverage at every budget.
+    for cut in unigram:
+        assert bigram[cut] < unigram[cut], (cut, bigram[cut], unigram[cut])
+    # The gap reflects the vocabulary-size explosion.
+    assert vocab_sizes["bigram_vocabulary"] > 5 * vocab_sizes["unigram_vocabulary"]

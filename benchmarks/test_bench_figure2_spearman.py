@@ -1,0 +1,42 @@
+"""Figure 2: term-ranking agreement vs. documents examined.
+
+Paper reference: the Spearman rank correlation between learned and
+actual df-rankings rises quickly then levels, and — unlike ctf ratio —
+*is* influenced by database size: CACM converges fastest/highest, WSJ88
+intermediate, TREC-123 slowest/lowest (0.9 / 0.76 / 0.4 in the paper).
+
+Reproduction note (EXPERIMENTS.md): our absolute coefficients are
+compressed toward the middle (≈0.70 / 0.65 / 0.61 at scale 1.0) because
+the synthetic corpora have a flatter mid-frequency tie structure than
+real text and the TREC analogue is 48K docs rather than 1.08M; the
+size-dependent *ordering* and the rising-then-leveling shape are the
+reproduced claims.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, shape_checks
+from repro.experiments.ascii_plot import plot_series
+from repro.experiments.reporting import curve_series, format_series
+
+
+def test_bench_figure2_spearman(benchmark, fig12_curves, testbed):
+    series = benchmark.pedantic(
+        lambda: curve_series(fig12_curves, "spearman"), rounds=1, iterations=1
+    )
+    emit(
+        format_series(
+            series,
+            title="Figure 2: Spearman correlation of learned vs actual df rankings",
+        )
+    )
+    emit(plot_series(series, title="Figure 2 (plot)"))
+    final = {name: points[-1][1] for name, points in series.items()}
+    if shape_checks(testbed):
+        # Size-dependence: smaller/more homogeneous converges higher.
+        assert final["cacm"] > final["wsj88"] > final["trec123"], final
+    # All runs end positively correlated and improved over their start.
+    for name, points in series.items():
+        values = [v for _, v in points]
+        assert values[-1] > 0.3, (name, values)
+        assert values[-1] > values[0], (name, values)

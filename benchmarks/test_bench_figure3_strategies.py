@@ -1,0 +1,64 @@
+"""Figures 3a and 3b: query selection strategies (WSJ88-like corpus).
+
+Paper reference: on WSJ88 with 4 docs/query, *random* selection from
+the learned language model beats selection of high-frequency terms
+(df/ctf/avg-tf) on both ctf ratio and Spearman; random selection from a
+complete *other* language model (TREC-123's) learns fastest per
+document examined but needs about twice the queries (Figure 3, Table 3).
+
+Reproduction note (EXPERIMENTS.md): on the synthetic corpora the
+frequency-based strategies end statistically *tied* with random on
+model quality rather than clearly behind it — the topical co-occurrence
+texture of real newspaper prose that penalised them is only partially
+captured by the generator's shared_jitter/boost_alignment knobs.  The
+reproduced claims are: random is never dominated on quality (the
+paper's actionable surprise — clever frequency selection buys nothing),
+frequency strategies pay a large duplicate-retrieval query premium,
+and the olm strategy learns fastest per document while paying the
+largest query premium of all.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, shape_checks
+from repro.experiments.reporting import curve_series, format_series
+
+
+def _final(series):
+    return {label: points[-1][1] for label, points in series.items()}
+
+
+def test_bench_figure3a_ctf_ratio(benchmark, fig3_results, testbed):
+    curves = {label: curve for label, (curve, _) in fig3_results.items()}
+    series = benchmark.pedantic(
+        lambda: curve_series(curves, "ctf_ratio"), rounds=1, iterations=1
+    )
+    emit(
+        format_series(
+            series, title="Figure 3a: ctf ratio by query selection strategy (wsj88)"
+        )
+    )
+    final = _final(series)
+    if shape_checks(testbed):
+        # Random is never dominated by frequency-based selection.
+        assert final["random_llm"] >= final["df_llm"] - 0.03, final
+        assert final["random_llm"] >= final["ctf_llm"] - 0.03, final
+        assert final["random_llm"] >= final["avg_tf_llm"] - 0.03, final
+        # The olm strategy learns fastest per document examined.
+        assert final["random_olm"] >= final["random_llm"] - 0.05, final
+
+
+def test_bench_figure3b_spearman(benchmark, fig3_results, testbed):
+    curves = {label: curve for label, (curve, _) in fig3_results.items()}
+    series = benchmark.pedantic(
+        lambda: curve_series(curves, "spearman"), rounds=1, iterations=1
+    )
+    emit(
+        format_series(
+            series, title="Figure 3b: Spearman correlation by strategy (wsj88)"
+        )
+    )
+    final = _final(series)
+    if shape_checks(testbed):
+        assert final["random_llm"] >= final["df_llm"] - 0.05, final
+        assert final["random_llm"] >= final["ctf_llm"] - 0.05, final

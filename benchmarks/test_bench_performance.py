@@ -1,0 +1,115 @@
+"""Substrate performance benchmarks.
+
+Unlike the table/figure benches (which regenerate the paper's results
+once), these are conventional multi-round pytest benchmarks of the hot
+paths a deployment would care about: analysis throughput, index
+construction, query latency, and sampling throughput.  They exist so
+performance regressions in the substrate are visible, not to reproduce
+anything from the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import DatabaseServer, InvertedIndex, SearchEngine
+from repro.lm import ctf_ratio, spearman_rank_correlation
+from repro.sampling import MaxDocuments, QueryBasedSampler, RandomFromOther
+from repro.synth import wsj88_like
+from repro.text import Analyzer
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return wsj88_like().build(seed=101, scale=0.05)  # 600 docs
+
+
+@pytest.fixture(scope="module")
+def server(corpus):
+    return DatabaseServer(corpus)
+
+
+@pytest.fixture(scope="module")
+def frequent_terms(server):
+    return [s.term for s in server.actual_language_model().top_terms(50, "ctf")]
+
+
+def test_perf_analyze_documents(benchmark, corpus):
+    analyzer = Analyzer.inquery_style()
+    texts = [corpus[i].text for i in range(100)]
+
+    def analyze_all():
+        return sum(len(analyzer.analyze(text)) for text in texts)
+
+    total = benchmark(analyze_all)
+    assert total > 0
+
+
+def test_perf_index_build(benchmark, corpus):
+    index = benchmark.pedantic(
+        lambda: InvertedIndex(corpus), rounds=3, iterations=1
+    )
+    assert index.num_documents == len(corpus)
+
+
+def test_perf_single_term_query(benchmark, server, frequent_terms):
+    engine = server.engine
+
+    def query_round():
+        hits = 0
+        for term in frequent_terms:
+            hits += len(engine.search(term, n=10))
+        return hits
+
+    hits = benchmark(query_round)
+    assert hits > 0
+
+
+def test_perf_multi_term_query(benchmark, server, frequent_terms):
+    engine = server.engine
+    queries = [
+        " ".join(frequent_terms[i : i + 3]) for i in range(0, 30, 3)
+    ]
+
+    def query_round():
+        return sum(len(engine.search(query, n=10)) for query in queries)
+
+    hits = benchmark(query_round)
+    assert hits > 0
+
+
+def test_perf_sampling_run(benchmark, server):
+    actual = server.actual_language_model()
+
+    def one_run():
+        sampler = QueryBasedSampler(
+            server,
+            bootstrap=RandomFromOther(actual),
+            stopping=MaxDocuments(100),
+            seed=5,
+        )
+        return sampler.run()
+
+    run = benchmark.pedantic(one_run, rounds=3, iterations=1)
+    assert run.documents_examined == 100
+
+
+def test_perf_metric_computation(benchmark, server):
+    actual = server.actual_language_model()
+    sampler = QueryBasedSampler(
+        server,
+        bootstrap=RandomFromOther(actual),
+        stopping=MaxDocuments(100),
+        seed=5,
+    )
+    learned = sampler.run().model.project(server.index.analyzer)
+
+    def compute_metrics():
+        return (
+            ctf_ratio(learned, actual),
+            spearman_rank_correlation(learned, actual),
+        )
+
+    ratio, spearman = benchmark(compute_metrics)
+    assert 0 < ratio <= 1
+    assert -1 <= spearman <= 1

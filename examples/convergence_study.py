@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Convergence study: when can a sampler stop? (paper Section 6)
+
+Runs query-based sampling on three databases of very different sizes
+and prints, side by side:
+
+* the rdiff between consecutive 50-document model snapshots — the
+  *observable* signal a real client can compute; and
+* the ctf ratio against ground truth — the *unobservable* quality a
+  client would love to know.
+
+The paper's claim: rdiff falls as the model converges, roughly
+independently of database size, so "stop when rdiff stays below a
+threshold" is a practical criterion.  The last section demonstrates the
+:class:`RdiffConvergence` criterion ending runs on its own.
+
+Run:  python examples/convergence_study.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import measure_run, rdiff_series, run_sampling
+from repro.index import DatabaseServer
+from repro.sampling import (
+    AnyOf,
+    ListBootstrap,
+    MaxDocuments,
+    QueryBasedSampler,
+    RdiffConvergence,
+)
+from repro.synth import cacm_like, trec123_like, wsj88_like
+
+PROFILES = {
+    "cacm-like": (cacm_like(), 0.5),
+    "wsj88-like": (wsj88_like(), 0.25),
+    "trec123-like": (trec123_like(), 0.1),
+}
+
+
+def bootstrap_for(server: DatabaseServer) -> ListBootstrap:
+    seeds = [s.term for s in server.actual_language_model().top_terms(150, "ctf")]
+    return ListBootstrap(seeds)
+
+
+def main() -> None:
+    print("Observable convergence (rdiff) vs. hidden quality (ctf ratio)\n")
+    for label, (profile, scale) in PROFILES.items():
+        corpus = profile.build(seed=29, scale=scale)
+        server = DatabaseServer(corpus)
+        budget = min(300, server.num_documents // 3)
+        run = run_sampling(
+            server, bootstrap=bootstrap_for(server), max_documents=budget, seed=3
+        )
+        curve = measure_run(
+            run,
+            server.actual_language_model(),
+            server.index.analyzer,
+            label,
+            "random_llm",
+            4,
+        )
+        rdiffs = dict(rdiff_series(run))
+        print(f"{label} ({server.num_documents:,} documents, budget {budget}):")
+        print(f"  {'docs':>6} {'rdiff (observable)':>20} {'ctf ratio (hidden)':>20}")
+        for point in curve.points:
+            rdiff_cell = (
+                f"{rdiffs[point.documents]:20.4f}" if point.documents in rdiffs else " " * 20
+            )
+            print(f"  {point.documents:>6} {rdiff_cell} {point.ctf_ratio:20.3f}")
+        print()
+
+    print("Letting the rdiff criterion stop the run by itself:")
+    for label, (profile, scale) in PROFILES.items():
+        corpus = profile.build(seed=31, scale=scale)
+        server = DatabaseServer(corpus)
+        sampler = QueryBasedSampler(
+            server,
+            bootstrap=bootstrap_for(server),
+            stopping=AnyOf(
+                [
+                    RdiffConvergence(threshold=0.05, consecutive=2),
+                    MaxDocuments(server.num_documents // 2),
+                ]
+            ),
+            seed=3,
+        )
+        run = sampler.run()
+        print(
+            f"  {label:<14} stopped after {run.documents_examined:>4} documents "
+            f"({run.queries_run} queries) — {run.stop_reason}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Estimating database size from the search surface alone.
+
+The paper calls database size "difficult to acquire by sampling"
+(Section 3) — vocabulary growth never saturates, so the sample itself
+can't reveal it.  This example demonstrates the two estimator families
+follow-on work developed, on databases of three different sizes, and
+then uses the estimate to *calibrate* a learned language model to
+collection magnitudes (the scaling the paper suggests).
+
+Run:  python examples/size_estimation.py
+"""
+
+from __future__ import annotations
+
+from repro.index import DatabaseServer
+from repro.lm import scale_to_collection
+from repro.sampling import ListBootstrap, MaxDocuments, QueryBasedSampler, SamplerConfig
+from repro.sizeest import capture_recapture_report, estimate_database_size
+from repro.synth import cacm_like, mssupport_like, wsj88_like
+
+PROFILES = {
+    "small": (cacm_like(), 0.5),
+    "medium": (mssupport_like(), 0.5),
+    "large": (wsj88_like(), 0.5),
+}
+
+
+def bootstrap_for(server: DatabaseServer) -> ListBootstrap:
+    seeds = [s.term for s in server.actual_language_model().top_terms(150, "ctf")]
+    return ListBootstrap(seeds)
+
+
+def main() -> None:
+    print("Size estimation from ~100 sampled documents per database:\n")
+    print(f"  {'database':<8} {'true size':>10} {'sample-resample':>16} {'schnabel':>10} {'schum-esch':>11}")
+    last_server = None
+    for label, (profile, scale) in PROFILES.items():
+        server = DatabaseServer(profile.build(seed=63, scale=scale))
+        last_server = server
+        bootstrap = bootstrap_for(server)
+        resample = estimate_database_size(
+            server, bootstrap, method="sample_resample", sample_documents=100, seed=2
+        )
+        captures = capture_recapture_report(
+            server, bootstrap, sample_documents=200, num_capture_samples=4, seed=2
+        )
+        print(
+            f"  {label:<8} {server.num_documents:>10,} {resample:>16,.0f} "
+            f"{captures['schnabel'].estimate:>10,.0f} "
+            f"{captures['schumacher_eschmeyer'].estimate:>11,.0f}"
+        )
+
+    print(
+        "\nSample-resample needs only the 'about N results' counter and is\n"
+        "typically within tens of percent; capture-recapture inherits the\n"
+        "sample's ranking bias and swings much wider.\n"
+    )
+
+    # Calibration: scale a learned model to collection magnitudes.
+    assert last_server is not None
+    sampler = QueryBasedSampler(
+        last_server,
+        bootstrap=bootstrap_for(last_server),
+        stopping=MaxDocuments(100),
+        config=SamplerConfig(keep_documents=False),
+        seed=5,
+    )
+    run = sampler.run()
+    estimate = estimate_database_size(
+        last_server, bootstrap_for(last_server), sample_documents=100, seed=7
+    )
+    calibrated = scale_to_collection(run.model, estimate)
+    analyzer = last_server.index.analyzer
+    term = next(
+        stats.term
+        for stats in run.model.top_terms(50, key="ctf")
+        if analyzer.project_term(stats.term) in last_server.index
+    )
+    true_df = last_server.index.df(analyzer.project_term(term))
+    print("Calibrating the learned model with the size estimate:")
+    print(f"  sample model:     {run.model.documents_seen:>7,} docs, df({term}) = {run.model.df(term)}")
+    print(f"  calibrated model: {calibrated.documents_seen:>7,} docs, df({term}) = {calibrated.df(term)}")
+    print(f"  true collection:  {last_server.num_documents:>7,} docs, df({term}) = {true_df}")
+
+
+if __name__ == "__main__":
+    main()

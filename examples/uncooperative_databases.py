@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Why cooperation isn't enough: STARTS vs query-based sampling.
+
+Stages the paper's Section 2.2 argument with four databases that all
+search honestly but behave differently toward the STARTS export
+protocol: one cooperates, one is a legacy system, one refuses, and one
+*lies* — exporting a forged language model ten times its real size with
+spam vocabulary injected to attract selection traffic.
+
+A selection service that trusts exports acquires a poisoned model from
+the liar and nothing at all from the other two; the sampling service
+acquires a faithful model from all four, because "language models are
+learned as a consequence of normal database behavior" (Section 3).
+
+Run:  python examples/uncooperative_databases.py
+"""
+
+from __future__ import annotations
+
+from repro.index import DatabaseServer
+from repro.lm import spearman_rank_correlation
+from repro.sampling import ListBootstrap, MaxDocuments, SamplerConfig
+from repro.starts import (
+    CooperativeSource,
+    HonestServer,
+    LegacyServer,
+    MisrepresentingServer,
+    SamplingSource,
+    UncooperativeServer,
+    acquire_language_model,
+)
+from repro.synth import wsj88_like
+
+SPAM = ("jackpot", "lottery", "miracle")
+
+
+def main() -> None:
+    print("Building one corpus behind four kinds of server ...")
+    inner = DatabaseServer(wsj88_like().build(seed=77, scale=0.1))
+    truth = inner.actual_language_model()
+    servers = {
+        "honest": HonestServer(inner),
+        "legacy": LegacyServer(inner),
+        "uncooperative": UncooperativeServer(inner),
+        "misrepresenting": MisrepresentingServer(inner, inflation=10, injected_terms=SPAM),
+    }
+
+    seeds = [s.term for s in truth.top_terms(150, "ctf")]
+
+    def sampling_source() -> SamplingSource:
+        return SamplingSource(
+            bootstrap=ListBootstrap(seeds),
+            stopping=MaxDocuments(150),
+            config=SamplerConfig(keep_documents=False),
+            seed=9,
+        )
+
+    header = f"  {'server':<16} {'policy':<14} {'acquired via':<13} {'claimed docs':>12} {'spam df':>8} {'spearman':>9}"
+    print("\nAcquiring a language model from each server, two policies:\n")
+    print(header)
+    for trust, policy in ((True, "trusting"), (False, "sampling-only")):
+        for label, server in servers.items():
+            result = acquire_language_model(
+                server, sampling_source(), CooperativeSource(), trust_exports=trust
+            )
+            model = result.model
+            if result.method == "sampling":
+                model = model.project(inner.index.analyzer)
+            spam_df = sum(model.df(term) for term in SPAM)
+            spearman = spearman_rank_correlation(model, truth)
+            print(
+                f"  {label:<16} {policy:<14} {result.method:<13} "
+                f"{model.documents_seen:>12,} {spam_df:>8} {spearman:>9.3f}"
+            )
+        print()
+
+    print(
+        "The trusting service imported a 10x-inflated forgery (note the\n"
+        "spam df) and got nothing from the legacy/refusing servers.\n"
+        "The sampling service got a consistent, spam-free model from\n"
+        "every server — including the liar, whose *search results*\n"
+        "cannot misrepresent what it actually contains."
+    )
+
+
+if __name__ == "__main__":
+    main()

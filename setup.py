@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (PEP 517 editable installs need bdist_wheel).
+"""
+
+from setuptools import setup
+
+setup()

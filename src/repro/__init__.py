@@ -1,0 +1,35 @@
+"""repro: query-based sampling for text database language models.
+
+A from-scratch reproduction of Callan, Connell & Du, "Automatic
+Discovery of Language Models for Text Databases" (SIGMOD 1999).
+
+The public API is re-exported here; see README.md for a tour.
+"""
+
+from repro.corpus import Corpus, Document
+from repro.index import DatabaseServer, InvertedIndex, SearchEngine
+from repro.lm import (
+    LanguageModel,
+    ctf_ratio,
+    percentage_learned,
+    rdiff,
+    spearman_rank_correlation,
+)
+from repro.text import Analyzer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analyzer",
+    "Corpus",
+    "DatabaseServer",
+    "Document",
+    "InvertedIndex",
+    "LanguageModel",
+    "SearchEngine",
+    "ctf_ratio",
+    "percentage_learned",
+    "rdiff",
+    "spearman_rank_correlation",
+    "__version__",
+]

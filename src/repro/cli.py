@@ -1,0 +1,314 @@
+"""Command-line interface.
+
+Exposes the library's main workflows as ``repro <subcommand>``:
+
+.. code-block:: text
+
+    repro generate  --profile wsj88 --scale 0.1 -o corpus.jsonl
+    repro stats     corpus.jsonl
+    repro search    corpus.jsonl "market court" -n 5
+    repro sample    corpus.jsonl -o model.lm --max-docs 300
+    repro compare   model.lm corpus.jsonl
+    repro summarize model.lm --rank-by avg_tf -k 20
+    repro estimate-size corpus.jsonl --method sample_resample
+    repro federate a.jsonl b.jsonl c.jsonl --query "market court" -n 5
+
+Corpora are JSONL files (``{"doc_id", "text", ...}`` per line); models
+use the library's text format (:mod:`repro.lm.io`).  Every stochastic
+command takes ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.corpus.readers import read_jsonl, write_jsonl
+from repro.experiments.reporting import format_table
+from repro.federation.service import FederatedSearchService
+from repro.index.server import DatabaseServer
+from repro.lm.compare import ctf_ratio, percentage_learned, spearman_rank_correlation
+from repro.lm.io import load_language_model, save_language_model
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
+from repro.sampling.selection import FrequencyFromLearned, ListBootstrap, RandomFromLearned
+from repro.sampling.stopping import MaxDocuments
+from repro.sizeest.orchestrate import estimate_database_size
+from repro.summarize.summary import format_summary_grid, summarize
+from repro.synth.profiles import PROFILES_BY_NAME
+from repro.text.analyzer import Analyzer
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="generate a synthetic corpus from a named profile"
+    )
+    parser.add_argument("--profile", choices=sorted(PROFILES_BY_NAME), default="wsj88")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", required=True, help="output JSONL path")
+
+
+def _add_stats(subparsers) -> None:
+    parser = subparsers.add_parser("stats", help="corpus statistics (Table 1 row)")
+    parser.add_argument("corpus", help="corpus JSONL path")
+    parser.add_argument(
+        "--indexed",
+        action="store_true",
+        help="report statistics under the stop+stem pipeline instead of raw tokens",
+    )
+
+
+def _add_search(subparsers) -> None:
+    parser = subparsers.add_parser("search", help="run a query against a corpus")
+    parser.add_argument("corpus", help="corpus JSONL path")
+    parser.add_argument("query")
+    parser.add_argument("-n", type=int, default=10)
+
+
+def _add_sample(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "sample", help="learn a language model by query-based sampling"
+    )
+    parser.add_argument("corpus", help="corpus JSONL path")
+    parser.add_argument("-o", "--output", required=True, help="output model path")
+    parser.add_argument("--max-docs", type=int, default=300)
+    parser.add_argument("--docs-per-query", type=int, default=4)
+    parser.add_argument(
+        "--strategy",
+        choices=("random", "df", "ctf", "avg_tf"),
+        default="random",
+        help="query-term selection strategy (paper Section 5.2)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--bootstrap",
+        nargs="*",
+        default=None,
+        help="explicit initial query terms (default: frequent corpus terms)",
+    )
+
+
+def _add_compare(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "compare", help="score a learned model against a corpus's actual model"
+    )
+    parser.add_argument("model", help="learned model path")
+    parser.add_argument("corpus", help="corpus JSONL path")
+
+
+def _add_summarize(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "summarize", help="top-term summary of a language model (Table 4 style)"
+    )
+    parser.add_argument("model", help="model path")
+    parser.add_argument("--rank-by", choices=("df", "ctf", "avg_tf"), default="avg_tf")
+    parser.add_argument("-k", type=int, default=20)
+    parser.add_argument("--min-df", type=int, default=2)
+
+
+def _add_estimate_size(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "estimate-size", help="estimate a corpus's size from its search surface"
+    )
+    parser.add_argument("corpus", help="corpus JSONL path")
+    parser.add_argument(
+        "--method",
+        choices=("sample_resample", "schnabel", "schumacher_eschmeyer"),
+        default="sample_resample",
+    )
+    parser.add_argument("--sample-docs", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_federate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "federate",
+        help="sample several corpora, select with CORI, search, and merge",
+    )
+    parser.add_argument("corpora", nargs="+", help="corpus JSONL paths (>= 2)")
+    parser.add_argument("--query", required=True)
+    parser.add_argument("-n", type=int, default=10)
+    parser.add_argument("--sample-docs", type=int, default=100,
+                        help="sampling budget per database")
+    parser.add_argument("--databases-per-query", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query-based sampling for text database language models "
+        "(Callan, Connell & Du, SIGMOD 1999)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_stats(subparsers)
+    _add_search(subparsers)
+    _add_sample(subparsers)
+    _add_compare(subparsers)
+    _add_summarize(subparsers)
+    _add_estimate_size(subparsers)
+    _add_federate(subparsers)
+    return parser
+
+
+def _default_bootstrap(server: DatabaseServer) -> ListBootstrap:
+    seeds = [s.term for s in server.actual_language_model().top_terms(200, "ctf")]
+    return ListBootstrap(seeds)
+
+
+def _make_strategy(name: str):
+    if name == "random":
+        return RandomFromLearned()
+    return FrequencyFromLearned(name)
+
+
+def _cmd_generate(args) -> int:
+    profile = PROFILES_BY_NAME[args.profile]()
+    corpus = profile.build(seed=args.seed, scale=args.scale)
+    write_jsonl(corpus, args.output)
+    print(f"wrote {len(corpus):,} documents to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    corpus = read_jsonl(args.corpus)
+    analyzer = Analyzer.inquery_style() if args.indexed else Analyzer.raw()
+    stats = corpus.stats(analyzer)
+    print(format_table([stats.as_row()], title=f"Corpus statistics ({args.corpus})"))
+    return 0
+
+
+def _cmd_search(args) -> int:
+    server = DatabaseServer(read_jsonl(args.corpus))
+    results = server.engine.search(args.query, n=args.n)
+    if not results:
+        print("no results")
+        return 1
+    rows = [
+        {"rank": i, "doc_id": r.doc_id, "score": round(r.score, 4)}
+        for i, r in enumerate(results, start=1)
+    ]
+    print(format_table(rows, title=f"Top {len(results)} for {args.query!r}"))
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    server = DatabaseServer(read_jsonl(args.corpus))
+    bootstrap = (
+        ListBootstrap(args.bootstrap) if args.bootstrap else _default_bootstrap(server)
+    )
+    sampler = QueryBasedSampler(
+        server,
+        bootstrap=bootstrap,
+        strategy=_make_strategy(args.strategy),
+        stopping=MaxDocuments(args.max_docs),
+        config=SamplerConfig(docs_per_query=args.docs_per_query, keep_documents=False),
+        seed=args.seed,
+    )
+    run = sampler.run()
+    save_language_model(run.model, args.output)
+    print(
+        f"sampled {run.documents_examined} documents with {run.queries_run} queries "
+        f"({run.failed_queries} failed); learned {len(run.model):,} terms -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    learned = load_language_model(args.model)
+    server = DatabaseServer(read_jsonl(args.corpus))
+    actual = server.actual_language_model()
+    projected = learned.project(server.index.analyzer)
+    rows = [
+        {"metric": "percentage_learned", "value": round(percentage_learned(projected, actual), 4)},
+        {"metric": "ctf_ratio", "value": round(ctf_ratio(projected, actual), 4)},
+        {"metric": "spearman_rank_correlation",
+         "value": round(spearman_rank_correlation(projected, actual), 4)},
+    ]
+    print(format_table(rows, title=f"{args.model} vs {args.corpus}"))
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    model = load_language_model(args.model)
+    summary = summarize(model, k=args.k, rank_by=args.rank_by, min_df=args.min_df)
+    print(format_summary_grid(summary, columns=4))
+    return 0
+
+
+def _cmd_estimate_size(args) -> int:
+    server = DatabaseServer(read_jsonl(args.corpus))
+    estimate = estimate_database_size(
+        server,
+        _default_bootstrap(server),
+        method=args.method,
+        sample_documents=args.sample_docs,
+        seed=args.seed,
+    )
+    print(f"estimated size: {estimate:,.0f} documents ({args.method})")
+    print(f"actual size:    {server.num_documents:,} documents")
+    return 0
+
+
+def _cmd_federate(args) -> int:
+    if len(args.corpora) < 2:
+        print("federate needs at least two corpora", file=sys.stderr)
+        return 2
+    servers = {}
+    for path in args.corpora:
+        corpus = read_jsonl(path)
+        if corpus.name in servers:
+            print(f"duplicate corpus name {corpus.name!r}", file=sys.stderr)
+            return 2
+        servers[corpus.name] = DatabaseServer(corpus)
+    service = FederatedSearchService(
+        servers, databases_per_query=min(args.databases_per_query, len(servers))
+    )
+    service.learn_models(
+        lambda name: _default_bootstrap(servers[name]),
+        total_documents=args.sample_docs * len(servers),
+        scheduler="round_robin",
+        seed=args.seed,
+    )
+    response = service.search(args.query, n=args.n)
+    ranking_rows = [
+        {"rank": i, "database": entry.name, "score": round(entry.score, 4),
+         "searched": entry.name in response.searched}
+        for i, entry in enumerate(response.ranking.entries, start=1)
+    ]
+    print(format_table(ranking_rows, title=f"Database ranking for {args.query!r}"))
+    if not response.results:
+        print("no results")
+        return 1
+    result_rows = [
+        {"rank": i, "database": item.database, "doc_id": item.doc_id,
+         "score": round(item.score, 4)}
+        for i, item in enumerate(response.results, start=1)
+    ]
+    print(format_table(result_rows, title="Merged results"))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "search": _cmd_search,
+    "sample": _cmd_sample,
+    "compare": _cmd_compare,
+    "summarize": _cmd_summarize,
+    "estimate-size": _cmd_estimate_size,
+    "federate": _cmd_federate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Document collections.
+
+The unit the paper samples is the *full-text document*; a database is a
+corpus of them behind a search interface.  This package provides the
+:class:`Document` and :class:`Corpus` containers, corpus statistics (the
+rows of the paper's Table 1), file readers (JSONL, plain directories,
+and TREC SGML so real TREC data can be dropped in where available), and
+deterministic corpus partitioning used to build multi-database testbeds.
+"""
+
+from repro.corpus.collection import Corpus, CorpusStats
+from repro.corpus.document import Document
+from repro.corpus.readers import (
+    read_directory,
+    read_jsonl,
+    read_trec_sgml,
+    write_jsonl,
+    write_trec_sgml,
+)
+from repro.corpus.split import partition_round_robin, partition_by_topic, partition_chunks
+
+__all__ = [
+    "Corpus",
+    "CorpusStats",
+    "Document",
+    "partition_by_topic",
+    "partition_chunks",
+    "partition_round_robin",
+    "read_directory",
+    "read_jsonl",
+    "read_trec_sgml",
+    "write_jsonl",
+    "write_trec_sgml",
+]

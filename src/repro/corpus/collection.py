@@ -1,0 +1,110 @@
+"""The :class:`Corpus` container and its statistics.
+
+A :class:`Corpus` is an ordered, id-addressable collection of
+:class:`~repro.corpus.document.Document` objects.  :class:`CorpusStats`
+computes the quantities reported in the paper's Table 1 — size in
+bytes, size in documents, unique terms, and total terms — under a given
+analyzer, so the same corpus can be described both "raw" and "as
+indexed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.corpus.document import Document
+from repro.text.analyzer import Analyzer
+
+
+class Corpus:
+    """An ordered collection of documents with O(1) id lookup."""
+
+    def __init__(self, documents: Iterable[Document] = (), name: str = "corpus") -> None:
+        self.name = name
+        self._documents: list[Document] = []
+        self._by_id: dict[str, int] = {}
+        for document in documents:
+            self.add(document)
+
+    def add(self, document: Document) -> None:
+        """Append ``document``; raises on duplicate ids."""
+        if document.doc_id in self._by_id:
+            raise ValueError(f"duplicate doc_id {document.doc_id!r} in corpus {self.name!r}")
+        self._by_id[document.doc_id] = len(self._documents)
+        self._documents.append(document)
+
+    def get(self, doc_id: str) -> Document:
+        """Return the document with ``doc_id`` (KeyError if absent)."""
+        return self._documents[self._by_id[doc_id]]
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._by_id
+
+    def __getitem__(self, index: int) -> Document:
+        return self._documents[index]
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    @property
+    def doc_ids(self) -> list[str]:
+        """Document ids in corpus order."""
+        return [document.doc_id for document in self._documents]
+
+    def topics(self) -> set[str]:
+        """The set of topic labels present (empty for unlabeled corpora)."""
+        return {d.topic for d in self._documents if d.topic is not None}
+
+    def stats(self, analyzer: Analyzer | None = None) -> "CorpusStats":
+        """Compute Table 1-style statistics under ``analyzer``.
+
+        With no analyzer, raw case-folded tokens are counted.
+        """
+        analyzer = analyzer or Analyzer.raw()
+        vocabulary: set[str] = set()
+        total_terms = 0
+        total_bytes = 0
+        for document in self._documents:
+            terms = analyzer.analyze(document.text)
+            vocabulary.update(terms)
+            total_terms += len(terms)
+            total_bytes += document.size_bytes
+        return CorpusStats(
+            name=self.name,
+            size_bytes=total_bytes,
+            num_documents=len(self._documents),
+            unique_terms=len(vocabulary),
+            total_terms=total_terms,
+        )
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """One row of the paper's Table 1."""
+
+    name: str
+    size_bytes: int
+    num_documents: int
+    unique_terms: int
+    total_terms: int
+
+    @property
+    def mean_document_length(self) -> float:
+        """Average terms per document (0.0 for an empty corpus)."""
+        if self.num_documents == 0:
+            return 0.0
+        return self.total_terms / self.num_documents
+
+    def as_row(self) -> dict[str, object]:
+        """Render as a Table 1 row dictionary."""
+        return {
+            "name": self.name,
+            "size_bytes": self.size_bytes,
+            "size_documents": self.num_documents,
+            "size_unique_terms": self.unique_terms,
+            "size_total_terms": self.total_terms,
+        }

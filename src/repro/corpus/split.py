@@ -1,0 +1,60 @@
+"""Deterministic corpus partitioning.
+
+Multi-database experiments (the selection-accuracy extension, and any
+user building a federated testbed) need one big corpus split into many
+databases.  Three standard TREC-testbed splits are provided:
+
+* **round-robin** — documents dealt to ``k`` databases in turn, giving
+  content-homogeneous databases of near-equal size;
+* **chunks** — contiguous slices, mimicking "by source/date" splits;
+* **by topic** — one database per topic label, giving topically skewed
+  databases, the regime where database selection is interesting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.corpus.collection import Corpus
+
+
+def partition_round_robin(corpus: Corpus, k: int, prefix: str | None = None) -> list[Corpus]:
+    """Deal documents to ``k`` corpora in round-robin order."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    prefix = prefix or corpus.name
+    parts = [Corpus(name=f"{prefix}-rr{i}") for i in range(k)]
+    for index, document in enumerate(corpus):
+        parts[index % k].add(document)
+    return parts
+
+
+def partition_chunks(corpus: Corpus, k: int, prefix: str | None = None) -> list[Corpus]:
+    """Split into ``k`` contiguous, near-equal chunks."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    prefix = prefix or corpus.name
+    n = len(corpus)
+    parts = []
+    start = 0
+    for i in range(k):
+        end = start + (n - start) // (k - i)
+        part = Corpus((corpus[j] for j in range(start, end)), name=f"{prefix}-chunk{i}")
+        parts.append(part)
+        start = end
+    return parts
+
+
+def partition_by_topic(corpus: Corpus, prefix: str | None = None) -> list[Corpus]:
+    """One corpus per topic label, sorted by topic name.
+
+    Documents without a topic label go to a ``-misc`` corpus.
+    """
+    prefix = prefix or corpus.name
+    buckets: dict[str, list] = defaultdict(list)
+    for document in corpus:
+        buckets[document.topic if document.topic is not None else "misc"].append(document)
+    return [
+        Corpus(documents, name=f"{prefix}-{topic}")
+        for topic, documents in sorted(buckets.items())
+    ]

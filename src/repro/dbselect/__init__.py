@@ -1,0 +1,40 @@
+"""Database selection algorithms — the consumers of language models.
+
+The paper's motivation (Sections 1-2): given language models for many
+databases, a selection algorithm ranks the databases by their likelihood
+of satisfying a query.  This package implements the era's standard
+algorithms so the repo can demonstrate, end to end, that *learned*
+language models drive selection about as well as *actual* ones (the
+claim the paper defers to follow-on work, reproduced here as extension
+experiment Ext-1):
+
+* :class:`CoriSelector` — the CORI inference-net ranking (Callan,
+  Lu & Croft, SIGIR 1995), the algorithm behind the paper's own group;
+* :class:`BGlossSelector` / :class:`VGlossSelector` — boolean and
+  vector-space GlOSS (Gravano, García-Molina & Tomasic);
+* :class:`KlSelector` — Kullback-Leibler divergence ranking, a later
+  standard baseline;
+* :func:`recall_at_n` and :class:`SelectionEvaluation` — the R_n
+  evaluation methodology comparing a ranking to the best possible one.
+"""
+
+from repro.dbselect.base import DatabaseRanking, DatabaseSelector, RankedDatabase
+from repro.dbselect.cori import CoriSelector
+from repro.dbselect.evaluate import SelectionEvaluation, evaluate_rankings, recall_at_n
+from repro.dbselect.gloss import BGlossSelector, VGlossSelector
+from repro.dbselect.kl import KlSelector
+from repro.dbselect.redde import ReddeSelector
+
+__all__ = [
+    "BGlossSelector",
+    "CoriSelector",
+    "DatabaseRanking",
+    "DatabaseSelector",
+    "KlSelector",
+    "RankedDatabase",
+    "ReddeSelector",
+    "SelectionEvaluation",
+    "VGlossSelector",
+    "evaluate_rankings",
+    "recall_at_n",
+]

@@ -1,0 +1,58 @@
+"""Common types for database selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+from repro.lm.model import LanguageModel
+from repro.text.analyzer import Analyzer
+
+
+@dataclass(frozen=True)
+class RankedDatabase:
+    """One entry of a database ranking."""
+
+    name: str
+    score: float
+
+
+@dataclass(frozen=True)
+class DatabaseRanking:
+    """A full ranking of databases for one query."""
+
+    query: str
+    entries: tuple[RankedDatabase, ...]
+
+    @property
+    def names(self) -> list[str]:
+        """Database names in rank order."""
+        return [entry.name for entry in self.entries]
+
+    def top(self, n: int) -> list[str]:
+        """The top ``n`` database names."""
+        return self.names[:n]
+
+
+class DatabaseSelector(Protocol):
+    """Ranks databases, given per-database language models."""
+
+    def rank(
+        self, query: str, models: Mapping[str, LanguageModel]
+    ) -> DatabaseRanking:
+        """Rank the databases in ``models`` for ``query``."""
+        ...  # pragma: no cover - protocol
+
+
+def analyze_query(query: str, analyzer: Analyzer | None) -> Sequence[str]:
+    """Analyze a query with ``analyzer`` (raw tokens if ``None``)."""
+    return (analyzer or Analyzer.raw()).analyze(query)
+
+
+def finish_ranking(query: str, scores: Mapping[str, float]) -> DatabaseRanking:
+    """Build a deterministic ranking: score desc, then name asc."""
+    ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return DatabaseRanking(
+        query=query,
+        entries=tuple(RankedDatabase(name=name, score=score) for name, score in ordered),
+    )

@@ -1,0 +1,148 @@
+"""Result merging: one ranked list from many databases' results.
+
+Database selection is only half of federated search: once the selected
+databases have each run the query, their per-database document scores
+must be merged into a single ranking, even though every database scored
+against its own collection statistics.  Three standard mergers:
+
+* :class:`CoriMerger` — the CORI merge formula (Callan et al.): min-max
+  normalise document scores within each database and collection scores
+  across databases, then weight documents by their database's quality:
+  ``D'' = (D' + 0.4 · D' · C') / 1.4``.
+* :class:`RawScoreMerger` — trust raw scores across databases (the
+  naive baseline; fails when databases' score scales differ).
+* :class:`RoundRobinMerger` — interleave the per-database lists in
+  database-rank order (scale-free but quality-blind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+from repro.dbselect.base import DatabaseRanking
+from repro.index.search import SearchResult
+
+
+@dataclass(frozen=True)
+class MergedResult:
+    """One document in the merged ranking, with provenance."""
+
+    doc_id: str
+    database: str
+    score: float
+
+
+class ResultMerger(Protocol):
+    """Merges per-database result lists under a database ranking."""
+
+    def merge(
+        self,
+        ranking: DatabaseRanking,
+        results: Mapping[str, Sequence[SearchResult]],
+        n: int,
+    ) -> list[MergedResult]:
+        """Return the top ``n`` merged results."""
+        ...  # pragma: no cover - protocol
+
+
+def _minmax(values: Sequence[float]) -> list[float]:
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return [1.0 for _ in values]
+    return [(value - low) / (high - low) for value in values]
+
+
+class CoriMerger:
+    """The CORI merge: document score weighted by collection score."""
+
+    def __init__(self, collection_weight: float = 0.4) -> None:
+        if collection_weight < 0:
+            raise ValueError("collection_weight must be non-negative")
+        self.collection_weight = collection_weight
+
+    def merge(
+        self,
+        ranking: DatabaseRanking,
+        results: Mapping[str, Sequence[SearchResult]],
+        n: int,
+    ) -> list[MergedResult]:
+        """Normalise within-database and across-database, then combine."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        collection_scores = {entry.name: entry.score for entry in ranking.entries}
+        participating = [name for name in results if name in collection_scores and results[name]]
+        if not participating:
+            return []
+        normalised_collection = dict(
+            zip(participating, _minmax([collection_scores[name] for name in participating]))
+        )
+        merged: list[MergedResult] = []
+        weight = self.collection_weight
+        for name in participating:
+            doc_scores = _minmax([result.score for result in results[name]])
+            c_norm = normalised_collection[name]
+            for result, d_norm in zip(results[name], doc_scores):
+                final = (d_norm + weight * d_norm * c_norm) / (1.0 + weight)
+                merged.append(MergedResult(doc_id=result.doc_id, database=name, score=final))
+        merged.sort(key=lambda item: (-item.score, item.database, item.doc_id))
+        return merged[:n]
+
+
+class RawScoreMerger:
+    """Merge by raw scores — correct only if scales are comparable."""
+
+    def merge(
+        self,
+        ranking: DatabaseRanking,
+        results: Mapping[str, Sequence[SearchResult]],
+        n: int,
+    ) -> list[MergedResult]:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        merged = [
+            MergedResult(doc_id=result.doc_id, database=name, score=result.score)
+            for name, result_list in results.items()
+            for result in result_list
+        ]
+        merged.sort(key=lambda item: (-item.score, item.database, item.doc_id))
+        return merged[:n]
+
+
+class RoundRobinMerger:
+    """Interleave per-database lists in database-rank order."""
+
+    def merge(
+        self,
+        ranking: DatabaseRanking,
+        results: Mapping[str, Sequence[SearchResult]],
+        n: int,
+    ) -> list[MergedResult]:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        ordered = [name for name in ranking.names if results.get(name)]
+        merged: list[MergedResult] = []
+        depth = 0
+        while len(merged) < n:
+            emitted = False
+            for position, name in enumerate(ordered):
+                result_list = results[name]
+                if depth < len(result_list):
+                    result = result_list[depth]
+                    # Score encodes (depth, db-rank) so the list order is
+                    # reconstructible from scores alone.
+                    merged.append(
+                        MergedResult(
+                            doc_id=result.doc_id,
+                            database=name,
+                            score=-(depth * len(ordered) + position),
+                        )
+                    )
+                    emitted = True
+                    if len(merged) == n:
+                        break
+            if not emitted:
+                break
+            depth += 1
+        return merged

@@ -1,0 +1,107 @@
+"""The ReDDE database selection algorithm.
+
+ReDDE — Relevant Document Distribution Estimation (Si & Callan, SIGIR
+2003) — is the second-generation selector built directly on the
+artifacts query-based sampling produces:
+
+1. index the **union of the sampled documents** centrally (the same
+   union Sections 7-8 of the 1999 paper exploit);
+2. run the user query against that central sample index;
+3. let each top-ranked sample document *vote* for its source database,
+   weighted by how many collection documents it represents — the
+   database's (estimated) size divided by its sample size;
+4. rank databases by accumulated votes.
+
+Because the votes pass through real retrieval over real sampled text,
+ReDDE captures term co-occurrence that df/ctf summaries cannot — the
+reason it outperformed CORI on skewed-size testbeds.  Its inputs here
+are exactly `SamplingRun.documents` and :mod:`repro.sizeest` estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.collection import Corpus
+from repro.corpus.document import Document
+from repro.dbselect.base import DatabaseRanking, finish_ranking
+from repro.index.inverted import InvertedIndex
+from repro.index.scoring import Scorer
+from repro.index.search import SearchEngine
+from repro.text.analyzer import Analyzer
+
+
+class ReddeSelector:
+    """ReDDE ranking over a central index of sampled documents.
+
+    Parameters
+    ----------
+    samples:
+        Database name → that database's sampled documents
+        (``SamplingRun.documents``).  Document ids must be unique
+        across databases (true for any real federation).
+    estimated_sizes:
+        Database name → estimated collection size in documents (from
+        :mod:`repro.sizeest`, or ground truth in oracle experiments).
+        Databases missing an estimate fall back to their sample size
+        (i.e. an unscaled vote).
+    top_n:
+        How deep in the central ranking votes are counted (ReDDE's
+        single parameter; the original used a rank threshold
+        proportional to the estimated total collection size — a fixed
+        depth is the common simplification).
+    analyzer:
+        Pipeline for the central sample index (default Inquery-style).
+    """
+
+    def __init__(
+        self,
+        samples: Mapping[str, list[Document]],
+        estimated_sizes: Mapping[str, float] | None = None,
+        top_n: int = 50,
+        analyzer: Analyzer | None = None,
+        scorer: Scorer | None = None,
+    ) -> None:
+        if not samples:
+            raise ValueError("need at least one database sample")
+        if top_n <= 0:
+            raise ValueError("top_n must be positive")
+        self.top_n = top_n
+        self._source_of: dict[str, str] = {}
+        union = Corpus(name="redde-union")
+        for name, documents in samples.items():
+            for document in documents:
+                union.add(document)
+                self._source_of[document.doc_id] = name
+        if len(union) == 0:
+            raise ValueError("samples contain no documents")
+        self._sample_sizes = {name: len(documents) for name, documents in samples.items()}
+        self._databases = list(samples)
+        estimated_sizes = dict(estimated_sizes or {})
+        self._scale = {
+            name: (
+                estimated_sizes.get(name, float(self._sample_sizes[name]))
+                / self._sample_sizes[name]
+                if self._sample_sizes[name]
+                else 0.0
+            )
+            for name in self._databases
+        }
+        self._engine = SearchEngine(
+            InvertedIndex(union, analyzer or Analyzer.inquery_style()), scorer
+        )
+
+    def rank(self, query: str, models: Mapping[str, object] | None = None) -> DatabaseRanking:
+        """Rank the sampled databases for ``query``.
+
+        ``models`` is accepted (and ignored) so ReDDE satisfies the
+        :class:`~repro.dbselect.base.DatabaseSelector` protocol and can
+        be swapped into harnesses built around model-based selectors —
+        its "model" is the central sample index it already owns.
+        """
+        results = self._engine.search(query, n=self.top_n)
+        votes = {name: 0.0 for name in self._databases}
+        for result in results:
+            source = self._source_of[result.doc_id]
+            votes[source] += self._scale[source]
+        return finish_ranking(query, votes)

@@ -1,0 +1,28 @@
+"""Co-occurrence query expansion from sample unions (paper Section 8).
+
+Co-occurrence-based query expansion needs a representative document
+collection to mine expansion terms from.  For *database selection*
+queries, expanding from any single database biases selection toward
+that database; the paper's insight is that the union of the sampling
+service's document samples s₁ ∪ s₂ ∪ … ∪ sₙ "favors no specific
+database, but reflects patterns that are common to them all" — it is
+the right expansion collection.
+
+:class:`SampleCollection` stores analyzed sample documents (with their
+source database), :class:`QueryExpander` mines doc-level co-occurrence
+statistics (EMIM-weighted) from one, and :func:`expansion_bias`
+quantifies how much an expansion favors each source database — the
+measurement behind extension experiment Ext-2.
+"""
+
+from repro.expansion.cooccurrence import SampleCollection, SampleDocument
+from repro.expansion.expand import ExpandedQuery, ExpansionTerm, QueryExpander, expansion_bias
+
+__all__ = [
+    "ExpandedQuery",
+    "ExpansionTerm",
+    "QueryExpander",
+    "SampleCollection",
+    "SampleDocument",
+    "expansion_bias",
+]

@@ -1,0 +1,88 @@
+"""Minimal ASCII line plots for figure benchmarks.
+
+The paper's figures are learning curves; the numeric series tables
+(:func:`repro.experiments.reporting.format_series`) are the precise
+record, and :func:`plot_series` renders the same data as a quick visual
+— one character per series, linear axes, no dependencies.
+
+.. code-block:: text
+
+    ctf ratio vs documents examined
+    0.94 |                          ··c
+         |              ···ccc······
+         |      ···cc···        wwww
+         | c·www
+    0.54 |_w___________________________
+          50                        300
+    c=cacm  w=wsj88
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def plot_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render labelled (x, y) series as an ASCII chart.
+
+    Each series is drawn with the first letter of its label (collisions
+    get digits).  Points are nearest-cell plotted; later series
+    overwrite earlier ones where they collide.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("width must be >= 10 and height >= 4")
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return f"{title}\n(no data)" if title else "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: dict[str, str] = {}
+    used: set[str] = set()
+    for index, label in enumerate(series):
+        marker = label[0] if label and label[0] not in used else str(index)
+        used.add(marker)
+        markers[label] = marker
+
+    for label, values in series.items():
+        marker = markers[label]
+        for x, y in values:
+            column = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    y_high_text = f"{y_high:.3g}"
+    y_low_text = f"{y_low:.3g}"
+    gutter = max(len(y_high_text), len(y_low_text))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_high_text.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = y_low_text.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        body = "".join(row)
+        if row_index == height - 1:
+            body = "".join("_" if ch == " " else ch for ch in body)
+        lines.append(f"{prefix} |{body}")
+    x_low_text = f"{x_low:g}"
+    x_high_text = f"{x_high:g}"
+    axis = " " * (gutter + 2) + x_low_text
+    padding = width - len(x_low_text) - len(x_high_text)
+    axis += " " * max(1, padding) + x_high_text
+    lines.append(axis)
+    lines.append("  ".join(f"{markers[label]}={label}" for label in series))
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Figure computations (Figures 1-4 of the paper).
+
+Each function returns plain data (labelled curves or series) that the
+benchmark harness renders with :mod:`repro.experiments.reporting`.
+Figures 1a, 1b and 2 come from the same baseline runs; Figure 3 varies
+the query-selection strategy on the WSJ-like corpus; Figure 4 plots the
+rdiff convergence series for all three corpora.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    LearningCurve,
+    average_curves,
+    measure_run,
+    rdiff_series,
+    run_sampling,
+)
+from repro.experiments.testbed import Testbed
+from repro.sampling.selection import FrequencyFromLearned, RandomFromLearned, RandomFromOther
+from repro.utils.rand import derive_seed
+
+#: The corpora of Figures 1, 2, and 4, in presentation order.
+FIGURE1_PROFILES = ("cacm", "wsj88", "trec123")
+
+
+def figure1_and_2_curves(
+    testbed: Testbed, seeds: tuple[int, ...] = (0, 1, 2), docs_per_query: int = 4
+) -> dict[str, LearningCurve]:
+    """Baseline learning curves per corpus (Figures 1a, 1b, and 2).
+
+    Random-from-learned selection, N = ``docs_per_query``, runs ending
+    at the paper's per-corpus document budgets, averaged over seeds.
+    """
+    curves: dict[str, LearningCurve] = {}
+    for name in FIGURE1_PROFILES:
+        server = testbed.server(name)
+        actual = testbed.actual_model(name)
+        per_seed = []
+        for seed in seeds:
+            run = run_sampling(
+                server,
+                bootstrap=testbed.bootstrap(),
+                strategy=RandomFromLearned(),
+                max_documents=testbed.document_budget(name),
+                docs_per_query=docs_per_query,
+                seed=derive_seed(seed, "fig1", name),
+            )
+            per_seed.append(
+                measure_run(
+                    run,
+                    actual,
+                    server.index.analyzer,
+                    database=name,
+                    strategy="random_llm",
+                    docs_per_query=docs_per_query,
+                )
+            )
+        curves[name] = average_curves(per_seed)
+    return curves
+
+
+def figure3_strategy_curves(
+    testbed: Testbed,
+    profile: str = "wsj88",
+    seeds: tuple[int, ...] = (0, 1, 2),
+    docs_per_query: int = 4,
+) -> dict[str, tuple[LearningCurve, float]]:
+    """Query-selection strategies on one corpus (Figures 3a and 3b).
+
+    Returns strategy name → (curve, mean queries to finish the run) —
+    the query counts feed Table 3.  The "other language model" is the
+    actual TREC-123 model, exactly the paper's (intentionally biased)
+    choice.
+    """
+    server = testbed.server(profile)
+    actual = testbed.actual_model(profile)
+    other = testbed.actual_model("trec123")
+    strategies = {
+        "random_olm": lambda: RandomFromOther(other),
+        "random_llm": lambda: RandomFromLearned(),
+        "avg_tf_llm": lambda: FrequencyFromLearned("avg_tf"),
+        "df_llm": lambda: FrequencyFromLearned("df"),
+        "ctf_llm": lambda: FrequencyFromLearned("ctf"),
+    }
+    results: dict[str, tuple[LearningCurve, float]] = {}
+    for label, make_strategy in strategies.items():
+        per_seed = []
+        query_counts = []
+        for seed in seeds:
+            run = run_sampling(
+                server,
+                bootstrap=testbed.bootstrap(),
+                strategy=make_strategy(),
+                max_documents=testbed.document_budget(profile),
+                docs_per_query=docs_per_query,
+                seed=derive_seed(seed, "fig3", profile, label),
+            )
+            query_counts.append(run.queries_run)
+            per_seed.append(
+                measure_run(
+                    run,
+                    actual,
+                    server.index.analyzer,
+                    database=profile,
+                    strategy=label,
+                    docs_per_query=docs_per_query,
+                )
+            )
+        results[label] = (
+            average_curves(per_seed),
+            sum(query_counts) / len(query_counts),
+        )
+    return results
+
+
+def figure4_rdiff_series(
+    testbed: Testbed, seeds: tuple[int, ...] = (0, 1, 2), docs_per_query: int = 4
+) -> dict[str, list[tuple[int, float]]]:
+    """rdiff between consecutive 50-document snapshots, per corpus."""
+    all_series: dict[str, list[tuple[int, float]]] = {}
+    for name in FIGURE1_PROFILES:
+        server = testbed.server(name)
+        per_seed_series = []
+        for seed in seeds:
+            run = run_sampling(
+                server,
+                bootstrap=testbed.bootstrap(),
+                strategy=RandomFromLearned(),
+                max_documents=testbed.document_budget(name),
+                docs_per_query=docs_per_query,
+                seed=derive_seed(seed, "fig4", name),
+            )
+            per_seed_series.append(dict(rdiff_series(run)))
+        common = set(per_seed_series[0])
+        for series in per_seed_series[1:]:
+            common &= set(series)
+        all_series[name] = [
+            (documents, sum(series[documents] for series in per_seed_series) / len(per_seed_series))
+            for documents in sorted(common)
+        ]
+    return all_series

@@ -1,0 +1,86 @@
+"""ASCII rendering of experiment results.
+
+Shared by the benchmark harness (which prints each regenerated table
+and figure) and the examples.  Output is deliberately plain: aligned
+columns, no external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], title: str | None = None
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Columns are the union of keys, in first-appearance order.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[int, float]]],
+    title: str | None = None,
+    x_label: str = "documents",
+    y_format: str = "{:.4f}",
+) -> str:
+    """Render labelled (x, y) series as one aligned table, x as rows.
+
+    Mirrors how the paper's figures would be read off: one row per
+    document-count tick, one column per corpus/strategy.
+    """
+    labels = list(series)
+    ticks = sorted({x for points in series.values() for x, _ in points})
+    by_label = {label: dict(points) for label, points in series.items()}
+    rows = []
+    for tick in ticks:
+        row: dict[str, object] = {x_label: tick}
+        for label in labels:
+            value = by_label[label].get(tick)
+            row[label] = None if value is None else y_format.format(value)
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def curve_series(
+    curves: Mapping[str, object], metric: str
+) -> dict[str, list[tuple[int, float]]]:
+    """Extract (documents, metric) series from labelled LearningCurves."""
+    extracted: dict[str, list[tuple[int, float]]] = {}
+    for label, curve in curves.items():
+        extracted[label] = [
+            (point.documents, getattr(point, metric)) for point in curve.points
+        ]
+    return extracted

@@ -1,0 +1,89 @@
+"""Build and cache the experimental testbed.
+
+A :class:`Testbed` owns the three Table 1 corpora (and on demand the
+Microsoft-support corpus), their :class:`~repro.index.DatabaseServer`
+instances, and their actual language models.  Construction is lazy and
+cached per instance: building the TREC-like corpus takes tens of
+seconds at scale 1.0, and every figure shares it.
+
+The paper draws every run's *initial* query term at random from the
+actual TREC-123 language model (Section 4.4); :meth:`Testbed.bootstrap`
+returns the corresponding selector.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.index.server import DatabaseServer
+from repro.lm.model import LanguageModel
+from repro.sampling.selection import RandomFromOther
+from repro.synth.profiles import PROFILES_BY_NAME, CorpusProfile
+
+#: The paper ends CACM/WSJ88 runs at 300 documents, TREC-123 at 500.
+DOCUMENT_BUDGETS: dict[str, int] = {
+    "cacm": 300,
+    "wsj88": 300,
+    "trec123": 500,
+    "mssupport": 300,
+}
+
+
+def default_scale() -> float:
+    """The corpus scale factor, from ``REPRO_SCALE`` (default 1.0)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from exc
+    if scale <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {scale}")
+    return scale
+
+
+class Testbed:
+    """Lazily built corpora, servers, and actual language models."""
+
+    def __init__(self, seed: int = 0, scale: float | None = None) -> None:
+        self.seed = seed
+        self.scale = default_scale() if scale is None else scale
+        self._servers: dict[str, DatabaseServer] = {}
+        self._actual: dict[str, LanguageModel] = {}
+
+    def profile(self, name: str) -> CorpusProfile:
+        """The named profile (cacm / wsj88 / trec123 / mssupport)."""
+        try:
+            factory = PROFILES_BY_NAME[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown profile {name!r}; choose from {sorted(PROFILES_BY_NAME)}"
+            ) from None
+        return factory()
+
+    def server(self, name: str) -> DatabaseServer:
+        """The (cached) database server for profile ``name``."""
+        if name not in self._servers:
+            corpus = self.profile(name).build(seed=self.seed, scale=self.scale)
+            self._servers[name] = DatabaseServer(corpus)
+        return self._servers[name]
+
+    def actual_model(self, name: str) -> LanguageModel:
+        """The (cached) actual language model for profile ``name``."""
+        if name not in self._actual:
+            self._actual[name] = self.server(name).actual_language_model()
+        return self._actual[name]
+
+    def bootstrap(self) -> RandomFromOther:
+        """Initial-term selector: random term from the TREC-123 model."""
+        return RandomFromOther(self.actual_model("trec123"))
+
+    def document_budget(self, name: str) -> int:
+        """The paper's documents-examined budget for profile ``name``."""
+        budget = DOCUMENT_BUDGETS[name]
+        if self.scale >= 1.0:
+            return budget
+        # At reduced scale, cap the budget so runs cannot exhaust tiny
+        # corpora (sampling more than ~40% of a database is no longer
+        # "sampling").
+        corpus_size = self.server(name).num_documents
+        return max(50, min(budget, int(corpus_size * 0.4)))

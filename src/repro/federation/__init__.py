@@ -1,0 +1,33 @@
+"""Federated search, end to end.
+
+The paper's motivating application assembled from the library's parts:
+a :class:`FederatedSearchService` owns a set of searchable databases,
+*acquires* a language model for each (by sampling, via the STARTS
+protocol, or protocol-with-sampling-fallback), *selects* databases per
+query (CORI/GlOSS/KL), *searches* the selected few, and *merges* their
+results into one ranking.
+
+:mod:`repro.federation.testbed` provides the evaluation scaffolding
+shared by the benchmarks and examples: topically *skewed* database
+partitions (70% of a topic's documents land in its home database, the
+rest spill over — the texture of real by-source testbeds) and
+distinctive-term topical queries whose relevance oracle is the
+generating topic.
+"""
+
+from repro.federation.service import FederatedSearchService, FederatedResponse
+from repro.federation.testbed import (
+    TopicalQuery,
+    build_skewed_partition,
+    relevance_counts,
+    topical_queries,
+)
+
+__all__ = [
+    "FederatedResponse",
+    "FederatedSearchService",
+    "TopicalQuery",
+    "build_skewed_partition",
+    "relevance_counts",
+    "topical_queries",
+]

@@ -1,0 +1,123 @@
+"""The federated search service.
+
+Owns the databases, their (acquired) language models, a selector, and a
+merger; answers queries end to end.  The acquisition step is pluggable
+so the same service can run on sampled models (the paper's proposal),
+trusted STARTS exports (the cooperative baseline), or ground-truth
+models (the evaluation upper bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.dbselect.base import DatabaseRanking, DatabaseSelector
+from repro.dbselect.cori import CoriSelector
+from repro.dbselect.merge import CoriMerger, MergedResult, ResultMerger
+from repro.index.search import SearchResult
+from repro.index.server import DatabaseServer
+from repro.lm.model import LanguageModel
+from repro.sampling.pool import SamplingPool
+from repro.sampling.sampler import SamplerConfig
+from repro.sampling.selection import QueryTermSelector
+
+
+@dataclass(frozen=True)
+class FederatedResponse:
+    """Everything a federated query produced."""
+
+    query: str
+    ranking: DatabaseRanking
+    searched: tuple[str, ...]
+    results: tuple[MergedResult, ...]
+
+
+class FederatedSearchService:
+    """Selects, searches, and merges across many databases.
+
+    Parameters
+    ----------
+    servers:
+        Name → :class:`~repro.index.server.DatabaseServer` (or anything
+        with ``run_query`` for sampling plus ``engine.search`` for
+        retrieval).
+    selector:
+        Database selection algorithm (default CORI).
+    merger:
+        Result merging strategy (default the CORI merge).
+    databases_per_query:
+        How many top-ranked databases to actually search.
+    """
+
+    def __init__(
+        self,
+        servers: Mapping[str, DatabaseServer],
+        selector: DatabaseSelector | None = None,
+        merger: ResultMerger | None = None,
+        databases_per_query: int = 3,
+    ) -> None:
+        if not servers:
+            raise ValueError("need at least one database server")
+        if databases_per_query <= 0:
+            raise ValueError("databases_per_query must be positive")
+        self.servers = dict(servers)
+        self.selector = selector or CoriSelector()
+        self.merger = merger or CoriMerger()
+        self.databases_per_query = databases_per_query
+        self.models: dict[str, LanguageModel] = {}
+
+    # -- acquisition -------------------------------------------------------
+
+    def learn_models(
+        self,
+        bootstrap_factory: Callable[[str], QueryTermSelector],
+        total_documents: int,
+        scheduler: str = "uniform",
+        config: SamplerConfig = SamplerConfig(),
+        seed: int = 0,
+    ) -> None:
+        """Acquire every model by query-based sampling (via a pool)."""
+        pool = SamplingPool(
+            self.servers,
+            bootstrap_factory,
+            scheduler=scheduler,
+            config=config,
+            seed=seed,
+        )
+        result = pool.run(total_documents)
+        self.models = {name: run.model for name, run in result.runs.items()}
+
+    def use_models(self, models: Mapping[str, LanguageModel]) -> None:
+        """Install externally acquired models (STARTS, ground truth, …)."""
+        missing = set(self.servers) - set(models)
+        if missing:
+            raise ValueError(f"missing models for databases: {sorted(missing)}")
+        self.models = dict(models)
+
+    # -- query answering ----------------------------------------------------
+
+    def select(self, query: str) -> DatabaseRanking:
+        """Rank the databases for ``query`` using the acquired models."""
+        if not self.models:
+            raise RuntimeError("no language models acquired yet; call learn_models()")
+        return self.selector.rank(query, self.models)
+
+    def search(self, query: str, n: int = 10, docs_per_database: int = 10) -> FederatedResponse:
+        """Answer ``query``: select databases, search them, merge results."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        ranking = self.select(query)
+        searched = tuple(ranking.top(self.databases_per_query))
+        per_database: dict[str, list[SearchResult]] = {}
+        for name in searched:
+            per_database[name] = self.servers[name].engine.search(
+                query, n=docs_per_database
+            )
+        merged = self.merger.merge(ranking, per_database, n=n)
+        return FederatedResponse(
+            query=query,
+            ranking=ranking,
+            searched=searched,
+            results=tuple(merged),
+        )

@@ -1,0 +1,153 @@
+"""The inverted index.
+
+Built in one pass over a corpus under a given analyzer.  Stores, per
+term, a frozen :class:`PostingList` (parallel arrays of document index
+and within-document term frequency) plus the aggregate statistics every
+other part of the system consumes: document frequency (df), collection
+term frequency (ctf), document lengths, and totals.
+
+The index is the database's *actual language model* in the paper's
+sense; :meth:`InvertedIndex.language_model` exports it as a
+:class:`~repro.lm.model.LanguageModel` for evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.corpus.collection import Corpus
+from repro.lm.model import LanguageModel
+from repro.text.analyzer import Analyzer
+
+
+@dataclass(frozen=True)
+class PostingList:
+    """Frozen postings for one term: parallel doc-index and tf arrays."""
+
+    doc_indices: np.ndarray
+    term_frequencies: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.doc_indices.shape != self.term_frequencies.shape:
+            raise ValueError("doc_indices and term_frequencies must be parallel")
+
+    @property
+    def document_frequency(self) -> int:
+        """Number of documents containing the term (df)."""
+        return int(self.doc_indices.size)
+
+    @property
+    def collection_frequency(self) -> int:
+        """Total occurrences of the term in the collection (ctf)."""
+        return int(self.term_frequencies.sum())
+
+    def __len__(self) -> int:
+        return int(self.doc_indices.size)
+
+
+class InvertedIndex:
+    """Term → postings over a corpus, under one analyzer.
+
+    Parameters
+    ----------
+    corpus:
+        The documents to index.
+    analyzer:
+        The text pipeline defining this database's index terms.  The
+        default mirrors the paper's Inquery setup (stoplist + Porter
+        stemmer).
+    """
+
+    def __init__(self, corpus: Corpus, analyzer: Analyzer | None = None) -> None:
+        self.corpus = corpus
+        self.analyzer = analyzer or Analyzer.inquery_style()
+        self._postings: dict[str, PostingList] = {}
+        self._doc_lengths = np.zeros(len(corpus), dtype=np.int64)
+        self._build()
+
+    def _build(self) -> None:
+        accumulator: dict[str, tuple[list[int], list[int]]] = {}
+        for doc_index, document in enumerate(self.corpus):
+            counts = Counter(self.analyzer.analyze(document.text))
+            self._doc_lengths[doc_index] = sum(counts.values())
+            for term, tf in counts.items():
+                if term not in accumulator:
+                    accumulator[term] = ([], [])
+                docs, tfs = accumulator[term]
+                docs.append(doc_index)
+                tfs.append(tf)
+        for term, (docs, tfs) in accumulator.items():
+            self._postings[term] = PostingList(
+                doc_indices=np.asarray(docs, dtype=np.int64),
+                term_frequencies=np.asarray(tfs, dtype=np.int64),
+            )
+
+    # -- lookups --------------------------------------------------------------
+
+    def postings(self, term: str) -> PostingList | None:
+        """Postings for ``term`` (as analyzed), or ``None`` if absent."""
+        return self._postings.get(term)
+
+    def df(self, term: str) -> int:
+        """Document frequency of ``term`` (0 if absent)."""
+        posting = self._postings.get(term)
+        return posting.document_frequency if posting else 0
+
+    def ctf(self, term: str) -> int:
+        """Collection term frequency of ``term`` (0 if absent)."""
+        posting = self._postings.get(term)
+        return posting.collection_frequency if posting else 0
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    @property
+    def vocabulary(self) -> Iterable[str]:
+        """All indexed terms (iteration order is arbitrary)."""
+        return self._postings.keys()
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._postings)
+
+    @property
+    def num_documents(self) -> int:
+        """Number of indexed documents."""
+        return len(self.corpus)
+
+    @property
+    def total_terms(self) -> int:
+        """Total term occurrences across the collection."""
+        return int(self._doc_lengths.sum())
+
+    @property
+    def doc_lengths(self) -> np.ndarray:
+        """Per-document index-term counts (read-only view)."""
+        view = self._doc_lengths.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def average_doc_length(self) -> float:
+        """Mean index terms per document (0.0 for an empty corpus)."""
+        if len(self.corpus) == 0:
+            return 0.0
+        return float(self._doc_lengths.mean())
+
+    def language_model(self) -> LanguageModel:
+        """Export the index as the database's *actual* language model."""
+        model = LanguageModel(name=f"{self.corpus.name}-actual")
+        for term, posting in self._postings.items():
+            model.add_term(
+                term,
+                df=posting.document_frequency,
+                ctf=posting.collection_frequency,
+            )
+        model.documents_seen = self.num_documents
+        model.tokens_seen = self.total_terms
+        return model

@@ -1,0 +1,124 @@
+"""Positional postings and phrase matching.
+
+The paper's §2.1 lists phrase statistics among the richer language
+models a selection service might want; :mod:`repro.lm.ngrams` builds
+them from sampled documents.  This module supplies the *engine* side:
+an opt-in positional layer over :class:`~repro.index.inverted.InvertedIndex`
+that records each term's occurrence positions, so the search engine can
+answer quoted-phrase queries ("white house") — and so a database being
+sampled can be a fully featured IR system, not a toy.
+
+Positions index the document's analyzed term stream (after stopping and
+stemming, matching how Inquery-era systems matched phrases over index
+terms).  A phrase matches wherever its analyzed terms occur at
+consecutive positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.inverted import PostingList
+
+
+@dataclass(frozen=True)
+class PositionalPostingList:
+    """Postings for one term with per-document position arrays."""
+
+    doc_indices: np.ndarray
+    positions: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.positions) != self.doc_indices.size:
+            raise ValueError("positions must align with doc_indices")
+
+    def __len__(self) -> int:
+        return int(self.doc_indices.size)
+
+
+class PositionalIndex:
+    """Positional layer over an analyzed corpus.
+
+    Built from the same (corpus, analyzer) pair as an
+    :class:`~repro.index.inverted.InvertedIndex`; the two indexes agree
+    on vocabulary and document numbering by construction.
+    """
+
+    def __init__(self, corpus, analyzer) -> None:
+        self.corpus = corpus
+        self.analyzer = analyzer
+        accumulator: dict[str, tuple[list[int], list[np.ndarray]]] = {}
+        for doc_index, document in enumerate(corpus):
+            term_positions: dict[str, list[int]] = {}
+            for position, term in enumerate(analyzer.analyze(document.text)):
+                term_positions.setdefault(term, []).append(position)
+            for term, positions in term_positions.items():
+                docs, position_arrays = accumulator.setdefault(term, ([], []))
+                docs.append(doc_index)
+                position_arrays.append(np.asarray(positions, dtype=np.int64))
+        self._postings: dict[str, PositionalPostingList] = {
+            term: PositionalPostingList(
+                doc_indices=np.asarray(docs, dtype=np.int64),
+                positions=tuple(position_arrays),
+            )
+            for term, (docs, position_arrays) in accumulator.items()
+        }
+
+    def postings(self, term: str) -> PositionalPostingList | None:
+        """Positional postings for an analyzed ``term`` (None if absent)."""
+        return self._postings.get(term)
+
+    def phrase_postings(self, terms: list[str]) -> PostingList:
+        """Documents (with match counts) containing ``terms`` adjacently.
+
+        Returns an ordinary :class:`PostingList` whose term frequencies
+        are phrase occurrence counts, so phrase hits can be scored by
+        the same scorers as single terms.  An empty phrase or any
+        unindexed member yields an empty posting list.
+        """
+        empty = PostingList(
+            doc_indices=np.empty(0, dtype=np.int64),
+            term_frequencies=np.empty(0, dtype=np.int64),
+        )
+        if not terms:
+            return empty
+        member_postings = []
+        for term in terms:
+            posting = self._postings.get(term)
+            if posting is None:
+                return empty
+            member_postings.append(posting)
+
+        # Start from the first term's occurrences, then repeatedly keep
+        # only positions whose successor exists in the next term.
+        current: dict[int, np.ndarray] = {
+            int(doc): positions
+            for doc, positions in zip(
+                member_postings[0].doc_indices, member_postings[0].positions
+            )
+        }
+        for offset, posting in enumerate(member_postings[1:], start=1):
+            successor: dict[int, np.ndarray] = {
+                int(doc): positions
+                for doc, positions in zip(posting.doc_indices, posting.positions)
+            }
+            surviving: dict[int, np.ndarray] = {}
+            for doc, start_positions in current.items():
+                positions_here = successor.get(doc)
+                if positions_here is None:
+                    continue
+                mask = np.isin(start_positions + offset, positions_here)
+                if mask.any():
+                    surviving[doc] = start_positions[mask]
+            current = surviving
+            if not current:
+                return empty
+        docs = sorted(current)
+        return PostingList(
+            doc_indices=np.asarray(docs, dtype=np.int64),
+            term_frequencies=np.asarray(
+                [len(current[doc]) for doc in docs], dtype=np.int64
+            ),
+        )

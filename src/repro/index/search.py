@@ -1,0 +1,161 @@
+"""Ranked retrieval over an inverted index.
+
+:class:`SearchEngine` analyzes the query with the *database's* analyzer
+(so a raw query term like ``running`` matches the stemmed index term
+``run``), scores each query term's postings with the configured scorer,
+accumulates scores across terms, and returns the top-N documents with
+deterministic tie-breaking (score descending, then document order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.document import Document
+from repro.index.inverted import InvertedIndex, PostingList
+from repro.index.positions import PositionalIndex
+from repro.index.scoring import CollectionContext, Scorer, TfIdfScorer
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit."""
+
+    doc_id: str
+    score: float
+    doc_index: int
+
+
+class SearchEngine:
+    """Ranked retrieval with pluggable scoring."""
+
+    def __init__(self, index: InvertedIndex, scorer: Scorer | None = None) -> None:
+        self.index = index
+        self.scorer = scorer or TfIdfScorer()
+        self._context = CollectionContext(
+            num_documents=index.num_documents,
+            average_doc_length=index.average_doc_length,
+        )
+        self._doc_ids = index.corpus.doc_ids
+        self._positional: PositionalIndex | None = None
+
+    def search(self, query: str, n: int = 10) -> list[SearchResult]:
+        """Return the top ``n`` documents for ``query``.
+
+        The query text is analyzed by the database's own pipeline;
+        query terms that are stopwords (to the database) or unindexed
+        simply contribute nothing — a query of only such terms returns
+        no documents, exactly the "failed query" the paper's Table 3
+        counts.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        terms = self.index.analyzer.analyze(query)
+        if not terms:
+            return []
+        if len(terms) == 1:
+            return self._search_single_term(terms[0], n)
+        scores: dict[int, float] = {}
+        for term in terms:
+            posting = self.index.postings(term)
+            if posting is None:
+                continue
+            doc_lengths = self.index.doc_lengths[posting.doc_indices]
+            term_scores = self.scorer.score_term(
+                posting.term_frequencies.astype(np.float64),
+                doc_lengths.astype(np.float64),
+                posting.document_frequency,
+                self._context,
+            )
+            for doc_index, score in zip(posting.doc_indices, term_scores):
+                key = int(doc_index)
+                scores[key] = scores.get(key, 0.0) + float(score)
+        if not scores:
+            return []
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:n]
+        doc_ids = self._doc_ids
+        return [
+            SearchResult(doc_id=doc_ids[doc_index], score=score, doc_index=doc_index)
+            for doc_index, score in ranked
+        ]
+
+    def _search_single_term(self, term: str, n: int) -> list[SearchResult]:
+        """Vectorised fast path for the sampler's one-term queries."""
+        posting = self.index.postings(term)
+        if posting is None:
+            return []
+        doc_lengths = self.index.doc_lengths[posting.doc_indices]
+        scores = self.scorer.score_term(
+            posting.term_frequencies.astype(np.float64),
+            doc_lengths.astype(np.float64),
+            posting.document_frequency,
+            self._context,
+        )
+        count = min(n, scores.size)
+        if count < scores.size:
+            candidates = np.argpartition(-scores, count - 1)[:count]
+        else:
+            candidates = np.arange(scores.size)
+        # Deterministic order: score descending, then document order.
+        order = candidates[np.lexsort((posting.doc_indices[candidates], -scores[candidates]))]
+        doc_ids = self._doc_ids
+        return [
+            SearchResult(
+                doc_id=doc_ids[int(posting.doc_indices[i])],
+                score=float(scores[i]),
+                doc_index=int(posting.doc_indices[i]),
+            )
+            for i in order
+        ]
+
+    def search_phrase(self, phrase: str, n: int = 10) -> list[SearchResult]:
+        """Return the top ``n`` documents containing ``phrase`` adjacently.
+
+        The phrase is analyzed by the database's pipeline; matching
+        documents are scored with the configured scorer using the
+        phrase's occurrence counts as term frequencies and its document
+        frequency as df.  The positional index is built lazily on the
+        first phrase query (one extra pass over the corpus).
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        terms = self.index.analyzer.analyze(phrase)
+        if not terms:
+            return []
+        if len(terms) == 1:
+            return self._search_single_term(terms[0], n)
+        if self._positional is None:
+            self._positional = PositionalIndex(self.index.corpus, self.index.analyzer)
+        posting = self._positional.phrase_postings(terms)
+        return self._rank_posting(posting, n)
+
+    def _rank_posting(self, posting: PostingList, n: int) -> list[SearchResult]:
+        if len(posting) == 0:
+            return []
+        doc_lengths = self.index.doc_lengths[posting.doc_indices]
+        scores = self.scorer.score_term(
+            posting.term_frequencies.astype(np.float64),
+            doc_lengths.astype(np.float64),
+            posting.document_frequency,
+            self._context,
+        )
+        count = min(n, scores.size)
+        if count < scores.size:
+            candidates = np.argpartition(-scores, count - 1)[:count]
+        else:
+            candidates = np.arange(scores.size)
+        order = candidates[np.lexsort((posting.doc_indices[candidates], -scores[candidates]))]
+        return [
+            SearchResult(
+                doc_id=self._doc_ids[int(posting.doc_indices[i])],
+                score=float(scores[i]),
+                doc_index=int(posting.doc_indices[i]),
+            )
+            for i in order
+        ]
+
+    def fetch(self, doc_id: str) -> Document:
+        """Return the full document for ``doc_id``."""
+        return self.index.corpus.get(doc_id)

@@ -1,0 +1,139 @@
+"""The remote database abstraction.
+
+:class:`DatabaseServer` models the paper's minimal assumption about a
+searchable text database: *"each database is capable of running queries
+and returning documents that match the queries"* (Section 3).  The
+sampling client may only call :meth:`run_query`; everything else a
+cooperative protocol like STARTS would expose (vocabulary, frequencies,
+corpus size) is deliberately absent from that surface.
+
+For evaluation the server also exposes ground truth —
+:meth:`actual_language_model` and :attr:`num_documents` — which the
+experiment harness uses to score learned models but a sampler must
+never touch.
+
+Every query and returned document is metered in :class:`QueryCosts`,
+supporting the paper's resource accounting (queries run, documents
+examined, bytes transferred).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.collection import Corpus
+from repro.corpus.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.scoring import Scorer
+from repro.index.search import SearchEngine
+from repro.lm.model import LanguageModel
+from repro.text.analyzer import Analyzer
+
+
+@dataclass
+class QueryCosts:
+    """Cumulative cost of interacting with one database."""
+
+    queries_run: int = 0
+    failed_queries: int = 0
+    documents_returned: int = 0
+    bytes_returned: int = 0
+    hit_count_queries: int = 0
+
+    def record(self, documents: list[Document]) -> None:
+        """Account for one executed query and its results."""
+        self.queries_run += 1
+        if not documents:
+            self.failed_queries += 1
+        self.documents_returned += len(documents)
+        self.bytes_returned += sum(document.size_bytes for document in documents)
+
+
+@dataclass(frozen=True)
+class ServerPolicy:
+    """Knobs modelling real-world server behaviour.
+
+    Parameters
+    ----------
+    max_results_per_query:
+        Hard cap the server imposes on any single query (many web
+        databases return at most 10 results); ``None`` means uncapped.
+    """
+
+    max_results_per_query: int | None = None
+
+
+class DatabaseServer:
+    """A searchable text database with a query-only public surface."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        analyzer: Analyzer | None = None,
+        scorer: Scorer | None = None,
+        policy: ServerPolicy = ServerPolicy(),
+        name: str | None = None,
+    ) -> None:
+        self.name = name or corpus.name
+        self.policy = policy
+        self.index = InvertedIndex(corpus, analyzer)
+        self.engine = SearchEngine(self.index, scorer)
+        self.costs = QueryCosts()
+
+    # -- the public (sampler-visible) surface ----------------------------------
+
+    def run_query(self, query: str, max_docs: int = 10) -> list[Document]:
+        """Run ``query`` and return up to ``max_docs`` full documents.
+
+        This is the *only* operation the paper assumes of a database.
+        A query wrapped in double quotes ("...") is answered as an
+        exact-phrase query, as most real search services do.
+        """
+        if max_docs <= 0:
+            raise ValueError(f"max_docs must be positive, got {max_docs}")
+        if self.policy.max_results_per_query is not None:
+            max_docs = min(max_docs, self.policy.max_results_per_query)
+        stripped = query.strip()
+        if len(stripped) >= 2 and stripped.startswith('"') and stripped.endswith('"'):
+            results = self.engine.search_phrase(stripped[1:-1], n=max_docs)
+        else:
+            results = self.engine.search(query, n=max_docs)
+        documents = [self.engine.fetch(result.doc_id) for result in results]
+        self.costs.record(documents)
+        return documents
+
+    def hit_count(self, query: str) -> int:
+        """Number of documents matching ``query`` ("about N results").
+
+        Most real search services report a match count alongside
+        results; it is part of the observable search surface, not
+        ground-truth access.  The sample-resample size estimator
+        (:mod:`repro.sizeest`) is built on it.  For a multi-term query
+        the count is of documents matching *any* term (the engine's
+        candidate set).
+        """
+        terms = self.index.analyzer.analyze(query)
+        self.costs.hit_count_queries += 1
+        if not terms:
+            return 0
+        matched: set[int] = set()
+        for term in terms:
+            posting = self.index.postings(term)
+            if posting is not None:
+                matched.update(posting.doc_indices.tolist())
+        return len(matched)
+
+    # -- ground truth (evaluation only) ----------------------------------------
+
+    def actual_language_model(self) -> LanguageModel:
+        """The database's true language model (its index). Evaluation only."""
+        return self.index.language_model()
+
+    @property
+    def num_documents(self) -> int:
+        """True corpus size. Evaluation only — samplers cannot observe this."""
+        return self.index.num_documents
+
+    def reset_costs(self) -> None:
+        """Zero the cost meters (e.g. between experimental runs)."""
+        self.costs = QueryCosts()

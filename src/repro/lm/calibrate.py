@@ -1,0 +1,49 @@
+"""Frequency calibration of learned language models.
+
+Section 3 of the paper notes that selection algorithms use database
+size "primarily ... to scale the word frequencies in language models
+provided for databases of varying sizes", and suggests "a similar
+effect can be obtained by scaling the frequencies in learned language
+models by the sizes of the samples they are based upon."  Follow-on
+work (Si & Callan 2003) closed the loop: estimate each database's size
+(:mod:`repro.sizeest`), then scale the learned df/ctf from
+sample-relative to collection-absolute values.
+
+:func:`scale_to_collection` performs that scaling; its output plugs
+into any selector exactly like an actual model would — in particular,
+CORI's ``cw`` statistic (token count) becomes an estimate of the true
+collection word count rather than the sample's.
+"""
+
+from __future__ import annotations
+
+from repro.lm.model import LanguageModel
+
+
+def scale_to_collection(
+    learned: LanguageModel,
+    estimated_documents: float,
+    name: str | None = None,
+) -> LanguageModel:
+    """Scale a sample-based model to estimated collection magnitudes.
+
+    Every df and ctf is multiplied by ``estimated_documents /
+    documents_seen`` (rounded, floored at 1 so no observed term
+    vanishes), and the document/token counters are scaled the same way.
+    Relative frequencies — what rankings depend on — are unchanged;
+    only magnitudes move, making models of differently-sized databases
+    comparable in the way cooperative exports are.
+    """
+    if learned.documents_seen <= 0:
+        raise ValueError("learned model has no documents; nothing to scale")
+    if estimated_documents <= 0:
+        raise ValueError("estimated_documents must be positive")
+    factor = estimated_documents / learned.documents_seen
+    scaled = LanguageModel(name=name or f"{learned.name}-calibrated")
+    for stats in learned.items():
+        df = max(1, round(stats.df * factor))
+        ctf = max(df, round(stats.ctf * factor))
+        scaled.add_term(stats.term, df=df, ctf=ctf)
+    scaled.documents_seen = max(1, round(learned.documents_seen * factor))
+    scaled.tokens_seen = max(1, round(learned.tokens_seen * factor))
+    return scaled

@@ -1,0 +1,68 @@
+"""Language model serialization.
+
+A simple, diffable text format in the spirit of the Lemur toolkit's
+collection-statistics files:
+
+.. code-block:: text
+
+    #language-model name=wsj88 documents_seen=300 tokens_seen=45210
+    apple 12 31
+    bear 3 3
+
+One header line, then one ``term df ctf`` line per term, sorted by term
+for determinism.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lm.model import LanguageModel
+
+_HEADER_PREFIX = "#language-model"
+
+
+def save_language_model(model: LanguageModel, path: str | Path) -> None:
+    """Write ``model`` to ``path`` in the text format above.
+
+    Terms containing whitespace would corrupt the line format and are
+    rejected (no analyzer in this library produces them; bigram terms
+    use a non-whitespace separator precisely so they serialize).
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(
+            f"{_HEADER_PREFIX} name={model.name} "
+            f"documents_seen={model.documents_seen} tokens_seen={model.tokens_seen}\n"
+        )
+        for term in sorted(model.vocabulary):
+            if not term or any(ch.isspace() for ch in term):
+                raise ValueError(
+                    f"term {term!r} contains whitespace and cannot be serialized"
+                )
+            handle.write(f"{term} {model.df(term)} {model.ctf(term)}\n")
+
+
+def load_language_model(path: str | Path) -> LanguageModel:
+    """Read a language model written by :func:`save_language_model`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if not header.startswith(_HEADER_PREFIX):
+            raise ValueError(f"{path}: missing language-model header")
+        fields = dict(
+            part.split("=", 1) for part in header[len(_HEADER_PREFIX) :].split() if "=" in part
+        )
+        model = LanguageModel(name=fields.get("name", path.stem))
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{line_number}: expected 'term df ctf', got {line!r}")
+            term, df_text, ctf_text = parts
+            model.add_term(term, df=int(df_text), ctf=int(ctf_text))
+        model.documents_seen = int(fields.get("documents_seen", 0))
+        model.tokens_seen = int(fields.get("tokens_seen", 0))
+    return model

@@ -1,0 +1,198 @@
+"""The :class:`LanguageModel` data structure.
+
+Stores per-term document frequency (df — how many seen documents
+contain the term) and collection term frequency (ctf — total
+occurrences), plus how many documents and tokens the model was built
+from.  Both *actual* models (exported from an index) and *learned*
+models (accumulated from sampled documents) use this one class, so
+every metric compares like with like.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.text.analyzer import Analyzer
+
+
+@dataclass(frozen=True)
+class TermStats:
+    """Frequency statistics for one term."""
+
+    term: str
+    df: int
+    ctf: int
+
+    @property
+    def avg_tf(self) -> float:
+        """Average within-document frequency, ``ctf / df`` (paper §5.2)."""
+        if self.df == 0:
+            return 0.0
+        return self.ctf / self.df
+
+
+class LanguageModel:
+    """A vocabulary with df/ctf statistics, built incrementally.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports and serialization.
+    """
+
+    def __init__(self, name: str = "lm") -> None:
+        self.name = name
+        self._df: dict[str, int] = {}
+        self._ctf: dict[str, int] = {}
+        #: Number of documents folded into the model.
+        self.documents_seen: int = 0
+        #: Number of tokens folded into the model.
+        self.tokens_seen: int = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def add_term(self, term: str, df: int, ctf: int) -> None:
+        """Accumulate statistics for one term."""
+        if df < 0 or ctf < 0:
+            raise ValueError("df and ctf must be non-negative")
+        if df > ctf:
+            raise ValueError(f"df ({df}) cannot exceed ctf ({ctf}) for {term!r}")
+        self._df[term] = self._df.get(term, 0) + df
+        self._ctf[term] = self._ctf.get(term, 0) + ctf
+
+    def add_document(self, terms: Iterable[str]) -> None:
+        """Fold one document's terms into the model.
+
+        ``terms`` is the document's token sequence *after* the client's
+        analyzer; each distinct term gains df 1 and ctf equal to its
+        occurrence count.
+        """
+        counts = Counter(terms)
+        for term, count in counts.items():
+            self._df[term] = self._df.get(term, 0) + 1
+            self._ctf[term] = self._ctf.get(term, 0) + count
+        self.documents_seen += 1
+        self.tokens_seen += sum(counts.values())
+
+    def merge(self, other: "LanguageModel") -> "LanguageModel":
+        """Return a new model combining this one with ``other``.
+
+        Statistics add; this is the "union of samples" of the paper's
+        Section 8 (it assumes the two models saw disjoint documents).
+        """
+        merged = LanguageModel(name=f"{self.name}+{other.name}")
+        for model in (self, other):
+            for term in model._df:
+                merged.add_term(term, df=model._df[term], ctf=model._ctf[term])
+        merged.documents_seen = self.documents_seen + other.documents_seen
+        merged.tokens_seen = self.tokens_seen + other.tokens_seen
+        return merged
+
+    def copy(self, name: str | None = None) -> "LanguageModel":
+        """Deep copy (used for convergence snapshots)."""
+        duplicate = LanguageModel(name=name or self.name)
+        duplicate._df = dict(self._df)
+        duplicate._ctf = dict(self._ctf)
+        duplicate.documents_seen = self.documents_seen
+        duplicate.tokens_seen = self.tokens_seen
+        return duplicate
+
+    def project(self, analyzer: Analyzer, name: str | None = None) -> "LanguageModel":
+        """Map this model's vocabulary through ``analyzer``.
+
+        Used by the comparison protocol of Section 4.1: project the
+        *learned* (raw-token) model through the database's pipeline so
+        stopwords drop out and suffix variants conflate.  Conflated
+        variants' df values add, which can overcount documents that
+        contained several variants — an approximation inherent in
+        comparing models built under different pipelines, and the same
+        one the paper makes.
+        """
+        projected = LanguageModel(name=name or f"{self.name}-projected")
+        for term, df in self._df.items():
+            mapped = analyzer.project_term(term)
+            if mapped is None:
+                continue
+            projected.add_term(mapped, df=df, ctf=self._ctf[term])
+        projected.documents_seen = self.documents_seen
+        projected.tokens_seen = self.tokens_seen
+        return projected
+
+    def restricted_to(self, terms: Iterable[str], name: str | None = None) -> "LanguageModel":
+        """Return a copy containing only ``terms`` that the model knows."""
+        restricted = LanguageModel(name=name or f"{self.name}-restricted")
+        for term in terms:
+            if term in self._df:
+                restricted.add_term(term, df=self._df[term], ctf=self._ctf[term])
+        restricted.documents_seen = self.documents_seen
+        restricted.tokens_seen = self.tokens_seen
+        return restricted
+
+    # -- queries ----------------------------------------------------------------
+
+    def df(self, term: str) -> int:
+        """Document frequency of ``term`` (0 if unknown)."""
+        return self._df.get(term, 0)
+
+    def ctf(self, term: str) -> int:
+        """Collection term frequency of ``term`` (0 if unknown)."""
+        return self._ctf.get(term, 0)
+
+    def avg_tf(self, term: str) -> float:
+        """Average term frequency ``ctf / df`` (0.0 if unknown)."""
+        df = self._df.get(term, 0)
+        if df == 0:
+            return 0.0
+        return self._ctf[term] / df
+
+    def stats(self, term: str) -> TermStats:
+        """Full :class:`TermStats` for ``term`` (zeros if unknown)."""
+        return TermStats(term=term, df=self._df.get(term, 0), ctf=self._ctf.get(term, 0))
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._df
+
+    def __len__(self) -> int:
+        return len(self._df)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._df)
+
+    @property
+    def vocabulary(self) -> set[str]:
+        """The set of known terms (a fresh set; safe to mutate)."""
+        return set(self._df)
+
+    @property
+    def total_ctf(self) -> int:
+        """Sum of ctf over the vocabulary."""
+        return sum(self._ctf.values())
+
+    def top_terms(self, k: int, key: str = "ctf") -> list[TermStats]:
+        """The ``k`` highest-ranked terms by ``key`` (df, ctf, or avg_tf).
+
+        Ties break alphabetically so output is deterministic.
+        """
+        keyed = {
+            "df": lambda term: self._df[term],
+            "ctf": lambda term: self._ctf[term],
+            "avg_tf": lambda term: self._ctf[term] / self._df[term],
+        }
+        if key not in keyed:
+            raise ValueError(f"key must be one of df/ctf/avg_tf, got {key!r}")
+        score = keyed[key]
+        ranked = sorted(self._df, key=lambda term: (-score(term), term))[:k]
+        return [self.stats(term) for term in ranked]
+
+    def items(self) -> Iterator[TermStats]:
+        """Iterate :class:`TermStats` for every known term."""
+        for term in self._df:
+            yield self.stats(term)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LanguageModel(name={self.name!r}, terms={len(self._df)}, "
+            f"documents_seen={self.documents_seen})"
+        )

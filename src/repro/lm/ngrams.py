@@ -1,0 +1,75 @@
+"""Phrase (bigram) language models — the paper's §2.1 extension.
+
+Section 2.1: "More complex language models might include information
+about phrases or other term co-occurrence information", and Section 7
+notes that keeping the sampled documents makes such models possible —
+"the sampling process is not restricted just to word lists and
+frequency tables".  This module delivers that: bigram language models
+built from any document set, so the question *can bigram models be
+learned by sampling too?* becomes testable (benchmark Ext-7).
+
+A bigram is a pair of **adjacent surviving index terms** joined by
+``"␣"`` (a character the tokenizer can never produce, so bigram terms
+and unigram terms can share a :class:`~repro.lm.model.LanguageModel`
+without collision).  Adjacency is evaluated after the analyzer, i.e.
+stopwords do not block adjacency under a stopping analyzer — the usual
+IR convention for phrase statistics ("white␣house" from "white house",
+but also from "white ... the ... house"?  No: only truly adjacent
+surviving terms pair, sentence boundaries reset adjacency).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.corpus.document import Document
+from repro.lm.model import LanguageModel
+from repro.text.analyzer import Analyzer
+
+#: Separator between the two terms of a bigram (never produced by the
+#: tokenizer, so bigram vocabulary cannot collide with unigrams).
+BIGRAM_SEPARATOR = "␣"  # ␣ OPEN BOX
+
+
+def bigrams(terms: Sequence[str]) -> list[str]:
+    """Adjacent-pair bigram terms of an analyzed token sequence."""
+    return [
+        f"{first}{BIGRAM_SEPARATOR}{second}"
+        for first, second in zip(terms, terms[1:])
+    ]
+
+
+def split_bigram(bigram: str) -> tuple[str, str]:
+    """Invert :func:`bigrams` for one term."""
+    first, separator, second = bigram.partition(BIGRAM_SEPARATOR)
+    if not separator:
+        raise ValueError(f"{bigram!r} is not a bigram term")
+    return first, second
+
+
+def _sentence_chunks(document: Document) -> Iterable[str]:
+    # Reset adjacency at sentence boundaries so bigrams never span a
+    # full stop.
+    return (chunk for chunk in document.text.split(".") if chunk.strip())
+
+
+def bigram_model_from_documents(
+    documents: Iterable[Document],
+    analyzer: Analyzer | None = None,
+    name: str = "bigrams",
+) -> LanguageModel:
+    """Build a bigram language model from full documents.
+
+    ``analyzer`` defaults to the Inquery-style pipeline: phrase
+    statistics over stopped/stemmed terms, the convention the phrase-
+    indexing literature uses.  ``documents_seen``/``tokens_seen`` count
+    documents and bigram tokens respectively.
+    """
+    analyzer = analyzer or Analyzer.inquery_style()
+    model = LanguageModel(name=name)
+    for document in documents:
+        document_bigrams: list[str] = []
+        for chunk in _sentence_chunks(document):
+            document_bigrams.extend(bigrams(analyzer.analyze(chunk)))
+        model.add_document(document_bigrams)
+    return model

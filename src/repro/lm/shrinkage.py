@@ -1,0 +1,95 @@
+"""Shrinkage smoothing of learned language models.
+
+Ipeirotis & Gravano ("When one Sample is not Enough: Improving Text
+Database Selection Using Shrinkage", SIGMOD 2004 — directly downstream
+of this paper) observed that a small sample's language model is sparse
+and noisy, and that mixing it with a *background* model (a category
+model, or the union of all samples) improves database selection —
+classic shrinkage toward a prior.
+
+:func:`shrink` implements the count-space version: every term known to
+either model receives
+
+.. code-block:: text
+
+    ctf'(t) = λ · ctf_sample_scaled(t) + (1 - λ) · ctf_background_scaled(t)
+
+with both sides first normalised to the same token mass, so λ is a pure
+mixing weight.  df values are mixed the same way against document
+counts.  :func:`shrink_all` applies it across a federation using the
+union of the learned models as the background — no ground truth
+involved, exactly the information a sampling service possesses.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.lm.model import LanguageModel
+
+
+def shrink(
+    sample: LanguageModel,
+    background: LanguageModel,
+    weight: float = 0.8,
+    name: str | None = None,
+) -> LanguageModel:
+    """Mix ``sample`` with ``background`` at sample weight ``weight``.
+
+    The result keeps the sample's document/token magnitudes, gains
+    (down-weighted) statistics for background terms the sample missed,
+    and smooths the sample's noisy low counts toward the background's
+    relative frequencies.  Counts are rounded; terms whose mixed ctf
+    rounds to zero are dropped (they carry no selection signal).
+    """
+    if not 0.0 < weight <= 1.0:
+        raise ValueError(f"weight must be in (0, 1], got {weight}")
+    if sample.tokens_seen <= 0:
+        raise ValueError("sample model is empty; nothing to shrink")
+    if background.tokens_seen <= 0:
+        raise ValueError("background model is empty")
+    token_scale = sample.tokens_seen / background.tokens_seen
+    doc_scale = (
+        sample.documents_seen / background.documents_seen
+        if background.documents_seen
+        else 0.0
+    )
+    shrunk = LanguageModel(name=name or f"{sample.name}-shrunk")
+    vocabulary = sample.vocabulary | background.vocabulary
+    for term in vocabulary:
+        ctf = weight * sample.ctf(term) + (1 - weight) * background.ctf(term) * token_scale
+        df = weight * sample.df(term) + (1 - weight) * background.df(term) * doc_scale
+        ctf_rounded = round(ctf)
+        if ctf_rounded < 1:
+            continue
+        df_rounded = min(max(1, round(df)), ctf_rounded)
+        shrunk.add_term(term, df=df_rounded, ctf=ctf_rounded)
+    shrunk.documents_seen = sample.documents_seen
+    shrunk.tokens_seen = sample.tokens_seen
+    return shrunk
+
+
+def shrink_all(
+    models: Mapping[str, LanguageModel], weight: float = 0.8
+) -> dict[str, LanguageModel]:
+    """Shrink every model toward the union of all of them.
+
+    The union of samples is the natural background a selection service
+    owns (the same object Section 8 uses for query expansion).  Each
+    database's own contribution is part of the union; with more than a
+    few databases the self-contribution is a small fraction and the
+    standard practice of not excluding it changes little.
+    """
+    if not models:
+        raise ValueError("no models to shrink")
+    if len(models) == 1:
+        name = next(iter(models))
+        return {name: models[name].copy()}
+    union: LanguageModel | None = None
+    for model in models.values():
+        union = model.copy(name="union") if union is None else union.merge(model)
+    assert union is not None
+    return {
+        name: shrink(model, union, weight=weight, name=f"{name}-shrunk")
+        for name, model in models.items()
+    }

@@ -1,0 +1,73 @@
+"""Query-based sampling — the paper's core contribution (Section 3).
+
+The algorithm:
+
+1. select an initial query term;
+2. run a one-term query on the database;
+3. retrieve the top N documents returned;
+4. update the learned language model from the retrieved documents;
+5. if the stopping criterion is not met, select a new query term and
+   repeat from 2.
+
+The pluggable pieces the paper varies experimentally live here:
+
+* **query-term selection strategies** (Section 5.2):
+  :class:`RandomFromLearned` (the baseline), frequency-based selectors
+  (:class:`FrequencyFromLearned` over df / ctf / avg-tf), and
+  :class:`RandomFromOther` (the "olm" hypothesis);
+* **documents per query** N (Section 5.1) — a sampler config knob;
+* **stopping criteria** (Section 6): document/query budgets and the
+  rdiff-convergence criterion the paper proposes.
+
+:class:`QueryBasedSampler` orchestrates a run against a
+:class:`~repro.index.server.DatabaseServer` (or anything with the same
+``run_query`` surface) and produces a :class:`SamplingRun` carrying the
+learned model, periodic snapshots (for learning curves and rdiff), and
+full cost accounting.
+"""
+
+from repro.sampling.pool import PoolResult, SamplingPool
+from repro.sampling.result import QueryRecord, SamplingRun, Snapshot
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
+from repro.sampling.staleness import RefreshPolicy, StalenessReport, staleness_probe
+from repro.sampling.selection import (
+    FrequencyFromLearned,
+    ListBootstrap,
+    QueryTermSelector,
+    RandomFromLearned,
+    RandomFromOther,
+    is_eligible_query_term,
+)
+from repro.sampling.stopping import (
+    AllOf,
+    AnyOf,
+    MaxDocuments,
+    MaxQueries,
+    RdiffConvergence,
+    StoppingCriterion,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "FrequencyFromLearned",
+    "ListBootstrap",
+    "MaxDocuments",
+    "MaxQueries",
+    "PoolResult",
+    "QueryBasedSampler",
+    "QueryRecord",
+    "QueryTermSelector",
+    "RandomFromLearned",
+    "RandomFromOther",
+    "RdiffConvergence",
+    "RefreshPolicy",
+    "SamplerConfig",
+    "SamplingPool",
+    "SamplingRun",
+    "Snapshot",
+    "StalenessReport",
+    "StoppingCriterion",
+    "is_eligible_query_term",
+    "staleness_probe",
+]

@@ -1,0 +1,167 @@
+"""Multi-database sampling coordination.
+
+A selection service doesn't sample one database — it maintains learned
+models for *all* of them under a global resource budget (queries cost
+money and time; Section 3's footnote).  :class:`SamplingPool` owns one
+resumable :class:`~repro.sampling.sampler.QueryBasedSampler` per
+database and allocates a total document budget across them according to
+a scheduling policy:
+
+* ``"uniform"`` — every database gets an equal share, sampled to
+  completion one after another (the paper's implicit setup);
+* ``"round_robin"`` — databases advance in fixed-size increments in
+  turn, so partial models exist for everyone early (useful when the
+  service must start answering queries before sampling finishes);
+* ``"convergence"`` — each increment goes to the database whose model
+  is *least converged*, measured by the observable rdiff of its last
+  snapshot span (Section 6's signal put to work): well-understood
+  databases stop consuming budget, hard ones get more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.sampling.result import SamplingRun
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig, SearchableDatabase
+from repro.sampling.selection import QueryTermSelector
+from repro.sampling.stopping import MaxDocuments
+from repro.utils.rand import derive_seed
+
+_SCHEDULERS = ("uniform", "round_robin", "convergence")
+
+
+@dataclass(frozen=True)
+class PoolResult:
+    """Everything the pool learned, keyed by database name."""
+
+    runs: dict[str, SamplingRun]
+
+    @property
+    def models(self) -> dict[str, object]:
+        """Database name → learned language model."""
+        return {name: run.model for name, run in self.runs.items()}
+
+    @property
+    def total_documents(self) -> int:
+        """Documents examined across all databases."""
+        return sum(run.documents_examined for run in self.runs.values())
+
+    @property
+    def total_queries(self) -> int:
+        """Queries issued across all databases."""
+        return sum(run.queries_run for run in self.runs.values())
+
+
+class SamplingPool:
+    """Samples a set of databases under one document budget.
+
+    Parameters
+    ----------
+    databases:
+        Name → searchable database.
+    bootstrap_factory:
+        Called once per database to create its bootstrap selector
+        (selectors are stateful, so they cannot be shared).
+    scheduler:
+        One of ``uniform`` / ``round_robin`` / ``convergence``.
+    increment:
+        Documents allocated per scheduling turn (round_robin and
+        convergence).  Keep it a multiple of the snapshot interval so
+        the convergence signal refreshes every turn.
+    config, seed:
+        Passed to each per-database sampler (seeds are derived per
+        database, so runs are independent and reproducible).
+    """
+
+    def __init__(
+        self,
+        databases: Mapping[str, SearchableDatabase],
+        bootstrap_factory: Callable[[str], QueryTermSelector],
+        scheduler: str = "uniform",
+        increment: int = 50,
+        config: SamplerConfig = SamplerConfig(),
+        seed: int = 0,
+    ) -> None:
+        if not databases:
+            raise ValueError("need at least one database")
+        if scheduler not in _SCHEDULERS:
+            raise ValueError(f"scheduler must be one of {_SCHEDULERS}, got {scheduler!r}")
+        if increment <= 0:
+            raise ValueError("increment must be positive")
+        self.scheduler = scheduler
+        self.increment = increment
+        self.samplers: dict[str, QueryBasedSampler] = {
+            name: QueryBasedSampler(
+                database,
+                bootstrap=bootstrap_factory(name),
+                config=config,
+                seed=derive_seed(seed, "pool", name),
+                name=name,
+            )
+            for name, database in databases.items()
+        }
+
+    def run(self, total_documents: int) -> PoolResult:
+        """Distribute ``total_documents`` across the databases."""
+        if total_documents <= 0:
+            raise ValueError("total_documents must be positive")
+        if self.scheduler == "uniform":
+            runs = self._run_uniform(total_documents)
+        else:
+            runs = self._run_incremental(total_documents)
+        return PoolResult(runs=runs)
+
+    def _run_uniform(self, total_documents: int) -> dict[str, SamplingRun]:
+        share = max(1, total_documents // len(self.samplers))
+        return {
+            name: sampler.run(MaxDocuments(share))
+            for name, sampler in self.samplers.items()
+        }
+
+    def _run_incremental(self, total_documents: int) -> dict[str, SamplingRun]:
+        remaining = total_documents
+        runs: dict[str, SamplingRun] = {}
+        exhausted: set[str] = set()
+        order = list(self.samplers)
+        turn = 0
+        while remaining > 0 and len(exhausted) < len(self.samplers):
+            name = self._pick_next(order, turn, exhausted)
+            sampler = self.samplers[name]
+            before = sampler.documents_examined
+            grant = min(self.increment, remaining)
+            runs[name] = sampler.run(MaxDocuments(before + grant))
+            gained = sampler.documents_examined - before
+            remaining -= gained
+            if gained < grant or runs[name].stop_reason == "vocabulary_exhausted":
+                # The database cannot yield more documents.
+                exhausted.add(name)
+            turn += 1
+        # Databases never scheduled still contribute their (empty) state
+        # without consuming any budget.
+        for name, sampler in self.samplers.items():
+            if name not in runs:
+                runs[name] = SamplingRun(
+                    model=sampler.model,
+                    snapshots=list(sampler.snapshots),
+                    queries=[],
+                    stop_reason="not_scheduled",
+                    documents=[],
+                )
+        return runs
+
+    def _pick_next(self, order: list[str], turn: int, exhausted: set[str]) -> str:
+        available = [name for name in order if name not in exhausted]
+        if self.scheduler == "round_robin":
+            return available[turn % len(available)]
+        # convergence: prefer databases with no signal yet (never
+        # sampled / single snapshot), least-sampled first so nobody
+        # starves; then the largest last rdiff.
+        def priority(name: str) -> tuple[int, float, str]:
+            last = self.samplers[name].last_rdiff()
+            if last is None:
+                return (0, float(self.samplers[name].documents_examined), name)
+            return (1, -last, name)  # larger rdiff first
+
+        return min(available, key=priority)

@@ -1,0 +1,299 @@
+"""The query-based sampler (paper Section 3).
+
+:class:`QueryBasedSampler` drives the run-query / retrieve / update
+loop against any object exposing the minimal database surface
+(``run_query(query, max_docs) -> list[Document]``).  Configuration
+captures every parameter the paper studies:
+
+* ``docs_per_query`` — N, the documents examined per query (Section
+  5.1; paper baseline 4);
+* the term-selection ``strategy`` (Section 5.2; paper baseline random
+  from the learned model);
+* a ``bootstrap`` selector supplying the initial query term (and any
+  term needed while the learned model is empty — the paper draws it at
+  random from a reference language model);
+* the ``stopping`` criterion (Section 6);
+* ``unique_documents`` — whether a document retrieved twice counts
+  once (the paper's accounting) or every time (ablation Ext-3).
+
+The sampler is **resumable**: :meth:`QueryBasedSampler.run` continues
+from wherever the previous call stopped, so a caller (e.g. the
+multi-database :class:`~repro.sampling.pool.SamplingPool`) can grow a
+model incrementally by calling ``run`` with successively larger
+budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Protocol
+
+from repro.corpus.document import Document
+from repro.lm.model import LanguageModel
+from repro.sampling.result import QueryRecord, SamplerState, SamplingRun, Snapshot
+from repro.sampling.selection import QueryTermSelector, RandomFromLearned
+from repro.sampling.stopping import MaxDocuments, StoppingCriterion
+from repro.text.analyzer import Analyzer
+from repro.utils.rand import ensure_rng
+
+
+class SearchableDatabase(Protocol):
+    """The minimal database surface the paper assumes (Section 3)."""
+
+    def run_query(self, query: str, max_docs: int) -> list[Document]:
+        """Run a query; return up to ``max_docs`` full documents."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Tunable parameters of a sampling run.
+
+    Parameters
+    ----------
+    docs_per_query:
+        N, the number of top documents examined per query.
+    snapshot_interval:
+        Take a model snapshot every this many documents (50 in the
+        paper's convergence analysis).
+    unique_documents:
+        Skip documents already examined (paper accounting).
+    max_total_queries:
+        Hard safety budget: the run always ends after this many
+        queries even if no stopping criterion fired (prevents runaway
+        loops against tiny or hostile databases).
+    keep_documents:
+        Retain the sampled documents on the :class:`SamplingRun` (the
+        paper's summarization and query-expansion capabilities consume
+        them); disable to minimise memory on very large samples.
+    """
+
+    docs_per_query: int = 4
+    snapshot_interval: int = 50
+    unique_documents: bool = True
+    max_total_queries: int = 5_000
+    keep_documents: bool = True
+
+    def __post_init__(self) -> None:
+        if self.docs_per_query <= 0:
+            raise ValueError("docs_per_query must be positive")
+        if self.snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive")
+        if self.max_total_queries <= 0:
+            raise ValueError("max_total_queries must be positive")
+
+
+class QueryBasedSampler:
+    """Learns a database's language model by sampling it with queries.
+
+    Parameters
+    ----------
+    database:
+        Anything satisfying :class:`SearchableDatabase`.
+    strategy:
+        Query-term selector for steady state (default: the paper's
+        baseline, random from the learned model).
+    bootstrap:
+        Selector used for the first query and whenever ``strategy``
+        cannot produce a term (e.g. the learned model is empty or
+        exhausted).  Required because the learned model starts empty.
+    stopping:
+        Default stopping criterion for :meth:`run` (the paper's
+        300-document budget if omitted).
+    analyzer:
+        The *client's* text pipeline applied to retrieved documents
+        (default: raw case-folded tokens, as in the paper).
+    config:
+        See :class:`SamplerConfig`.
+    seed:
+        Seed for the strategy's random choices.
+    """
+
+    def __init__(
+        self,
+        database: SearchableDatabase,
+        bootstrap: QueryTermSelector,
+        strategy: QueryTermSelector | None = None,
+        stopping: StoppingCriterion | None = None,
+        analyzer: Analyzer | None = None,
+        config: SamplerConfig = SamplerConfig(),
+        seed: int = 0,
+        name: str | None = None,
+    ) -> None:
+        self.database = database
+        self.bootstrap = bootstrap
+        self.strategy = strategy or RandomFromLearned()
+        self.stopping = stopping or MaxDocuments(300)
+        self.analyzer = analyzer or Analyzer.raw()
+        self.config = config
+        self.seed = seed
+        self.name = name or getattr(database, "name", "database")
+        # Mutable run state, created on first run() so the sampler is
+        # resumable across calls.
+        self._rng = ensure_rng(seed)
+        self._model = LanguageModel(name=f"{self.name}-learned")
+        self._state = SamplerState(model=self._model)
+        self._queries: list[QueryRecord] = []
+        self._used_terms: set[str] = set()
+        self._seen_doc_ids: set[str] = set()
+        self._kept_documents: list[Document] = []
+        self._next_snapshot = config.snapshot_interval
+        self._exhausted = False
+        # Unconsumed tail of a query truncated by a mid-query budget
+        # stop; consumed first on resume so stepped runs match one-shot
+        # runs exactly.
+        self._pending: list[Document] = []
+        self._pending_query_index: int = -1
+
+    # -- observable progress ----------------------------------------------
+
+    @property
+    def documents_examined(self) -> int:
+        """Unique documents folded into the model so far."""
+        return self._state.documents_examined
+
+    @property
+    def queries_run(self) -> int:
+        """Queries issued so far (failed queries included)."""
+        return self._state.queries_run
+
+    @property
+    def model(self) -> LanguageModel:
+        """The learned model (live — snapshot via ``model.copy()``)."""
+        return self._model
+
+    @property
+    def snapshots(self) -> list[Snapshot]:
+        """Snapshots taken so far."""
+        return self._state.snapshots
+
+    def last_rdiff(self, metric: str = "df") -> float | None:
+        """rdiff over the most recent snapshot span (None before two).
+
+        The observable convergence signal of paper Section 6, exposed
+        for schedulers that prioritise un-converged databases.
+        """
+        from repro.lm.compare import rdiff
+
+        snapshots = self._state.snapshots
+        if len(snapshots) < 2:
+            return None
+        return rdiff(snapshots[-2].model, snapshots[-1].model, metric=metric)
+
+    # -- the sampling loop ---------------------------------------------------
+
+    def run(self, stopping: StoppingCriterion | None = None) -> SamplingRun:
+        """Sample until ``stopping`` (or the default criterion) fires.
+
+        Resumable: a second call continues from the current state, so
+        ``run(MaxDocuments(100))`` followed by ``run(MaxDocuments(200))``
+        is equivalent to a single 200-document run.
+        """
+        criterion = stopping or self.stopping
+        state = self._state
+        stop_reason: str | None = None
+
+        if criterion.should_stop(state):
+            stop_reason = criterion.describe()
+        elif self._exhausted:
+            stop_reason = "vocabulary_exhausted"
+        elif self._pending:
+            # Finish the query a previous run truncated mid-results.
+            new_documents, budget_hit, rest = self._absorb(self._pending, criterion)
+            self._pending = rest
+            if new_documents:
+                record = self._queries[self._pending_query_index]
+                self._queries[self._pending_query_index] = replace(
+                    record, new_documents=record.new_documents + new_documents
+                )
+            if budget_hit:
+                stop_reason = criterion.describe()
+
+        while stop_reason is None:
+            term = self._next_term()
+            if term is None:
+                self._exhausted = True
+                stop_reason = "vocabulary_exhausted"
+                break
+            self._used_terms.add(term)
+            documents = self.database.run_query(term, max_docs=self.config.docs_per_query)
+            new_documents, budget_hit, rest = self._absorb(documents, criterion)
+            self._queries.append(
+                QueryRecord(
+                    term=term,
+                    documents_returned=len(documents),
+                    new_documents=new_documents,
+                )
+            )
+            state.queries_run += 1
+            if not documents:
+                state.failed_queries += 1
+            if budget_hit:
+                self._pending = rest
+                self._pending_query_index = len(self._queries) - 1
+                stop_reason = criterion.describe()
+            elif criterion.should_stop(state):
+                stop_reason = criterion.describe()
+            elif state.queries_run >= self.config.max_total_queries:
+                stop_reason = "query_budget_guard"
+
+        # Final snapshot so curves always include the endpoint.
+        if (
+            not state.snapshots
+            or state.snapshots[-1].documents_examined != state.documents_examined
+        ):
+            self._take_snapshot(in_flight_query=False)
+        return SamplingRun(
+            model=self._model,
+            snapshots=list(state.snapshots),
+            queries=list(self._queries),
+            stop_reason=stop_reason,
+            documents=list(self._kept_documents),
+        )
+
+    def _absorb(
+        self, documents: list[Document], criterion: StoppingCriterion
+    ) -> tuple[int, bool, list[Document]]:
+        """Fold documents into the model until the criterion fires.
+
+        Returns (new documents absorbed, whether the criterion fired
+        mid-list, the unconsumed tail).  Stopping the moment the
+        criterion is met keeps runs at exact document budgets; the tail
+        is preserved so a resumed run loses nothing.
+        """
+        state = self._state
+        new_documents = 0
+        for index, document in enumerate(documents):
+            if self.config.unique_documents and document.doc_id in self._seen_doc_ids:
+                continue
+            self._seen_doc_ids.add(document.doc_id)
+            if self.config.keep_documents:
+                self._kept_documents.append(document)
+            self._model.add_document(self.analyzer.analyze(document.text))
+            new_documents += 1
+            state.documents_examined += 1
+            if state.documents_examined >= self._next_snapshot:
+                self._take_snapshot(in_flight_query=True)
+            if criterion.should_stop(state):
+                return new_documents, True, list(documents[index + 1 :])
+        return new_documents, False, []
+
+    def _take_snapshot(self, in_flight_query: bool) -> None:
+        state = self._state
+        state.snapshots.append(
+            Snapshot(
+                documents_examined=state.documents_examined,
+                queries_run=state.queries_run + (1 if in_flight_query else 0),
+                model=self._model.copy(),
+            )
+        )
+        while self._next_snapshot <= state.documents_examined:
+            self._next_snapshot += self.config.snapshot_interval
+
+    def _next_term(self) -> str | None:
+        """Pick the next query term: strategy first, bootstrap fallback."""
+        if len(self._model) > 0:
+            term = self.strategy.select(self._model, self._used_terms, self._rng)
+            if term is not None:
+                return term
+        return self.bootstrap.select(self._model, self._used_terms, self._rng)

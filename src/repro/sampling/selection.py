@@ -1,0 +1,171 @@
+"""Query-term selection strategies (paper Sections 4.4 and 5.2).
+
+All strategies enforce the paper's eligibility rules: a query term
+"could not be a number and was required to be 3 or more characters
+long", and a term is never reused within one sampling run.
+
+The strategies tested by the paper:
+
+* ``Random, llm`` — uniform choice from the *learned* language model
+  (the paper's empirical baseline, and its best performer);
+* ``df / ctf / avg-tf, llm`` — highest-frequency eligible term from the
+  learned model under each frequency metric (the paper's falsified
+  "frequent terms give random samples" hypothesis);
+* ``Random, olm`` — uniform choice from some *other*, more complete
+  language model (the paper's "olm" hypothesis; learns faster per
+  document but runs many failing queries — Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.lm.model import LanguageModel
+from repro.text.tokenizer import Tokenizer
+
+#: Minimum query-term length (paper Section 4.4).
+MIN_QUERY_TERM_LENGTH = 3
+
+
+def is_eligible_query_term(term: str, min_length: int = MIN_QUERY_TERM_LENGTH) -> bool:
+    """Apply the paper's query-term requirements."""
+    return (
+        len(term) >= min_length
+        and Tokenizer.is_word(term)
+        and not Tokenizer.is_numeric(term)
+    )
+
+
+class QueryTermSelector(Protocol):
+    """Chooses the next query term, or ``None`` when out of candidates."""
+
+    name: str
+
+    def select(
+        self,
+        learned: LanguageModel,
+        used: set[str],
+        rng: np.random.Generator,
+    ) -> str | None:
+        """Return the next query term not in ``used``, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+
+def _eligible_terms(
+    vocabulary: Sequence[str] | set[str], used: set[str], min_length: int
+) -> list[str]:
+    return sorted(
+        term
+        for term in vocabulary
+        if term not in used and is_eligible_query_term(term, min_length)
+    )
+
+
+class RandomFromLearned:
+    """Uniform random choice from the learned model's vocabulary."""
+
+    name = "random_llm"
+
+    def __init__(self, min_length: int = MIN_QUERY_TERM_LENGTH) -> None:
+        self.min_length = min_length
+
+    def select(
+        self, learned: LanguageModel, used: set[str], rng: np.random.Generator
+    ) -> str | None:
+        """Pick an unused eligible learned term uniformly at random."""
+        candidates = _eligible_terms(learned.vocabulary, used, self.min_length)
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(len(candidates)))]
+
+
+class FrequencyFromLearned:
+    """Highest-frequency eligible term from the learned model.
+
+    ``metric`` is one of ``"df"``, ``"ctf"``, or ``"avg_tf"`` — the
+    three frequency criteria the paper tests in Section 5.2.
+    """
+
+    def __init__(self, metric: str = "df", min_length: int = MIN_QUERY_TERM_LENGTH) -> None:
+        if metric not in ("df", "ctf", "avg_tf"):
+            raise ValueError(f"metric must be df/ctf/avg_tf, got {metric!r}")
+        self.metric = metric
+        self.min_length = min_length
+        self.name = f"{metric}_llm"
+
+    def select(
+        self, learned: LanguageModel, used: set[str], rng: np.random.Generator
+    ) -> str | None:
+        """Pick the highest-frequency unused eligible learned term."""
+        getter = {
+            "df": learned.df,
+            "ctf": learned.ctf,
+            "avg_tf": learned.avg_tf,
+        }[self.metric]
+        best_term: str | None = None
+        best_value = -1.0
+        for term in learned:
+            if term in used or not is_eligible_query_term(term, self.min_length):
+                continue
+            value = float(getter(term))
+            # Alphabetical tie-break keeps the run deterministic.
+            if value > best_value or (value == best_value and (best_term is None or term < best_term)):
+                best_term = term
+                best_value = value
+        return best_term
+
+
+class RandomFromOther:
+    """Uniform random choice from a reference ("other") language model.
+
+    The paper's olm strategy: draw query terms from a complete language
+    model of some other collection.  Terms the target database has never
+    seen simply fail (zero hits), which is why this strategy runs about
+    twice as many queries per sampled document (Table 3).
+    """
+
+    name = "random_olm"
+
+    def __init__(
+        self, other: LanguageModel, min_length: int = MIN_QUERY_TERM_LENGTH
+    ) -> None:
+        self.other = other
+        self.min_length = min_length
+        self._candidates: list[str] | None = None
+
+    def select(
+        self, learned: LanguageModel, used: set[str], rng: np.random.Generator
+    ) -> str | None:
+        """Pick an unused eligible term from the other model at random."""
+        if self._candidates is None:
+            self._candidates = _eligible_terms(self.other.vocabulary, set(), self.min_length)
+        available = [term for term in self._candidates if term not in used]
+        if not available:
+            return None
+        return available[int(rng.integers(len(available)))]
+
+
+class ListBootstrap:
+    """Draws terms from a fixed list, in order, skipping used terms.
+
+    Convenient as an explicit, reproducible source of initial query
+    terms when no reference language model is available.
+    """
+
+    name = "list"
+
+    def __init__(self, terms: Sequence[str], min_length: int = MIN_QUERY_TERM_LENGTH) -> None:
+        self.terms = [t for t in terms if is_eligible_query_term(t, min_length)]
+        if not self.terms:
+            raise ValueError("no eligible terms in bootstrap list")
+
+    def select(
+        self, learned: LanguageModel, used: set[str], rng: np.random.Generator
+    ) -> str | None:
+        """Return the first unused term of the list."""
+        for term in self.terms:
+            if term not in used:
+                return term
+        return None

@@ -1,0 +1,125 @@
+"""Staleness detection: does a learned model still match its database?
+
+Databases change after they are sampled (documents added, topics
+drift), and a selection service must notice *without* re-sampling
+everything — re-sampling is the expensive operation the service is
+trying to ration.  The observable trick mirrors the paper's Section 6
+reasoning: run a handful of fresh probe queries, build a small fresh
+mini-sample, and compare its term ranking to the stored model with the
+same machinery used for convergence (rdiff / Spearman over common
+terms).  A database that hasn't changed yields a mini-sample that looks
+like a continuation of the old sample; a drifted database yields a
+visibly different ranking.
+
+:func:`staleness_probe` produces the score; :class:`RefreshPolicy`
+turns it into a decision and (optionally) performs the re-sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lm.compare import rdiff, spearman_rank_correlation
+from repro.lm.model import LanguageModel
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig, SearchableDatabase
+from repro.sampling.selection import QueryTermSelector
+from repro.sampling.stopping import MaxDocuments
+from repro.text.analyzer import Analyzer
+from repro.utils.rand import derive_seed
+
+
+@dataclass(frozen=True)
+class StalenessReport:
+    """The observable comparison between a stored model and a fresh probe."""
+
+    rdiff_score: float
+    spearman: float
+    probe_documents: int
+
+    def is_stale(self, rdiff_threshold: float = 0.30, spearman_floor: float = 0.35) -> bool:
+        """Decision rule: low rank agreement, or extreme rank churn.
+
+        Spearman is the primary signal: a same-distribution probe
+        agrees clearly (≳0.5 in calibration runs) while a drifted
+        database collapses toward 0.  rdiff between a large stored
+        model and a small probe is inherently noisy (≈0.2 even when
+        fresh), so its threshold only catches extreme churn.
+        """
+        return self.spearman < spearman_floor or self.rdiff_score > rdiff_threshold
+
+
+def staleness_probe(
+    database: SearchableDatabase,
+    stored_model: LanguageModel,
+    bootstrap: QueryTermSelector,
+    probe_documents: int = 50,
+    analyzer: Analyzer | None = None,
+    seed: int = 0,
+) -> StalenessReport:
+    """Draw a fresh mini-sample and compare it to ``stored_model``.
+
+    The probe sampler seeds its query selection from the *stored* model
+    (querying vocabulary the service believes the database has — the
+    cheapest realistic probe), falling back to ``bootstrap``.
+    """
+    if probe_documents <= 0:
+        raise ValueError("probe_documents must be positive")
+    sampler = QueryBasedSampler(
+        database,
+        bootstrap=bootstrap,
+        stopping=MaxDocuments(probe_documents),
+        analyzer=analyzer or Analyzer.raw(),
+        config=SamplerConfig(keep_documents=False),
+        seed=derive_seed(seed, "staleness-probe"),
+    )
+    probe = sampler.run()
+    return StalenessReport(
+        rdiff_score=rdiff(stored_model, probe.model),
+        spearman=spearman_rank_correlation(probe.model, stored_model),
+        probe_documents=probe.documents_examined,
+    )
+
+
+class RefreshPolicy:
+    """Probe-then-refresh management of one database's model.
+
+    Parameters
+    ----------
+    rdiff_threshold, spearman_floor:
+        Passed to :meth:`StalenessReport.is_stale`.
+    refresh_documents:
+        Sample size of a full refresh.
+    """
+
+    def __init__(
+        self,
+        rdiff_threshold: float = 0.30,
+        spearman_floor: float = 0.35,
+        refresh_documents: int = 300,
+    ) -> None:
+        self.rdiff_threshold = rdiff_threshold
+        self.spearman_floor = spearman_floor
+        self.refresh_documents = refresh_documents
+
+    def maybe_refresh(
+        self,
+        database: SearchableDatabase,
+        stored_model: LanguageModel,
+        bootstrap: QueryTermSelector,
+        seed: int = 0,
+    ) -> tuple[LanguageModel, StalenessReport, bool]:
+        """Probe; re-sample only if stale.
+
+        Returns ``(model, report, refreshed)`` where ``model`` is either
+        the stored model (fresh enough) or a newly learned one.
+        """
+        report = staleness_probe(database, stored_model, bootstrap, seed=seed)
+        if not report.is_stale(self.rdiff_threshold, self.spearman_floor):
+            return stored_model, report, False
+        sampler = QueryBasedSampler(
+            database,
+            bootstrap=bootstrap,
+            stopping=MaxDocuments(self.refresh_documents),
+            seed=derive_seed(seed, "refresh"),
+        )
+        return sampler.run().model, report, True

@@ -1,0 +1,50 @@
+"""Database size estimation — the paper's open problem, made concrete.
+
+Section 3 of the paper: *"One important piece of information that
+appears difficult to acquire by sampling is the size of the database"*
+— vocabulary growth (Heaps' law) never saturates, so counting terms
+tells you nothing about document counts.  Follow-on work solved it with
+two families of estimators, both implemented here:
+
+* **Capture-recapture** over document ids (Liu, Yu & Meng 2002;
+  Shokouhi, Zobel, Scholer & Tahaghoghi 2006): draw several independent
+  samples, count recaptured documents, invert the overlap probability.
+  :func:`lincoln_petersen` (two samples), :func:`schnabel` and
+  :func:`schumacher_eschmeyer` (multi-sample).  Query-based samples are
+  not uniform — ranking bias makes popular documents more catchable
+  (inflating recaptures), while topically divergent query sequences
+  make episodes *avoid* each other (deflating them) — so these
+  estimators carry a large, direction-unstable bias.  The bench (Ext-5)
+  quantifies it.
+* **Sample-resample** (Si & Callan, SIGIR 2003): pick a term from the
+  sampled documents, ask the database how many documents match it (the
+  "about N results" count every search service reports), and scale:
+  ``N̂ = hits(t) · |sample| / df_sample(t)``.  Far more accurate,
+  because it never needs the sample to be unbiased in *which* documents
+  it contains — only representative in which *terms* it contains.
+
+:func:`estimate_database_size` orchestrates either method end to end
+against a live server.
+"""
+
+from repro.sizeest.capture import (
+    CaptureRecaptureResult,
+    collect_capture_samples,
+    lincoln_petersen,
+    schnabel,
+    schumacher_eschmeyer,
+)
+from repro.sizeest.resample import SampleResampleEstimate, sample_resample
+from repro.sizeest.orchestrate import capture_recapture_report, estimate_database_size
+
+__all__ = [
+    "CaptureRecaptureResult",
+    "SampleResampleEstimate",
+    "capture_recapture_report",
+    "collect_capture_samples",
+    "estimate_database_size",
+    "lincoln_petersen",
+    "sample_resample",
+    "schnabel",
+    "schumacher_eschmeyer",
+]

@@ -1,0 +1,121 @@
+"""Capture-recapture estimators over document-id samples.
+
+The ecology playbook: mark the fish you catch, release, catch again,
+and infer the pond's population from how many marked fish reappear.
+Here a "catch" is one query-based sampling run's set of document ids.
+
+All estimators assume captures are independent and uniform.  Query-
+based samples violate both assumptions — ranking bias makes popular
+documents far more catchable, while topically divergent query sequences
+make episodes avoid each other — so estimates carry a large bias whose
+direction depends on which effect dominates.  That unreliability is a
+*finding* (reproduced by benchmark Ext-5, and the reason sample-resample
+won out in the literature), not a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
+from repro.sampling.selection import QueryTermSelector
+from repro.sampling.stopping import MaxDocuments
+from repro.utils.rand import derive_seed
+
+
+@dataclass(frozen=True)
+class CaptureRecaptureResult:
+    """An estimate plus the sampling effort that produced it."""
+
+    estimate: float
+    num_samples: int
+    documents_drawn: int
+    distinct_documents: int
+
+
+def lincoln_petersen(sample_a: set[str], sample_b: set[str]) -> float:
+    """The two-sample Lincoln-Petersen estimator (Chapman-corrected).
+
+    ``N̂ = (n₁+1)(n₂+1)/(m+1) - 1`` where ``m`` is the recapture count.
+    The Chapman correction keeps the estimator finite when the samples
+    do not overlap at all.
+    """
+    if not sample_a or not sample_b:
+        raise ValueError("both samples must be non-empty")
+    recaptured = len(sample_a & sample_b)
+    return (len(sample_a) + 1) * (len(sample_b) + 1) / (recaptured + 1) - 1
+
+
+def schnabel(samples: Sequence[set[str]]) -> float:
+    """The Schnabel multi-sample estimator.
+
+    ``N̂ = Σ_t C_t·M_t / (Σ_t R_t + 1)`` where, at sampling event *t*,
+    ``C_t`` is the catch size, ``M_t`` the number of previously marked
+    documents, and ``R_t`` the recaptures in the catch (the +1 is the
+    usual bias correction).
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two samples")
+    marked: set[str] = set()
+    numerator = 0.0
+    recaptures = 0
+    for sample in samples:
+        if not sample:
+            raise ValueError("samples must be non-empty")
+        numerator += len(sample) * len(marked)
+        recaptures += len(sample & marked)
+        marked |= sample
+    return numerator / (recaptures + 1)
+
+
+def schumacher_eschmeyer(samples: Sequence[set[str]]) -> float:
+    """The Schumacher-Eschmeyer regression estimator.
+
+    ``N̂ = Σ_t C_t·M_t² / Σ_t R_t·M_t`` — a least-squares fit of the
+    recapture proportion against the marked fraction, more stable than
+    Schnabel when catch sizes vary.
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two samples")
+    marked: set[str] = set()
+    numerator = 0.0
+    denominator = 0.0
+    for sample in samples:
+        if not sample:
+            raise ValueError("samples must be non-empty")
+        numerator += len(sample) * len(marked) ** 2
+        denominator += len(sample & marked) * len(marked)
+        marked |= sample
+    if denominator == 0:
+        raise ValueError("no recaptures: samples are disjoint, estimate undefined")
+    return numerator / denominator
+
+
+def collect_capture_samples(
+    server,
+    bootstrap: QueryTermSelector,
+    num_samples: int = 4,
+    docs_per_sample: int = 50,
+    docs_per_query: int = 4,
+    seed: int = 0,
+) -> list[set[str]]:
+    """Run ``num_samples`` independent sampling episodes; return id sets.
+
+    Episodes differ only in their random seed, which changes the query
+    sequence and therefore the documents captured.
+    """
+    if num_samples < 2:
+        raise ValueError("need at least two capture samples")
+    samples: list[set[str]] = []
+    for index in range(num_samples):
+        sampler = QueryBasedSampler(
+            server,
+            bootstrap=bootstrap,
+            stopping=MaxDocuments(docs_per_sample),
+            config=SamplerConfig(docs_per_query=docs_per_query),
+            seed=derive_seed(seed, "capture", index),
+        )
+        run = sampler.run()
+        samples.append({document.doc_id for document in run.documents})
+    return samples

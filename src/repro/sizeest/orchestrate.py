@@ -1,0 +1,97 @@
+"""End-to-end size estimation against a live server."""
+
+from __future__ import annotations
+
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
+from repro.sampling.selection import QueryTermSelector
+from repro.sampling.stopping import MaxDocuments
+from repro.sizeest.capture import (
+    CaptureRecaptureResult,
+    collect_capture_samples,
+    schnabel,
+    schumacher_eschmeyer,
+)
+from repro.sizeest.resample import sample_resample
+from repro.utils.rand import derive_seed
+
+_CAPTURE_METHODS = {
+    "schnabel": schnabel,
+    "schumacher_eschmeyer": schumacher_eschmeyer,
+}
+
+
+def estimate_database_size(
+    server,
+    bootstrap: QueryTermSelector,
+    method: str = "sample_resample",
+    sample_documents: int = 100,
+    num_capture_samples: int = 4,
+    num_probes: int = 10,
+    seed: int = 0,
+) -> float:
+    """Estimate ``server``'s document count using only its search surface.
+
+    ``method`` is ``"sample_resample"`` (recommended), ``"schnabel"``,
+    or ``"schumacher_eschmeyer"``.  ``sample_documents`` is the total
+    sampling budget; capture-recapture splits it across
+    ``num_capture_samples`` episodes.
+    """
+    if method == "sample_resample":
+        sampler = QueryBasedSampler(
+            server,
+            bootstrap=bootstrap,
+            stopping=MaxDocuments(sample_documents),
+            config=SamplerConfig(keep_documents=False),
+            seed=derive_seed(seed, "sizeest", "resample"),
+        )
+        run = sampler.run()
+        return sample_resample(
+            server, run.model, num_probes=num_probes, seed=derive_seed(seed, "probes")
+        ).estimate
+    if method in _CAPTURE_METHODS:
+        per_sample = max(10, sample_documents // num_capture_samples)
+        samples = collect_capture_samples(
+            server,
+            bootstrap,
+            num_samples=num_capture_samples,
+            docs_per_sample=per_sample,
+            seed=seed,
+        )
+        return float(_CAPTURE_METHODS[method](samples))
+    raise ValueError(
+        f"unknown method {method!r}; choose sample_resample, schnabel, "
+        "or schumacher_eschmeyer"
+    )
+
+
+def capture_recapture_report(
+    server, bootstrap: QueryTermSelector, sample_documents: int = 100,
+    num_capture_samples: int = 4, seed: int = 0,
+) -> dict[str, CaptureRecaptureResult]:
+    """Both multi-sample capture estimators from one set of episodes."""
+    per_sample = max(10, sample_documents // num_capture_samples)
+    samples = collect_capture_samples(
+        server,
+        bootstrap,
+        num_samples=num_capture_samples,
+        docs_per_sample=per_sample,
+        seed=seed,
+    )
+    drawn = sum(len(sample) for sample in samples)
+    distinct = len(set().union(*samples))
+    report = {}
+    for name, estimator in _CAPTURE_METHODS.items():
+        try:
+            estimate = float(estimator(samples))
+        except ValueError:
+            # No recaptures at all: the data is consistent with an
+            # unboundedly large population — exactly how capture-
+            # recapture degenerates on big databases (Ext-5's finding).
+            estimate = float("inf")
+        report[name] = CaptureRecaptureResult(
+            estimate=estimate,
+            num_samples=num_capture_samples,
+            documents_drawn=drawn,
+            distinct_documents=distinct,
+        )
+    return report

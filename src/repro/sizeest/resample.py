@@ -1,0 +1,108 @@
+"""The sample-resample size estimator (Si & Callan, SIGIR 2003).
+
+Given a sample of documents from a database and the database's
+observable hit counts:
+
+1. pick probe terms that occur in the sample;
+2. for each probe ``t``: the sample says ``t`` occurs in
+   ``df_sample(t)`` of ``|sample|`` documents, so its true document
+   frequency should be about the same *fraction* of the database —
+   and the database reveals the true df as the hit count of a one-term
+   query: ``N̂_t = hits(t) · |sample| / df_sample(t)``;
+3. aggregate over probes with the median (individual probes are noisy;
+   the median resists the skew of burst terms).
+
+The estimator needs nothing unobservable: a sample the service already
+collected, and the "about N results" counter every search service
+exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+import numpy as np
+
+from repro.lm.model import LanguageModel
+from repro.sampling.selection import is_eligible_query_term
+from repro.utils.rand import ensure_rng
+
+
+@dataclass(frozen=True)
+class SampleResampleEstimate:
+    """A size estimate with its per-probe detail."""
+
+    estimate: float
+    probe_estimates: tuple[float, ...]
+    probe_terms: tuple[str, ...]
+
+
+def _pick_probes(
+    sample_model: LanguageModel,
+    num_probes: int,
+    min_sample_df: int,
+    rng: np.random.Generator,
+) -> list[str]:
+    candidates = [
+        term
+        for term in sample_model
+        if sample_model.df(term) >= min_sample_df and is_eligible_query_term(term)
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no probe candidates with sample df >= {min_sample_df}; sample too small"
+        )
+    candidates.sort()
+    if len(candidates) <= num_probes:
+        return candidates
+    indices = rng.choice(len(candidates), size=num_probes, replace=False)
+    return [candidates[i] for i in sorted(indices)]
+
+
+def sample_resample(
+    server,
+    sample_model: LanguageModel,
+    num_probes: int = 10,
+    min_sample_df: int = 2,
+    seed: int | np.random.Generator = 0,
+) -> SampleResampleEstimate:
+    """Estimate ``server``'s document count from a prior sample.
+
+    Parameters
+    ----------
+    server:
+        Must expose ``hit_count(query) -> int`` (the observable match
+        counter; see :meth:`repro.index.server.DatabaseServer.hit_count`).
+    sample_model:
+        The learned language model of a query-based sample of the
+        server (its ``documents_seen`` is the sample size).
+    num_probes:
+        Probe terms to average over.
+    min_sample_df:
+        Probes must occur in at least this many sample documents — a
+        df-1 probe gives an estimate quantised to multiples of the
+        sample size.
+    """
+    if sample_model.documents_seen <= 0:
+        raise ValueError("sample_model has no documents; sample the server first")
+    rng = ensure_rng(seed)
+    probes = _pick_probes(sample_model, num_probes, min_sample_df, rng)
+    sample_size = sample_model.documents_seen
+    estimates = []
+    used = []
+    for term in probes:
+        hits = server.hit_count(term)
+        if hits <= 0:
+            # The client tokenization admitted a term the server's index
+            # dropped (e.g. a server-side stopword); skip it.
+            continue
+        estimates.append(hits * sample_size / sample_model.df(term))
+        used.append(term)
+    if not estimates:
+        raise ValueError("every probe failed on the server; cannot estimate size")
+    return SampleResampleEstimate(
+        estimate=float(median(estimates)),
+        probe_estimates=tuple(estimates),
+        probe_terms=tuple(used),
+    )

@@ -1,0 +1,65 @@
+"""The STARTS cooperative protocol — the baseline the paper argues against.
+
+STARTS (Gravano et al., the Stanford proposal the paper's Section 2.2
+discusses) lets a database *export* its language model: a list of index
+terms with frequency statistics plus a little corpus metadata (document
+count, whether stemming/stopping was applied).  It is the cooperative
+alternative to query-based sampling, and the paper's critique of it is
+architectural: it fails for databases that **can't** cooperate (legacy
+systems), **won't** cooperate (no incentive), or **lie** (content
+misrepresentation) — and even honest exports are hard to compare
+because every database indexes its own way.
+
+This package makes all of that executable:
+
+* :func:`export_starts` / :func:`parse_starts` — a faithful small
+  implementation of the metadata-record exchange;
+* :class:`CooperativeSource` — acquisition via the protocol;
+* :class:`SamplingSource` — acquisition via query-based sampling,
+  behind the same interface;
+* server wrappers modelling the failure modes:
+  :class:`LegacyServer` (can't cooperate), :class:`UncooperativeServer`
+  (won't), and :class:`MisrepresentingServer` (lies in its export,
+  while its *search behaviour* remains honest — you cannot fake the
+  documents you actually return);
+* :func:`acquire_language_model` — a selection service's acquisition
+  routine: try the cooperative protocol, fall back to sampling.
+
+Benchmark Ext-4 uses these to quantify the paper's robustness argument.
+"""
+
+from repro.starts.acquire import (
+    AcquisitionResult,
+    CooperativeSource,
+    SamplingSource,
+    acquire_language_model,
+)
+from repro.starts.protocol import (
+    StartsMetadata,
+    StartsRecord,
+    export_starts,
+    parse_starts,
+)
+from repro.starts.servers import (
+    CooperationRefused,
+    HonestServer,
+    LegacyServer,
+    MisrepresentingServer,
+    UncooperativeServer,
+)
+
+__all__ = [
+    "AcquisitionResult",
+    "CooperationRefused",
+    "CooperativeSource",
+    "HonestServer",
+    "LegacyServer",
+    "MisrepresentingServer",
+    "SamplingSource",
+    "StartsMetadata",
+    "StartsRecord",
+    "UncooperativeServer",
+    "acquire_language_model",
+    "export_starts",
+    "parse_starts",
+]

@@ -1,0 +1,109 @@
+"""Language-model acquisition: cooperative protocol vs. sampling.
+
+A selection service needs one language model per database, however it
+can get it.  This module puts both acquisition routes behind one
+interface so they can be swapped, compared, and composed:
+
+* :class:`CooperativeSource` asks the database for a STARTS export and
+  trusts whatever comes back;
+* :class:`SamplingSource` runs query-based sampling and builds the
+  model from retrieved documents;
+* :func:`acquire_language_model` is the pragmatic policy the paper's
+  architecture implies: try the protocol (it is cheap when it works),
+  fall back to sampling when the database can't or won't cooperate —
+  or always sample, if the service doesn't trust exports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lm.model import LanguageModel
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
+from repro.sampling.selection import QueryTermSelector
+from repro.sampling.stopping import MaxDocuments, StoppingCriterion
+from repro.starts.protocol import parse_starts, records_to_model
+from repro.starts.servers import CooperationRefused
+
+
+@dataclass(frozen=True)
+class AcquisitionResult:
+    """A language model plus how it was obtained."""
+
+    model: LanguageModel
+    method: str  # "starts" or "sampling"
+    queries_run: int = 0
+    documents_examined: int = 0
+
+
+class CooperativeSource:
+    """Acquire via the STARTS protocol (trusting the export)."""
+
+    def acquire(self, server) -> AcquisitionResult:
+        """Request and parse the server's export.
+
+        Raises :class:`CooperationRefused` (propagated from the server)
+        when the database can't or won't export, and ``ValueError`` on a
+        malformed export.
+        """
+        export = server.starts_export()
+        metadata, records = parse_starts(export)
+        model = records_to_model(metadata, records, name=f"{server.name}-starts")
+        return AcquisitionResult(model=model, method="starts")
+
+
+class SamplingSource:
+    """Acquire via query-based sampling (no trust required).
+
+    Parameters mirror :class:`~repro.sampling.sampler.QueryBasedSampler`.
+    """
+
+    def __init__(
+        self,
+        bootstrap: QueryTermSelector,
+        stopping: StoppingCriterion | None = None,
+        config: SamplerConfig = SamplerConfig(),
+        seed: int = 0,
+    ) -> None:
+        self.bootstrap = bootstrap
+        self.stopping = stopping or MaxDocuments(300)
+        self.config = config
+        self.seed = seed
+
+    def acquire(self, server) -> AcquisitionResult:
+        """Sample the database and return the learned model."""
+        sampler = QueryBasedSampler(
+            server,
+            bootstrap=self.bootstrap,
+            stopping=self.stopping,
+            config=self.config,
+            seed=self.seed,
+        )
+        run = sampler.run()
+        return AcquisitionResult(
+            model=run.model,
+            method="sampling",
+            queries_run=run.queries_run,
+            documents_examined=run.documents_examined,
+        )
+
+
+def acquire_language_model(
+    server,
+    sampling: SamplingSource,
+    cooperative: CooperativeSource | None = None,
+    trust_exports: bool = True,
+) -> AcquisitionResult:
+    """Acquire a model for ``server``: protocol first, sampling fallback.
+
+    With ``trust_exports=False`` the cooperative route is skipped
+    entirely — the stance the paper recommends for open multi-party
+    environments, where an export can be forged but retrieval behaviour
+    cannot.
+    """
+    if trust_exports and cooperative is not None and hasattr(server, "starts_export"):
+        try:
+            return cooperative.acquire(server)
+        except (CooperationRefused, ValueError):
+            pass
+    return sampling.acquire(server)

@@ -1,0 +1,112 @@
+"""Server wrappers modelling the cooperative protocol's failure modes.
+
+Each wrapper delegates searching to an inner
+:class:`~repro.index.server.DatabaseServer` — the *search behaviour is
+always honest*, because a database that returned junk documents would
+be useless to its own users.  What varies is the STARTS surface:
+
+* :class:`LegacyServer` — a pre-protocol system; asking for an export
+  raises :class:`CooperationRefused` ("can't cooperate").
+* :class:`UncooperativeServer` — understands the protocol and declines
+  ("won't cooperate", e.g. no incentive or a hostile alliance).
+* :class:`MisrepresentingServer` — exports a *forged* language model to
+  attract traffic ("lies"): it inflates its corpus statistics and
+  injects attractive vocabulary it does not contain.  The paper's
+  argument (Section 3) is that sampling defeats this, "because language
+  models are learned as a consequence of normal database behavior."
+"""
+
+from __future__ import annotations
+
+from repro.corpus.document import Document
+from repro.index.server import DatabaseServer
+from repro.lm.model import LanguageModel
+from repro.starts.protocol import export_starts
+
+
+class CooperationRefused(RuntimeError):
+    """The database did not provide a STARTS export."""
+
+
+class _DelegatingServer:
+    """Shared delegation of the honest search surface."""
+
+    def __init__(self, inner: DatabaseServer) -> None:
+        self.inner = inner
+        self.name = inner.name
+
+    def run_query(self, query: str, max_docs: int = 10) -> list[Document]:
+        """Honest retrieval — identical to the wrapped server's."""
+        return self.inner.run_query(query, max_docs=max_docs)
+
+
+class HonestServer(_DelegatingServer):
+    """A fully cooperative database: exports its real index model."""
+
+    def starts_export(self) -> str:
+        """Return the honest STARTS export of the real index."""
+        return export_starts(self.inner.actual_language_model())
+
+
+class LegacyServer(_DelegatingServer):
+    """A legacy system: searchable, but speaks no export protocol."""
+
+    def starts_export(self) -> str:
+        """Always refuses: legacy systems predate the protocol."""
+        raise CooperationRefused(f"{self.name}: legacy system, no STARTS support")
+
+
+class UncooperativeServer(_DelegatingServer):
+    """Understands STARTS but declines to answer this service."""
+
+    def starts_export(self) -> str:
+        """Always refuses: the database declines this service."""
+        raise CooperationRefused(f"{self.name}: export request denied")
+
+
+class MisrepresentingServer(_DelegatingServer):
+    """Exports a forged model to attract selection traffic.
+
+    Parameters
+    ----------
+    inflation:
+        Multiplier applied to every exported frequency and to the corpus
+        size attributes (a database pretending to be bigger and richer).
+    injected_terms:
+        Vocabulary the database does *not* contain but claims to, with a
+        high claimed frequency (spam terms chasing popular queries).
+    """
+
+    def __init__(
+        self,
+        inner: DatabaseServer,
+        inflation: float = 10.0,
+        injected_terms: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(inner)
+        if inflation < 1.0:
+            raise ValueError("inflation must be >= 1")
+        self.inflation = inflation
+        self.injected_terms = injected_terms
+
+    def forged_model(self) -> LanguageModel:
+        """The lie: inflated statistics plus injected vocabulary."""
+        honest = self.inner.actual_language_model()
+        forged = LanguageModel(name=f"{self.name}-forged")
+        for stats in honest.items():
+            forged.add_term(
+                stats.term,
+                df=int(stats.df * self.inflation),
+                ctf=int(stats.ctf * self.inflation),
+            )
+        claimed_df = max(int(honest.documents_seen * self.inflation * 0.5), 1)
+        for term in self.injected_terms:
+            if term not in forged:
+                forged.add_term(term, df=claimed_df, ctf=claimed_df * 3)
+        forged.documents_seen = int(honest.documents_seen * self.inflation)
+        forged.tokens_seen = int(honest.tokens_seen * self.inflation)
+        return forged
+
+    def starts_export(self) -> str:
+        """Export the forged model as if it were honest."""
+        return export_starts(self.forged_model())

@@ -1,0 +1,51 @@
+"""Synthetic corpus generation.
+
+The paper evaluates on CACM, WSJ88, and TREC-123 — corpora we cannot
+redistribute.  This package generates substitutes with the same
+*statistical shape*, which is all query-based sampling dynamics depend
+on:
+
+* term frequencies follow **Zipf's law** with the real 418-word stoplist
+  occupying the top ranks (so stopword handling matters exactly as in
+  the paper);
+* vocabulary growth follows **Heaps' law** (verified by tests), so
+  percentage-learned curves behave like the paper's Figure 1a;
+* a fraction of content words come in **morphological families**
+  (``report, reports, reported, reporting``), so Porter stemming
+  conflates terms just as it does on English;
+* documents are drawn from **topic mixtures**; the number of topics and
+  their vocabulary overlap control homogeneity, reproducing the
+  CACM-homogeneous vs. TREC-heterogeneous contrast that drives the
+  paper's Figure 2 and Table 2 results.
+
+:mod:`repro.synth.profiles` defines named, scaled profiles for all four
+databases the paper uses (the three of Table 1 plus the Microsoft
+support database of Table 4).
+"""
+
+from repro.synth.generator import CorpusGenerator, GeneratorConfig
+from repro.synth.profiles import (
+    CorpusProfile,
+    cacm_like,
+    mssupport_like,
+    paper_testbed,
+    trec123_like,
+    wsj88_like,
+)
+from repro.synth.topics import TopicModel, TopicSpace
+from repro.synth.vocabulary import SyntheticVocabulary, VocabularyConfig
+
+__all__ = [
+    "CorpusGenerator",
+    "CorpusProfile",
+    "GeneratorConfig",
+    "SyntheticVocabulary",
+    "TopicModel",
+    "TopicSpace",
+    "VocabularyConfig",
+    "cacm_like",
+    "mssupport_like",
+    "paper_testbed",
+    "trec123_like",
+    "wsj88_like",
+]

@@ -1,0 +1,174 @@
+"""Synthetic vocabulary construction.
+
+Builds the word list a synthetic corpus draws from.  Three word classes
+matter to the reproduction:
+
+* **Stopwords** — the library's real 418-word stoplist, placed at the
+  top of the frequency distribution so that (as in English) roughly
+  40-50% of running text is stopwords and the paper's "stopwords were
+  discarded before comparison" protocol has teeth.
+* **Content words** — pronounceable synthetic words generated
+  deterministically from an index (no collisions), a configurable
+  fraction of which are expanded into *morphological families* with
+  regular suffixes so the Porter stemmer conflates them, as it would on
+  English.
+* **Noise tokens** — numbers and 1-2 letter tokens, which exercise the
+  paper's query-term eligibility rules (no numbers, 3+ characters).
+
+Domain terms (e.g. ``excel``, ``foxpro`` for the Microsoft-support
+corpus of Table 4) can be injected at chosen positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.text.stopwords import INQUERY_STOPWORDS
+from repro.utils.rand import ensure_rng
+
+_ONSETS = (
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m",
+    "n", "p", "r", "s", "t", "v", "w", "z", "br", "cr",
+    "dr", "fl", "gr", "pl", "pr", "sl", "sp", "st", "str", "tr",
+)
+_VOWELS = ("a", "e", "i", "o", "u", "ai", "ea", "io", "ou")
+_CODAS = ("", "n", "r", "s", "t", "l", "m", "nd", "rk", "st")
+
+_FAMILY_SUFFIXES = ("", "s", "ed", "ing", "ation")
+
+
+def synthesize_word(index: int) -> str:
+    """Return the ``index``-th word of the deterministic word sequence.
+
+    Words are built from consonant-vowel-coda syllables via mixed-radix
+    decoding of ``index``, so distinct indices yield distinct words and
+    the sequence never depends on random state.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    per_syllable = len(_ONSETS) * len(_VOWELS) * len(_CODAS)
+    syllables = []
+    remaining = index
+    while True:
+        code = remaining % per_syllable
+        remaining //= per_syllable
+        onset = _ONSETS[code % len(_ONSETS)]
+        code //= len(_ONSETS)
+        vowel = _VOWELS[code % len(_VOWELS)]
+        code //= len(_VOWELS)
+        coda = _CODAS[code]
+        syllables.append(onset + vowel + coda)
+        if remaining == 0:
+            break
+        remaining -= 1
+    return "".join(reversed(syllables))
+
+
+@dataclass(frozen=True)
+class VocabularyConfig:
+    """Shape of a synthetic vocabulary.
+
+    Parameters
+    ----------
+    content_size:
+        Number of content words (before noise tokens).
+    family_fraction:
+        Fraction of content positions filled by members of
+        morphological families rather than isolated lemmas.
+    noise_numbers:
+        How many purely numeric tokens to include.
+    noise_short:
+        How many 1-2 character tokens to include.
+    domain_terms:
+        Words injected verbatim at the *front* of the content block
+        (i.e. the most frequent content words) — used by the
+        Microsoft-support profile.
+    """
+
+    content_size: int = 20_000
+    family_fraction: float = 0.3
+    noise_numbers: int = 60
+    noise_short: int = 30
+    domain_terms: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.content_size <= 0:
+            raise ValueError("content_size must be positive")
+        if not 0.0 <= self.family_fraction <= 1.0:
+            raise ValueError("family_fraction must be in [0, 1]")
+
+
+class SyntheticVocabulary:
+    """The word list (and class boundaries) a generator samples from.
+
+    Attributes
+    ----------
+    stopwords:
+        The stopword block (always the full library stoplist, sorted
+        by a fixed arbitrary-but-deterministic order).
+    content:
+        The content block: domain terms first, then synthetic lemmas and
+        family members.
+    noise:
+        Numeric and short tokens.
+    """
+
+    def __init__(self, config: VocabularyConfig = VocabularyConfig(), seed: int = 0) -> None:
+        self.config = config
+        rng = ensure_rng(seed)
+        self.stopwords: list[str] = sorted(INQUERY_STOPWORDS)
+        rng.shuffle(self.stopwords)  # fixed by seed; breaks alphabetical artifacts
+        self.content: list[str] = self._build_content(config, rng)
+        taken = set(self.stopwords) | set(self.content)
+        self.noise: list[str] = self._build_noise(config, rng, taken)
+
+    @staticmethod
+    def _build_content(config: VocabularyConfig, rng: np.random.Generator) -> list[str]:
+        seen: set[str] = set(INQUERY_STOPWORDS)
+        words: list[str] = []
+        for term in config.domain_terms:
+            if term not in seen:
+                seen.add(term)
+                words.append(term)
+        next_index = 0
+        while len(words) < config.content_size:
+            lemma = synthesize_word(next_index)
+            next_index += 1
+            if lemma in seen:
+                continue
+            expand_family = rng.random() < config.family_fraction
+            forms = [lemma + suffix for suffix in _FAMILY_SUFFIXES] if expand_family else [lemma]
+            for form in forms:
+                if form in seen or len(words) >= config.content_size:
+                    continue
+                seen.add(form)
+                words.append(form)
+        return words
+
+    @staticmethod
+    def _build_noise(
+        config: VocabularyConfig, rng: np.random.Generator, taken: set[str]
+    ) -> list[str]:
+        noise: list[str] = []
+        numbers = rng.choice(np.arange(1, 10_000), size=config.noise_numbers, replace=False)
+        noise.extend(str(int(n)) for n in numbers)
+        alphabet = list("abcdefghijklmnopqrstuvwxyz")
+        shorts: set[str] = set()
+        while len(shorts) < config.noise_short:
+            length = int(rng.integers(1, 3))
+            word = "".join(rng.choice(alphabet, size=length))
+            if word not in taken:
+                shorts.add(word)
+        noise.extend(sorted(shorts))
+        return noise
+
+    @property
+    def size(self) -> int:
+        """Total number of distinct words across all classes."""
+        return len(self.stopwords) + len(self.content) + len(self.noise)
+
+    def all_words(self) -> list[str]:
+        """Every word, stopwords first, then content, then noise."""
+        return self.stopwords + self.content + self.noise

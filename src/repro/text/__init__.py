@@ -1,0 +1,31 @@
+"""Text analysis substrate.
+
+Reproduces the indexing machinery the paper takes for granted: a
+tokenizer, an Inquery-style stoplist, the Porter stemmer, and an
+:class:`Analyzer` pipeline that composes them.  Two independent
+analyzers matter in this system:
+
+* the **database's analyzer** (typically stopping + stemming, mimicking
+  Inquery's index) defines the *actual* language model, and
+* the **sampling client's analyzer** (typically neither) defines the
+  *learned* language model built from retrieved raw document text.
+
+Keeping them separate reproduces the paper's premise that every remote
+database indexes its own way and the selection service cannot rely on
+any of it (Sections 2.2 and 4.1).
+"""
+
+from repro.text.analyzer import Analyzer
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.stopwords import INQUERY_STOPWORDS, is_stopword
+from repro.text.tokenizer import Tokenizer, tokenize
+
+__all__ = [
+    "Analyzer",
+    "INQUERY_STOPWORDS",
+    "PorterStemmer",
+    "Tokenizer",
+    "is_stopword",
+    "stem",
+    "tokenize",
+]

@@ -1,0 +1,87 @@
+"""The :class:`Analyzer` pipeline: tokenize → stop → stem.
+
+An analyzer turns raw document text into the index terms a particular
+system would store.  The library instantiates at least two per
+experiment:
+
+* ``Analyzer.inquery_style()`` — stopword removal + Porter stemming,
+  used by :class:`repro.index.DatabaseServer` to build each database's
+  *actual* index and language model, mimicking the paper's Inquery
+  configuration (Section 4.1); and
+* ``Analyzer.raw()`` — case-folded tokens only, used by the sampling
+  client to build the *learned* language model from retrieved text
+  ("Stopwords were not discarded … Suffixes were not removed").
+
+:meth:`Analyzer.project_term` supports the paper's comparison protocol:
+before scoring, learned terms are stemmed and server-side stopwords are
+dropped so both models speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.text.stemmer import PorterStemmer, stem as _cached_stem
+from repro.text.stopwords import INQUERY_STOPWORDS
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass(frozen=True)
+class Analyzer:
+    """A text-to-index-terms pipeline.
+
+    Parameters
+    ----------
+    tokenizer:
+        The tokenizer producing candidate terms.
+    stopwords:
+        Terms removed after tokenization (empty set disables stopping).
+    stem:
+        Apply the Porter stemmer to surviving terms.
+    """
+
+    tokenizer: Tokenizer = field(default_factory=Tokenizer)
+    stopwords: frozenset[str] = frozenset()
+    stem: bool = False
+
+    _stemmer: PorterStemmer = field(default_factory=PorterStemmer, repr=False, compare=False)
+
+    @classmethod
+    def inquery_style(cls) -> "Analyzer":
+        """Stopping + stemming, as the paper's databases index."""
+        return cls(stopwords=INQUERY_STOPWORDS, stem=True)
+
+    @classmethod
+    def raw(cls) -> "Analyzer":
+        """Case-folded tokens only — the sampling client's view."""
+        return cls()
+
+    @classmethod
+    def stopped(cls) -> "Analyzer":
+        """Stopword removal without stemming (used by summarization)."""
+        return cls(stopwords=INQUERY_STOPWORDS)
+
+    def analyze(self, text: str) -> list[str]:
+        """Return the index terms of ``text``."""
+        terms = []
+        for token in self.tokenizer.iter_tokens(text):
+            if token in self.stopwords:
+                continue
+            if self.stem:
+                token = _cached_stem(token)
+            terms.append(token)
+        return terms
+
+    def project_term(self, term: str) -> str | None:
+        """Map a single already-tokenized ``term`` through this pipeline.
+
+        Returns ``None`` if the term would be discarded (stopword).  Used
+        to project a learned vocabulary into a database's term space for
+        fair comparison (paper Section 4.1).
+        """
+        term = term.lower()
+        if term in self.stopwords:
+            return None
+        if self.stem:
+            term = _cached_stem(term)
+        return term

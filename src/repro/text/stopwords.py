@@ -1,0 +1,53 @@
+"""An Inquery-style stoplist.
+
+The paper's databases all use "the default stopword list of the Inquery
+IR system, which contained 418 very frequent and/or closed-class words"
+(Section 4.1).  The original list is not reprinted in the paper, so this
+module provides a list of the same size (exactly 418 words) and the same
+character: closed-class English function words plus a handful of very
+frequent general verbs and quantifiers.
+
+The synthetic corpus generator (:mod:`repro.synth`) places these words
+at the top of its frequency distribution, so the interplay the paper
+relies on — stopwords dominate raw text but are excluded from language
+model comparisons — is reproduced faithfully.
+"""
+
+from __future__ import annotations
+
+_STOPWORD_TEXT = """
+a able about above according across actually after afterwards again against all almost alone along
+already also although always am among amongst an and another any anybody anyhow anyone anything
+anyway anywhere are around as aside ask asked asks at away b back be became because become becomes
+becoming been before beforehand began begin beginning begins behind being below beside besides best
+better between beyond both but by c came can cannot cant certain certainly come comes could d did
+do does doing done down downwards during e each either else elsewhere ends enough especially etc
+even ever every everybody everyone everything everywhere example except f far few fewer following
+for former formerly forth found from further furthermore g gave get gets getting give given gives
+go goes going gone got gotten h had hardly has have having he hence her here hereafter hereby
+herein hereupon hers herself him himself his hither how however i if in indeed instead into inward
+is it its itself j just k keep kept know known l largely last lately later latter latterly least
+less lest let lets like likely little m made mainly make makes making many may maybe me meanwhile
+might mine more moreover most mostly much must my myself n namely near nearly necessary neither
+never nevertheless next no nobody none nonetheless noone nor not nothing now nowhere o of off
+often oh on once one ones only onto or other others otherwise ought our ours ourselves out outside
+over overall own p particular particularly per perhaps please plus possible probably q quite r
+rather really regarding relatively respectively right s said same say saying says second see seem
+seemed seeming seems seen several shall she should since so some somebody somehow someone something
+sometime sometimes somewhat somewhere soon still such sure t take taken taking tell than that the
+their theirs them themselves then thence there thereafter thereby therefore therein thereupon
+these they thing things think third this thorough thoroughly those though three through throughout
+thru thus to together too took toward towards tried tries truly try trying twice two u under
+unless unlike unlikely until unto up upon us use used useful uses using usually v various very via
+viz vs w want wants was way we well went were what whatever when whence whenever where whereafter
+whereas whereby wherein whereupon wherever whether which while whither who whoever whole whom whose
+why will with within without would x y yes yet you your yours yourself yourselves z
+"""
+
+#: The 418-word default stoplist, mirroring Inquery's list size.
+INQUERY_STOPWORDS: frozenset[str] = frozenset(_STOPWORD_TEXT.split())
+
+
+def is_stopword(term: str) -> bool:
+    """True if ``term`` (case-insensitively) is on the default stoplist."""
+    return term.lower() in INQUERY_STOPWORDS

@@ -1,0 +1,76 @@
+"""Tokenization and case folding.
+
+The paper's databases are full-text IR systems; their index terms are
+lower-cased words.  The tokenizer here is deliberately simple and
+deterministic: maximal runs of ASCII letters and digits, lower-cased,
+with optional filters for minimum length and purely numeric tokens.
+
+The same class serves two roles with different settings:
+
+* indexing a database (keep everything, including numbers, so the
+  *actual* language model is faithful to the raw text), and
+* screening candidate *query* terms, where the paper requires terms of
+  3+ characters that are not numbers (Section 4.4) — that rule lives in
+  :mod:`repro.sampling.selection`, built on :func:`Tokenizer.is_word`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+")
+_NUMERIC_PATTERN = re.compile(r"^[0-9]+$")
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize ``text`` with default settings (lowercase word/number runs)."""
+    return Tokenizer().tokenize(text)
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Configurable regex tokenizer.
+
+    Parameters
+    ----------
+    lowercase:
+        Fold tokens to lower case (on by default; every system in the
+        paper case-folds).
+    min_length:
+        Drop tokens shorter than this many characters.
+    drop_numeric:
+        Drop tokens consisting solely of digits.
+    """
+
+    lowercase: bool = True
+    min_length: int = 1
+    drop_numeric: bool = False
+
+    def iter_tokens(self, text: str) -> Iterator[str]:
+        """Yield tokens of ``text`` one at a time."""
+        for match in _TOKEN_PATTERN.finditer(text):
+            token = match.group(0)
+            if self.lowercase:
+                token = token.lower()
+            if len(token) < self.min_length:
+                continue
+            if self.drop_numeric and _NUMERIC_PATTERN.match(token):
+                continue
+            yield token
+
+    def tokenize(self, text: str) -> list[str]:
+        """Return the list of tokens of ``text``."""
+        return list(self.iter_tokens(text))
+
+    @staticmethod
+    def is_numeric(token: str) -> bool:
+        """True if ``token`` consists solely of digits."""
+        return bool(_NUMERIC_PATTERN.match(token))
+
+    @staticmethod
+    def is_word(token: str) -> bool:
+        """True if ``token`` is a single well-formed token (no spaces/punct)."""
+        match = _TOKEN_PATTERN.fullmatch(token)
+        return match is not None

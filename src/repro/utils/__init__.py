@@ -1,0 +1,27 @@
+"""Shared utilities: seeded randomness and Zipf/Heaps law math.
+
+These helpers keep every stochastic component of the library
+deterministic given an explicit seed, and provide the power-law
+machinery the synthetic corpus generator and its validation tests
+are built on.
+"""
+
+from repro.utils.rand import derive_rng, derive_seed, ensure_rng
+from repro.utils.zipf import (
+    fit_heaps,
+    fit_zipf,
+    heaps_vocabulary_size,
+    zipf_cdf,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "ensure_rng",
+    "fit_heaps",
+    "fit_zipf",
+    "heaps_vocabulary_size",
+    "zipf_cdf",
+    "zipf_probabilities",
+]

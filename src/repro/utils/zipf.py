@@ -1,0 +1,94 @@
+"""Zipf and Heaps law utilities.
+
+The paper's analysis leans on two empirical laws of text:
+
+* **Zipf's law** — the frequency of the *r*-th most frequent term is
+  proportional to ``1 / r**s`` (s near 1).  The paper cites it to argue
+  that the important vocabulary of a database is frequent and therefore
+  reachable by sampling, and to justify comparing term *rankings* rather
+  than raw frequencies (Section 4.3.3).
+* **Heaps' law** — the vocabulary of a text of ``n`` tokens grows like
+  ``k * n**beta`` (beta typically 0.4-0.6).  The paper cites it to argue
+  that database *size* cannot be estimated by sampling (Section 3).
+
+The synthetic corpus generator uses :func:`zipf_probabilities` to shape
+term distributions, and the test suite uses :func:`fit_zipf` and
+:func:`fit_heaps` to verify that generated corpora actually obey both
+laws, which is what makes the corpus substitution defensible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_probabilities(size: int, exponent: float = 1.0) -> np.ndarray:
+    """Return a normalised Zipfian probability vector of ``size`` ranks.
+
+    ``p[r] ∝ 1 / (r + 1) ** exponent`` for rank ``r`` starting at 0.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def zipf_cdf(size: int, exponent: float = 1.0) -> np.ndarray:
+    """Return the cumulative distribution of :func:`zipf_probabilities`.
+
+    Useful for fast inverse-transform sampling with ``np.searchsorted``.
+    """
+    return np.cumsum(zipf_probabilities(size, exponent))
+
+
+def heaps_vocabulary_size(tokens: int, k: float = 30.0, beta: float = 0.5) -> int:
+    """Predicted vocabulary size for a text of ``tokens`` tokens."""
+    if tokens < 0:
+        raise ValueError(f"tokens must be non-negative, got {tokens}")
+    if tokens == 0:
+        return 0
+    return max(1, int(round(k * tokens**beta)))
+
+
+def fit_zipf(frequencies: np.ndarray, skip_top: int = 0) -> tuple[float, float]:
+    """Fit a Zipf exponent to observed term ``frequencies``.
+
+    Frequencies are sorted descending, optionally skipping the very top
+    ranks (function words deviate from the power law), and a straight
+    line is fit to log-frequency vs. log-rank.  Returns ``(exponent,
+    r_squared)`` where the exponent is the *negated* slope, so a classic
+    Zipfian text yields an exponent near 1.
+    """
+    freqs = np.sort(np.asarray(frequencies, dtype=np.float64))[::-1]
+    freqs = freqs[skip_top:]
+    freqs = freqs[freqs > 0]
+    if freqs.size < 3:
+        raise ValueError("need at least 3 positive frequencies to fit Zipf's law")
+    log_rank = np.log(np.arange(1, freqs.size + 1, dtype=np.float64) + skip_top)
+    log_freq = np.log(freqs)
+    slope, intercept = np.polyfit(log_rank, log_freq, 1)
+    predicted = slope * log_rank + intercept
+    residual = np.sum((log_freq - predicted) ** 2)
+    total = np.sum((log_freq - log_freq.mean()) ** 2)
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return float(-slope), float(r_squared)
+
+
+def fit_heaps(token_counts: np.ndarray, vocab_sizes: np.ndarray) -> tuple[float, float]:
+    """Fit Heaps' law ``V = k * n**beta`` to a vocabulary growth curve.
+
+    ``token_counts`` and ``vocab_sizes`` are parallel arrays of running
+    token totals and distinct-term totals.  Returns ``(k, beta)``.
+    """
+    tokens = np.asarray(token_counts, dtype=np.float64)
+    vocab = np.asarray(vocab_sizes, dtype=np.float64)
+    if tokens.shape != vocab.shape:
+        raise ValueError("token_counts and vocab_sizes must have the same shape")
+    mask = (tokens > 0) & (vocab > 0)
+    if mask.sum() < 3:
+        raise ValueError("need at least 3 positive points to fit Heaps' law")
+    slope, intercept = np.polyfit(np.log(tokens[mask]), np.log(vocab[mask]), 1)
+    return float(np.exp(intercept)), float(slope)

@@ -1,0 +1,45 @@
+"""Shared fixtures: tiny, fast corpora and servers.
+
+Everything here is deliberately small — unit tests should run in
+milliseconds.  Statistical-shape tests that need more data build their
+own corpora at module scope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus, Document
+from repro.index import DatabaseServer
+from repro.synth import cacm_like
+
+
+@pytest.fixture
+def tiny_docs() -> list[Document]:
+    """Six hand-written documents with known term statistics."""
+    texts = {
+        "d1": "Apple pie recipes use apple and sugar.",
+        "d2": "The apple orchard grows apples every autumn.",
+        "d3": "Bears eat honey and sometimes apples.",
+        "d4": "Honey production depends on healthy bees.",
+        "d5": "Bees pollinate the apple orchard in spring.",
+        "d6": "Sugar prices rose while honey prices fell.",
+    }
+    return [Document(doc_id=doc_id, text=text) for doc_id, text in texts.items()]
+
+
+@pytest.fixture
+def tiny_corpus(tiny_docs) -> Corpus:
+    return Corpus(tiny_docs, name="tiny")
+
+
+@pytest.fixture
+def tiny_server(tiny_corpus) -> DatabaseServer:
+    return DatabaseServer(tiny_corpus)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_server() -> DatabaseServer:
+    """A ~600-document synthetic database shared across the session."""
+    corpus = cacm_like().build(seed=11, scale=0.2)
+    return DatabaseServer(corpus)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.text.analyzer."""
+
+from __future__ import annotations
+
+from repro.text.analyzer import Analyzer
+from repro.text.stopwords import INQUERY_STOPWORDS
+
+
+class TestRawAnalyzer:
+    def test_keeps_stopwords_and_suffixes(self):
+        # The sampling client's view: "Stopwords were not discarded ...
+        # Suffixes were not removed" (paper Section 4.1).
+        analyzer = Analyzer.raw()
+        assert analyzer.analyze("The running dogs") == ["the", "running", "dogs"]
+
+    def test_case_folds(self):
+        assert Analyzer.raw().analyze("Apple") == ["apple"]
+
+
+class TestInqueryStyleAnalyzer:
+    def test_removes_stopwords(self):
+        analyzer = Analyzer.inquery_style()
+        assert "the" not in analyzer.analyze("the apple tree")
+
+    def test_stems(self):
+        analyzer = Analyzer.inquery_style()
+        assert analyzer.analyze("running quickly") == ["run", "quickli"]
+
+    def test_stopwords_removed_before_stemming(self):
+        # "running" must not be protected by the stoplist containing "run"-like
+        # words; conversely stopwords are matched on the surface form.
+        analyzer = Analyzer.inquery_style()
+        terms = analyzer.analyze("this is a test of stemming and stopping")
+        assert "test" in terms
+        assert "stem" in terms
+        assert all(term not in INQUERY_STOPWORDS or term == "stem" for term in terms)
+
+
+class TestStoppedAnalyzer:
+    def test_stops_without_stemming(self):
+        analyzer = Analyzer.stopped()
+        assert analyzer.analyze("the running dogs") == ["running", "dogs"]
+
+
+class TestProjectTerm:
+    def test_stopword_projects_to_none(self):
+        assert Analyzer.inquery_style().project_term("the") is None
+
+    def test_content_term_is_stemmed(self):
+        assert Analyzer.inquery_style().project_term("running") == "run"
+
+    def test_case_folded_before_lookup(self):
+        assert Analyzer.inquery_style().project_term("The") is None
+
+    def test_raw_projects_identity_lowercased(self):
+        assert Analyzer.raw().project_term("Running") == "running"
+
+    def test_project_matches_analyze(self):
+        # Projecting a single token must agree with analyzing it as text.
+        analyzer = Analyzer.inquery_style()
+        for token in ("databases", "apples", "selection", "query"):
+            assert [analyzer.project_term(token)] == analyzer.analyze(token)
+
+
+class TestAnalyzerEquality:
+    def test_frozen_dataclass_equality_ignores_stemmer_instance(self):
+        assert Analyzer.raw() == Analyzer.raw()
+        assert Analyzer.inquery_style() == Analyzer.inquery_style()
+        assert Analyzer.raw() != Analyzer.inquery_style()

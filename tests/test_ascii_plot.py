@@ -1,0 +1,69 @@
+"""Unit tests for repro.experiments.ascii_plot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ascii_plot import plot_series
+
+
+@pytest.fixture
+def series():
+    return {
+        "cacm": [(50, 0.6), (100, 0.8), (150, 0.9)],
+        "wsj88": [(50, 0.5), (100, 0.6), (150, 0.7)],
+    }
+
+
+class TestPlotSeries:
+    def test_contains_title_and_legend(self, series):
+        text = plot_series(series, title="My Figure")
+        assert text.splitlines()[0] == "My Figure"
+        assert "c=cacm" in text
+        assert "w=wsj88" in text
+
+    def test_axis_labels(self, series):
+        text = plot_series(series)
+        assert "0.9" in text  # y max
+        assert "0.5" in text  # y min
+        assert "50" in text and "150" in text
+
+    def test_markers_present(self, series):
+        text = plot_series(series)
+        body = "\n".join(line for line in text.splitlines() if "|" in line)
+        assert body.count("c") >= 3
+        assert body.count("w") >= 3
+
+    def test_dimensions(self, series):
+        text = plot_series(series, title=None, width=40, height=8)
+        chart_lines = [line for line in text.splitlines() if "|" in line]
+        assert len(chart_lines) == 8
+        for line in chart_lines:
+            assert len(line.split("|", 1)[1]) <= 40
+
+    def test_marker_collision_resolved(self):
+        series = {"cacm": [(1, 1.0)], "cacm2": [(2, 2.0)]}
+        text = plot_series(series)
+        assert "c=cacm" in text
+        assert "1=cacm2" in text
+
+    def test_single_point(self):
+        text = plot_series({"only": [(5, 5.0)]})
+        assert "o=only" in text
+
+    def test_empty(self):
+        assert "(no data)" in plot_series({}, title="Empty")
+
+    def test_invalid_dimensions(self, series):
+        with pytest.raises(ValueError):
+            plot_series(series, width=5)
+        with pytest.raises(ValueError):
+            plot_series(series, height=2)
+
+    def test_higher_y_plots_higher(self):
+        series = {"a": [(0, 0.0), (10, 10.0)]}
+        text = plot_series(series, width=20, height=10)
+        chart_lines = [line for line in text.splitlines() if "|" in line]
+        top_line = next(i for i, line in enumerate(chart_lines) if "a" in line)
+        bottom_line = max(i for i, line in enumerate(chart_lines) if "a" in line)
+        assert top_line < bottom_line

@@ -1,0 +1,59 @@
+"""Unit tests for repro.lm.calibrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lm import LanguageModel, scale_to_collection, spearman_rank_correlation
+
+
+@pytest.fixture
+def sample() -> LanguageModel:
+    model = LanguageModel(name="sample")
+    model.add_term("alpha", df=40, ctf=100)
+    model.add_term("beta", df=10, ctf=15)
+    model.add_term("gamma", df=1, ctf=1)
+    model.documents_seen = 100
+    model.tokens_seen = 5_000
+    return model
+
+
+class TestScaleToCollection:
+    def test_linear_scaling(self, sample):
+        scaled = scale_to_collection(sample, estimated_documents=1000)
+        assert scaled.df("alpha") == 400
+        assert scaled.ctf("alpha") == 1000
+        assert scaled.documents_seen == 1000
+        assert scaled.tokens_seen == 50_000
+
+    def test_rankings_preserved(self, sample):
+        scaled = scale_to_collection(sample, estimated_documents=1000)
+        assert spearman_rank_correlation(scaled, sample, metric="df") == pytest.approx(1.0)
+
+    def test_no_term_vanishes_when_scaling_down(self, sample):
+        scaled = scale_to_collection(sample, estimated_documents=10)
+        assert scaled.df("gamma") >= 1
+        assert scaled.ctf("gamma") >= scaled.df("gamma")
+
+    def test_df_never_exceeds_ctf(self, sample):
+        for target in (3, 37, 999, 12345):
+            scaled = scale_to_collection(sample, estimated_documents=target)
+            for stats in scaled.items():
+                assert stats.df <= stats.ctf
+
+    def test_identity_scale(self, sample):
+        scaled = scale_to_collection(sample, estimated_documents=100)
+        for term in sample:
+            assert scaled.df(term) == sample.df(term)
+
+    def test_name(self, sample):
+        assert scale_to_collection(sample, 10).name == "sample-calibrated"
+        assert scale_to_collection(sample, 10, name="x").name == "x"
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError, match="no documents"):
+            scale_to_collection(LanguageModel(), 100)
+
+    def test_invalid_estimate(self, sample):
+        with pytest.raises(ValueError):
+            scale_to_collection(sample, 0)

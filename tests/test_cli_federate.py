@@ -1,0 +1,65 @@
+"""Tests for the `repro federate` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import read_jsonl
+from repro.index import DatabaseServer
+
+
+@pytest.fixture(scope="module")
+def corpora(tmp_path_factory):
+    """Two small corpora with distinct names and doc ids."""
+    directory = tmp_path_factory.mktemp("federate")
+    paths = []
+    for name, profile, seed in (("newsdb", "wsj88", 1), ("scidb", "cacm", 2)):
+        raw = directory / f"raw-{name}.jsonl"
+        main(["generate", "--profile", profile, "--scale", "0.03", "--seed",
+              str(seed), "-o", str(raw)])
+        renamed = directory / f"{name}.jsonl"
+        with raw.open() as src, renamed.open("w") as dst:
+            for index, line in enumerate(src):
+                record = json.loads(line)
+                record["doc_id"] = f"{name}-{index}"
+                dst.write(json.dumps(record) + "\n")
+        paths.append(renamed)
+    return paths
+
+
+class TestFederate:
+    def test_known_term_routes_and_returns_results(self, corpora, capsys):
+        # Use a frequent content term of the first corpus so the search
+        # produces results.
+        server = DatabaseServer(read_jsonl(corpora[0]))
+        term = server.actual_language_model().top_terms(1, "ctf")[0].term
+        code = main(
+            ["federate", str(corpora[0]), str(corpora[1]), "--query", term,
+             "-n", "5", "--sample-docs", "40"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Database ranking" in output
+        assert "Merged results" in output
+        assert "newsdb" in output and "scidb" in output
+
+    def test_requires_two_corpora(self, corpora, capsys):
+        code = main(["federate", str(corpora[0]), "--query", "x"])
+        assert code == 2
+        assert "at least two" in capsys.readouterr().err
+
+    def test_duplicate_names_rejected(self, corpora, capsys):
+        code = main(["federate", str(corpora[0]), str(corpora[0]), "--query", "x"])
+        assert code == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_unknown_query_no_results(self, corpora, capsys):
+        code = main(
+            ["federate", str(corpora[0]), str(corpora[1]),
+             "--query", "zzzznothing", "--sample-docs", "30"]
+        )
+        assert code == 1
+        assert "no results" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Additional CLI coverage: estimator methods, summarize options."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-more") / "corpus.jsonl"
+    assert main(["generate", "--profile", "cacm", "--scale", "0.08", "--seed", "7",
+                 "-o", str(path)]) == 0
+    return path
+
+
+class TestEstimateSizeMethods:
+    @pytest.mark.parametrize("method", ["schnabel", "schumacher_eschmeyer"])
+    def test_capture_methods_run(self, corpus_path, method, capsys):
+        code = main(
+            ["estimate-size", str(corpus_path), "--method", method,
+             "--sample-docs", "60", "--seed", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "estimated size" in output
+
+    def test_seed_changes_estimate(self, corpus_path, capsys):
+        outputs = []
+        for seed in ("1", "2"):
+            main(["estimate-size", str(corpus_path), "--sample-docs", "40",
+                  "--seed", seed])
+            outputs.append(capsys.readouterr().out)
+        # Different seeds sample differently; the printed estimates may
+        # coincide but the actual-size line must be identical.
+        actual_lines = [o.splitlines()[-1] for o in outputs]
+        assert actual_lines[0] == actual_lines[1]
+
+
+class TestSummarizeOptions:
+    @pytest.fixture(scope="class")
+    def model_path(self, corpus_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-more-model") / "m.lm"
+        assert main(["sample", str(corpus_path), "-o", str(path),
+                     "--max-docs", "60", "--seed", "3"]) == 0
+        return path
+
+    @pytest.mark.parametrize("rank_by", ["df", "ctf", "avg_tf"])
+    def test_all_rankings(self, model_path, rank_by, capsys):
+        assert main(["summarize", str(model_path), "--rank-by", rank_by,
+                     "-k", "6", "--min-df", "1"]) == 0
+        assert f"ranked by {rank_by}" in capsys.readouterr().out
+
+    def test_min_df_changes_output(self, model_path, capsys):
+        main(["summarize", str(model_path), "-k", "30", "--min-df", "1"])
+        loose = capsys.readouterr().out
+        main(["summarize", str(model_path), "-k", "30", "--min-df", "5"])
+        strict = capsys.readouterr().out
+        assert loose != strict

@@ -1,0 +1,112 @@
+"""Statistical validation of the synthetic corpora.
+
+DESIGN.md's substitution argument rests on generated corpora having the
+same statistical shape as real text: Zipfian term frequencies, Heaps
+vocabulary growth, stopword-dominated running text, and a heavy hapax
+tail.  These tests check each of those properties on a mid-sized
+generated corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import Corpus
+from repro.lm import LanguageModel
+from repro.synth import wsj88_like
+from repro.text import Analyzer
+from repro.text.stopwords import INQUERY_STOPWORDS
+from repro.utils.zipf import fit_heaps, fit_zipf
+
+
+@pytest.fixture(scope="module")
+def corpus() -> Corpus:
+    return wsj88_like().build(seed=2, scale=0.15)  # ~1,800 documents
+
+
+@pytest.fixture(scope="module")
+def raw_model(corpus) -> LanguageModel:
+    analyzer = Analyzer.raw()
+    model = LanguageModel(name="raw")
+    for document in corpus:
+        model.add_document(analyzer.analyze(document.text))
+    return model
+
+
+class TestZipfShape:
+    def test_frequencies_fit_power_law(self, raw_model):
+        frequencies = np.array([raw_model.ctf(t) for t in raw_model])
+        exponent, r_squared = fit_zipf(frequencies, skip_top=20)
+        assert 0.5 < exponent < 1.6, f"Zipf exponent {exponent} out of text-like range"
+        assert r_squared > 0.9, f"power-law fit too poor (R²={r_squared})"
+
+    def test_top_term_dominance(self, raw_model):
+        # The most frequent term should account for a few percent of
+        # all tokens, as "the" does in English.
+        top = raw_model.top_terms(1, key="ctf")[0]
+        share = top.ctf / raw_model.tokens_seen
+        assert 0.01 < share < 0.15
+
+
+class TestHeapsGrowth:
+    def test_vocabulary_grows_sublinearly(self, corpus):
+        analyzer = Analyzer.raw()
+        seen: set[str] = set()
+        tokens_so_far = 0
+        token_counts, vocab_sizes = [], []
+        for document in corpus:
+            terms = analyzer.analyze(document.text)
+            tokens_so_far += len(terms)
+            seen.update(terms)
+            token_counts.append(tokens_so_far)
+            vocab_sizes.append(len(seen))
+        k, beta = fit_heaps(np.array(token_counts), np.array(vocab_sizes))
+        assert 0.3 < beta < 0.9, f"Heaps beta {beta} out of text-like range"
+        assert k > 0
+
+    def test_vocabulary_never_saturates(self, corpus):
+        # New terms must keep appearing even in the last tenth of the
+        # corpus (Zipf's long tail; the basis of the paper's claim that
+        # database size cannot be estimated by sampling).
+        analyzer = Analyzer.raw()
+        cut = int(len(corpus) * 0.9)
+        seen: set[str] = set()
+        for document in (corpus[i] for i in range(cut)):
+            seen.update(analyzer.analyze(document.text))
+        new_terms = 0
+        for document in (corpus[i] for i in range(cut, len(corpus))):
+            new_terms += sum(1 for t in set(analyzer.analyze(document.text)) if t not in seen)
+        assert new_terms > 0
+
+
+class TestTextComposition:
+    def test_stopword_share_english_like(self, raw_model):
+        stop_tokens = sum(raw_model.ctf(t) for t in raw_model if t in INQUERY_STOPWORDS)
+        share = stop_tokens / raw_model.tokens_seen
+        assert 0.30 < share < 0.60, f"stopword share {share} not English-like"
+
+    def test_hapax_heavy_tail(self, raw_model):
+        # In real text roughly half the vocabulary occurs once (paper
+        # Section 4.3.1 cites ~50%).  With a finite synthetic vocabulary
+        # the share is lower (~20-30%; see DESIGN.md substitutions) but
+        # must remain substantial for percentage-learned curves to
+        # behave like the paper's.
+        hapax = sum(1 for t in raw_model if raw_model.ctf(t) == 1)
+        share = hapax / len(raw_model)
+        assert share > 0.15, f"hapax share {share} too small for text-like data"
+
+    def test_numbers_present_but_rare(self, raw_model):
+        numeric_tokens = sum(raw_model.ctf(t) for t in raw_model if t.isdigit())
+        share = numeric_tokens / raw_model.tokens_seen
+        assert 0 < share < 0.05
+
+
+class TestHeterogeneityContrast:
+    def test_topic_count_differs_between_profiles(self):
+        from repro.synth import cacm_like, trec123_like
+
+        cacm = cacm_like().build(seed=0, scale=0.05)
+        trec = trec123_like().build(seed=0, scale=0.02)
+        assert len(cacm.topics()) <= 2
+        assert len(trec.topics()) > 10

@@ -1,0 +1,110 @@
+"""Structural tests for repro.experiments.figures and .tables.
+
+These run the actual figure/table computations at a tiny scale with a
+single seed — fast enough for the suite, slow enough to be real — and
+check the *structure* of the outputs (the full-scale shape assertions
+live in benchmarks/).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURE1_PROFILES,
+    figure1_and_2_curves,
+    figure3_strategy_curves,
+    figure4_rdiff_series,
+)
+from repro.experiments.tables import (
+    table1_corpora,
+    table3_query_counts,
+    table4_summary,
+)
+from repro.experiments.testbed import Testbed as ExperimentTestbed
+
+
+@pytest.fixture(scope="module")
+def testbed() -> ExperimentTestbed:
+    return ExperimentTestbed(seed=1, scale=0.05)
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def curves(self, testbed):
+        return figure1_and_2_curves(testbed, seeds=(0,))
+
+    def test_one_curve_per_profile(self, curves):
+        assert set(curves) == set(FIGURE1_PROFILES)
+
+    def test_points_at_snapshot_grid(self, curves):
+        for curve in curves.values():
+            documents = [point.documents for point in curve.points]
+            assert documents == sorted(documents)
+            # All interior points sit on the 50-document grid; the final
+            # point may be a capped budget endpoint.
+            assert all(d % 50 == 0 for d in documents[:-1])
+
+    def test_metrics_in_range(self, curves):
+        for curve in curves.values():
+            for point in curve.points:
+                assert 0.0 <= point.percentage_learned <= 1.0
+                assert 0.0 <= point.ctf_ratio <= 1.0
+                assert -1.0 <= point.spearman <= 1.0
+                assert point.queries > 0
+
+    def test_budget_respected(self, curves, testbed):
+        for name, curve in curves.items():
+            budget = testbed.document_budget(name)
+            assert curve.points[-1].documents <= budget
+
+
+class TestFigure3AndTable3:
+    @pytest.fixture(scope="class")
+    def results(self, testbed):
+        return figure3_strategy_curves(testbed, seeds=(0,))
+
+    def test_all_strategies_present(self, results):
+        assert set(results) == {
+            "random_olm",
+            "random_llm",
+            "avg_tf_llm",
+            "df_llm",
+            "ctf_llm",
+        }
+
+    def test_query_counts_positive(self, results):
+        for _, queries in results.values():
+            assert queries > 0
+
+    def test_table3_consistent_with_figure3(self, testbed, results):
+        counts = table3_query_counts(testbed, seeds=(0,))
+        assert set(counts) == set(results)
+
+
+class TestFigure4:
+    def test_series_structure(self, testbed):
+        series = figure4_rdiff_series(testbed, seeds=(0,))
+        assert set(series) == set(FIGURE1_PROFILES)
+        for values in series.values():
+            for (documents, value) in values[:-1]:
+                assert documents % 50 == 0
+            for _, value in values:
+                assert 0.0 <= value <= 1.0
+
+
+class TestTables:
+    def test_table1_rows(self, testbed):
+        rows = table1_corpora(testbed)
+        assert [row["name"] for row in rows] == list(FIGURE1_PROFILES)
+        for row in rows:
+            assert row["documents"] > 0
+            assert row["indexed_unique_terms"] <= row["unique_terms"]
+            assert row["indexed_total_terms"] < row["total_terms"]
+
+    def test_table4_summaries(self, testbed):
+        summaries = table4_summary(testbed, k=10, docs_per_query=10, max_documents=60)
+        assert set(summaries) == {"df", "ctf", "avg_tf"}
+        for rank_by, summary in summaries.items():
+            assert summary.rank_by == rank_by
+            assert len(summary.terms) <= 10

@@ -1,0 +1,99 @@
+"""Property-based tests for the inverted index and search engine."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import Corpus, Document
+from repro.index import InvertedIndex, SearchEngine
+from repro.text import Analyzer
+
+words = st.sampled_from(
+    ["apple", "banana", "cherry", "date", "fig", "grape", "kiwi", "lemon", "mango"]
+)
+doc_texts = st.lists(words, min_size=1, max_size=25).map(" ".join)
+corpora = st.lists(doc_texts, min_size=1, max_size=12).map(
+    lambda texts: Corpus(
+        [Document(doc_id=f"d{i}", text=text) for i, text in enumerate(texts)]
+    )
+)
+
+
+class TestIndexInvariants:
+    @settings(max_examples=40)
+    @given(corpora)
+    def test_totals_consistent(self, corpus):
+        index = InvertedIndex(corpus, Analyzer.raw())
+        ctf_total = sum(index.ctf(term) for term in index.vocabulary)
+        assert ctf_total == index.total_terms
+        assert int(index.doc_lengths.sum()) == index.total_terms
+
+    @settings(max_examples=40)
+    @given(corpora)
+    def test_df_bounds(self, corpus):
+        index = InvertedIndex(corpus, Analyzer.raw())
+        for term in index.vocabulary:
+            assert 1 <= index.df(term) <= index.num_documents
+            assert index.df(term) <= index.ctf(term)
+
+    @settings(max_examples=40)
+    @given(corpora)
+    def test_postings_sorted_and_positive(self, corpus):
+        index = InvertedIndex(corpus, Analyzer.raw())
+        for term in index.vocabulary:
+            posting = index.postings(term)
+            assert posting is not None
+            assert np.all(np.diff(posting.doc_indices) > 0)
+            assert np.all(posting.term_frequencies >= 1)
+
+    @settings(max_examples=40)
+    @given(corpora)
+    def test_language_model_matches_index(self, corpus):
+        index = InvertedIndex(corpus, Analyzer.raw())
+        model = index.language_model()
+        assert len(model) == index.vocabulary_size
+        assert model.total_ctf == index.total_terms
+
+
+class TestSearchInvariants:
+    @settings(max_examples=30)
+    @given(corpora, words, st.integers(min_value=1, max_value=10))
+    def test_results_contain_query_term(self, corpus, term, n):
+        engine = SearchEngine(InvertedIndex(corpus, Analyzer.raw()))
+        for result in engine.search(term, n=n):
+            document = corpus.get(result.doc_id)
+            assert term in document.text.split()
+
+    @settings(max_examples=30)
+    @given(corpora, words)
+    def test_result_count_is_min_of_n_and_df(self, corpus, term):
+        index = InvertedIndex(corpus, Analyzer.raw())
+        engine = SearchEngine(index)
+        results = engine.search(term, n=5)
+        assert len(results) == min(5, index.df(term))
+
+    @settings(max_examples=30)
+    @given(corpora, words)
+    def test_scores_monotone_nonincreasing(self, corpus, term):
+        engine = SearchEngine(InvertedIndex(corpus, Analyzer.raw()))
+        scores = [result.score for result in engine.search(term, n=10)]
+        assert scores == sorted(scores, reverse=True)
+
+    @settings(max_examples=30)
+    @given(corpora, words)
+    def test_no_duplicate_documents_in_results(self, corpus, term):
+        engine = SearchEngine(InvertedIndex(corpus, Analyzer.raw()))
+        results = engine.search(term, n=10)
+        doc_ids = [result.doc_id for result in results]
+        assert len(doc_ids) == len(set(doc_ids))
+
+    @settings(max_examples=20)
+    @given(corpora, st.lists(words, min_size=2, max_size=3))
+    def test_multi_term_results_match_some_term(self, corpus, terms):
+        engine = SearchEngine(InvertedIndex(corpus, Analyzer.raw()))
+        query = " ".join(terms)
+        for result in engine.search(query, n=10):
+            text_terms = set(corpus.get(result.doc_id).text.split())
+            assert text_terms & set(terms)

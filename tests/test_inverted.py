@@ -1,0 +1,104 @@
+"""Unit tests for repro.index.inverted."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import Corpus, Document
+from repro.index import InvertedIndex
+from repro.text import Analyzer
+
+
+@pytest.fixture(scope="module")
+def raw_index() -> InvertedIndex:
+    corpus = Corpus(
+        [
+            Document(doc_id="d1", text="apple apple banana"),
+            Document(doc_id="d2", text="banana cherry"),
+            Document(doc_id="d3", text="apple cherry cherry cherry"),
+        ],
+        name="fruit",
+    )
+    return InvertedIndex(corpus, Analyzer.raw())
+
+
+class TestPostings:
+    def test_df(self, raw_index):
+        assert raw_index.df("apple") == 2
+        assert raw_index.df("banana") == 2
+        assert raw_index.df("cherry") == 2
+
+    def test_ctf(self, raw_index):
+        assert raw_index.ctf("apple") == 3
+        assert raw_index.ctf("cherry") == 4
+
+    def test_absent_term(self, raw_index):
+        assert raw_index.df("durian") == 0
+        assert raw_index.ctf("durian") == 0
+        assert raw_index.postings("durian") is None
+        assert "durian" not in raw_index
+
+    def test_posting_list_contents(self, raw_index):
+        posting = raw_index.postings("apple")
+        assert posting is not None
+        assert posting.doc_indices.tolist() == [0, 2]
+        assert posting.term_frequencies.tolist() == [2, 1]
+        assert len(posting) == 2
+
+    def test_posting_parallel_arrays_enforced(self):
+        from repro.index.inverted import PostingList
+
+        with pytest.raises(ValueError):
+            PostingList(np.arange(3), np.arange(4))
+
+
+class TestIndexStatistics:
+    def test_vocabulary_size(self, raw_index):
+        assert raw_index.vocabulary_size == 3
+        assert set(raw_index.vocabulary) == {"apple", "banana", "cherry"}
+
+    def test_num_documents(self, raw_index):
+        assert raw_index.num_documents == 3
+
+    def test_doc_lengths(self, raw_index):
+        assert raw_index.doc_lengths.tolist() == [3, 2, 4]
+
+    def test_doc_lengths_read_only(self, raw_index):
+        with pytest.raises(ValueError):
+            raw_index.doc_lengths[0] = 99
+
+    def test_total_and_average(self, raw_index):
+        assert raw_index.total_terms == 9
+        assert raw_index.average_doc_length == pytest.approx(3.0)
+
+    def test_empty_corpus(self):
+        index = InvertedIndex(Corpus(name="empty"), Analyzer.raw())
+        assert index.vocabulary_size == 0
+        assert index.average_doc_length == 0.0
+
+
+class TestStemmedIndexing:
+    def test_default_analyzer_stems_and_stops(self):
+        corpus = Corpus(
+            [Document(doc_id="d", text="the apples were falling from trees")]
+        )
+        index = InvertedIndex(corpus)
+        assert "appl" in index
+        assert "fall" in index
+        assert "the" not in index
+        assert "apples" not in index
+
+
+class TestLanguageModelExport:
+    def test_matches_index_statistics(self, raw_index):
+        model = raw_index.language_model()
+        assert len(model) == raw_index.vocabulary_size
+        for term in raw_index.vocabulary:
+            assert model.df(term) == raw_index.df(term)
+            assert model.ctf(term) == raw_index.ctf(term)
+        assert model.documents_seen == 3
+        assert model.tokens_seen == 9
+
+    def test_name_suffix(self, raw_index):
+        assert raw_index.language_model().name == "fruit-actual"

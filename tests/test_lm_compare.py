@@ -1,0 +1,196 @@
+"""Unit tests for repro.lm.compare — the paper's metrics.
+
+Includes the paper's own worked examples: the apple/bear ctf-ratio
+example of Section 4.3.2 and the two-swapped-terms rdiff example of
+Section 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.lm import (
+    LanguageModel,
+    ctf_ratio,
+    percentage_learned,
+    rank_terms,
+    rdiff,
+    spearman_rank_correlation,
+)
+
+
+def make_model(term_ctf: dict[str, int], name: str = "m") -> LanguageModel:
+    """Model where each term occurs ctf times across ctf documents."""
+    model = LanguageModel(name=name)
+    for term, ctf in term_ctf.items():
+        model.add_term(term, df=ctf, ctf=ctf)
+    return model
+
+
+class TestPercentageLearned:
+    def test_full_coverage(self):
+        actual = make_model({"a": 3, "b": 2})
+        assert percentage_learned(actual, actual) == 1.0
+
+    def test_partial_coverage(self):
+        actual = make_model({"a": 3, "b": 2, "c": 1, "d": 1})
+        learned = make_model({"a": 1, "b": 1})
+        assert percentage_learned(learned, actual) == 0.5
+
+    def test_extra_learned_terms_ignored(self):
+        actual = make_model({"a": 3, "b": 2})
+        learned = make_model({"a": 1, "x": 9, "y": 9})
+        assert percentage_learned(learned, actual) == 0.5
+
+    def test_empty_actual(self):
+        assert percentage_learned(make_model({"a": 1}), make_model({})) == 0.0
+
+
+class TestCtfRatio:
+    def test_paper_apple_bear_example(self):
+        # "if the database consists of 99 occurrences of apple and 1
+        # occurrence of bear, and if the learned language model contains
+        # just apple, its ctf ratio is 99 / (99 + 1) = 0.99"
+        actual = make_model({"apple": 99, "bear": 1})
+        learned = make_model({"apple": 5})
+        assert ctf_ratio(learned, actual) == pytest.approx(0.99)
+
+    def test_full_coverage(self):
+        actual = make_model({"a": 10, "b": 5})
+        assert ctf_ratio(actual, actual) == 1.0
+
+    def test_uses_actual_frequencies_not_learned(self):
+        actual = make_model({"a": 90, "b": 10})
+        learned = make_model({"b": 1000})  # learned frequencies irrelevant
+        assert ctf_ratio(learned, actual) == pytest.approx(0.10)
+
+    def test_empty_actual(self):
+        assert ctf_ratio(make_model({"a": 1}), make_model({})) == 0.0
+
+    def test_monotone_in_vocabulary(self):
+        actual = make_model({"a": 50, "b": 30, "c": 20})
+        smaller = make_model({"a": 1})
+        larger = make_model({"a": 1, "b": 1})
+        assert ctf_ratio(larger, actual) > ctf_ratio(smaller, actual)
+
+
+class TestRankTerms:
+    def test_rank_one_is_most_frequent(self):
+        model = make_model({"hi": 10, "mid": 5, "lo": 1})
+        ranks = rank_terms(model, ["hi", "mid", "lo"], metric="df")
+        assert ranks.tolist() == [1.0, 2.0, 3.0]
+
+    def test_average_tie_method(self):
+        model = make_model({"a": 5, "b": 5, "c": 1})
+        ranks = rank_terms(model, ["a", "b", "c"], metric="df", method="average")
+        assert ranks.tolist() == [1.5, 1.5, 3.0]
+
+    def test_min_tie_method(self):
+        model = make_model({"a": 5, "b": 5, "c": 1})
+        ranks = rank_terms(model, ["a", "b", "c"], metric="df", method="min")
+        assert ranks.tolist() == [1.0, 1.0, 3.0]
+
+    def test_ordinal_method_breaks_ties_by_term(self):
+        model = make_model({"b": 5, "a": 5})
+        ranks = rank_terms(model, ["b", "a"], metric="df", method="ordinal")
+        assert ranks.tolist() == [2.0, 1.0]
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            rank_terms(make_model({"a": 1}), ["a"], method="dense")
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            rank_terms(make_model({"a": 1}), ["a"], metric="idf")
+
+
+class TestSpearman:
+    def test_identical_rankings(self):
+        model = make_model({"a": 10, "b": 5, "c": 2})
+        assert spearman_rank_correlation(model, model) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        learned = make_model({"a": 1, "b": 2, "c": 3})
+        actual = make_model({"a": 3, "b": 2, "c": 1})
+        assert spearman_rank_correlation(learned, actual) == pytest.approx(-1.0)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(0)
+        terms = [f"t{i}" for i in range(60)]
+        learned_freqs = rng.integers(1, 12, size=60)
+        actual_freqs = rng.integers(1, 12, size=60)
+        learned = make_model({t: int(f) for t, f in zip(terms, learned_freqs)})
+        actual = make_model({t: int(f) for t, f in zip(terms, actual_freqs)})
+        ours = spearman_rank_correlation(learned, actual)
+        # scipy ranks ascending; correlation is invariant to direction
+        # as long as both sides use the same one.
+        reference = scipy_stats.spearmanr(learned_freqs, actual_freqs).statistic
+        assert ours == pytest.approx(reference, abs=1e-12)
+
+    def test_textbook_formula_without_ties(self):
+        learned = make_model({"a": 40, "b": 30, "c": 20, "d": 10})
+        actual = make_model({"a": 40, "b": 20, "c": 30, "d": 10})
+        # b and c swap: d² sum = 2, n = 4 → 1 - 12/60 = 0.8
+        value = spearman_rank_correlation(learned, actual, tie_correction=False)
+        assert value == pytest.approx(0.8)
+
+    def test_no_common_terms(self):
+        assert spearman_rank_correlation(make_model({"a": 1}), make_model({"b": 1})) == 0.0
+
+    def test_single_common_term(self):
+        learned = make_model({"a": 1, "x": 2})
+        actual = make_model({"a": 5, "y": 2})
+        assert spearman_rank_correlation(learned, actual) == 1.0
+
+    def test_constant_ranking_returns_zero(self):
+        learned = make_model({"a": 3, "b": 3, "c": 3})
+        actual = make_model({"a": 5, "b": 2, "c": 1})
+        assert spearman_rank_correlation(learned, actual) == 0.0
+
+    def test_only_common_terms_compared(self):
+        learned = make_model({"a": 10, "b": 5, "x": 99, "y": 98})
+        actual = make_model({"a": 10, "b": 5, "p": 99})
+        assert spearman_rank_correlation(learned, actual) == pytest.approx(1.0)
+
+
+class TestRdiff:
+    def test_paper_swap_example(self):
+        # "given two rankings of 100 terms that are identical except
+        # [two terms swap the 4th and 5th ranks], rdiff = (1/(100*100))
+        # * (2) = 0.0002".
+        terms = {f"t{i:03d}": 1000 - i for i in range(100)}
+        first = make_model(dict(terms))
+        swapped = dict(terms)
+        swapped["t003"], swapped["t004"] = swapped["t004"], swapped["t003"]
+        second = make_model(swapped)
+        assert rdiff(first, second) == pytest.approx(0.0002)
+
+    def test_identical_models_zero(self):
+        model = make_model({"a": 9, "b": 4, "c": 1})
+        assert rdiff(model, model) == 0.0
+
+    def test_symmetry(self):
+        first = make_model({"a": 9, "b": 4, "c": 1, "d": 7})
+        second = make_model({"a": 1, "b": 9, "c": 4, "d": 2})
+        assert rdiff(first, second) == pytest.approx(rdiff(second, first))
+
+    def test_reversed_ranking_upper_range(self):
+        # With distinct ranks, a full reversal gives the metric's
+        # maximum, which approaches 0.5 as n grows.
+        n = 10
+        first = make_model({f"t{i}": 100 - i for i in range(n)})
+        second = make_model({f"t{i}": i + 1 for i in range(n)})
+        assert rdiff(first, second) == pytest.approx(0.5, abs=0.05)
+
+    def test_no_common_terms(self):
+        assert rdiff(make_model({"a": 1}), make_model({"b": 1})) == 0.0
+
+    def test_bounded_zero_one(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            first = make_model({f"t{i}": int(rng.integers(1, 5)) for i in range(30)})
+            second = make_model({f"t{i}": int(rng.integers(1, 5)) for i in range(30)})
+            value = rdiff(first, second)
+            assert 0.0 <= value <= 1.0

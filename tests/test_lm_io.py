@@ -1,0 +1,65 @@
+"""Unit tests for repro.lm.io (serialization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lm import LanguageModel, load_language_model, save_language_model
+
+
+@pytest.fixture
+def model() -> LanguageModel:
+    built = LanguageModel(name="serialized")
+    built.add_document(["apple", "apple", "banana"])
+    built.add_document(["cherry"])
+    return built
+
+
+class TestRoundTrip:
+    def test_statistics_preserved(self, tmp_path, model):
+        path = tmp_path / "model.lm"
+        save_language_model(model, path)
+        loaded = load_language_model(path)
+        assert set(loaded) == set(model)
+        for term in model:
+            assert loaded.df(term) == model.df(term)
+            assert loaded.ctf(term) == model.ctf(term)
+
+    def test_counters_preserved(self, tmp_path, model):
+        path = tmp_path / "model.lm"
+        save_language_model(model, path)
+        loaded = load_language_model(path)
+        assert loaded.documents_seen == 2
+        assert loaded.tokens_seen == 4
+        assert loaded.name == "serialized"
+
+    def test_terms_sorted_in_file(self, tmp_path, model):
+        path = tmp_path / "model.lm"
+        save_language_model(model, path)
+        lines = path.read_text().splitlines()[1:]
+        terms = [line.split()[0] for line in lines]
+        assert terms == sorted(terms)
+
+    def test_empty_model(self, tmp_path):
+        path = tmp_path / "empty.lm"
+        save_language_model(LanguageModel(name="empty"), path)
+        loaded = load_language_model(path)
+        assert len(loaded) == 0
+
+
+class TestErrorHandling:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.lm"
+        path.write_text("apple 1 2\n")
+        with pytest.raises(ValueError, match="header"):
+            load_language_model(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.lm"
+        path.write_text("#language-model name=x documents_seen=0 tokens_seen=0\napple 1\n")
+        with pytest.raises(ValueError, match=":2"):
+            load_language_model(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_language_model(tmp_path / "nope.lm")

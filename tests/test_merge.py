@@ -1,0 +1,107 @@
+"""Unit tests for repro.dbselect.merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbselect.base import finish_ranking
+from repro.dbselect.merge import CoriMerger, RawScoreMerger, RoundRobinMerger
+from repro.index.search import SearchResult
+
+
+def results(*pairs: tuple[str, float]) -> list[SearchResult]:
+    return [
+        SearchResult(doc_id=doc_id, score=score, doc_index=i)
+        for i, (doc_id, score) in enumerate(pairs)
+    ]
+
+
+@pytest.fixture
+def ranking():
+    return finish_ranking("q", {"good": 0.9, "mid": 0.5, "poor": 0.1})
+
+
+@pytest.fixture
+def per_db():
+    return {
+        "good": results(("g1", 5.0), ("g2", 4.0)),
+        "mid": results(("m1", 500.0), ("m2", 400.0)),  # inflated scale!
+        "poor": results(("p1", 0.05)),
+    }
+
+
+class TestCoriMerger:
+    def test_normalisation_defeats_scale_differences(self, ranking, per_db):
+        merged = CoriMerger().merge(ranking, per_db, n=10)
+        # Raw scores would put m1/m2 first; the CORI merge normalises
+        # within-database, so the good database's top doc wins.
+        assert merged[0].doc_id == "g1"
+
+    def test_collection_score_breaks_ties(self, ranking):
+        per_db = {
+            "good": results(("g1", 3.0), ("g2", 1.0)),
+            "poor": results(("p1", 3.0), ("p2", 1.0)),
+        }
+        merged = CoriMerger().merge(ranking, per_db, n=4)
+        # Both top docs normalise to 1.0 within their database; the
+        # better collection's doc must rank first.
+        assert merged[0].doc_id == "g1"
+        assert merged[1].doc_id == "p1"
+
+    def test_respects_n(self, ranking, per_db):
+        assert len(CoriMerger().merge(ranking, per_db, n=2)) == 2
+
+    def test_provenance_recorded(self, ranking, per_db):
+        merged = CoriMerger().merge(ranking, per_db, n=10)
+        assert {item.database for item in merged} == {"good", "mid", "poor"}
+
+    def test_empty_results(self, ranking):
+        assert CoriMerger().merge(ranking, {}, n=5) == []
+
+    def test_databases_missing_from_ranking_skipped(self, ranking):
+        merged = CoriMerger().merge(ranking, {"unknown": results(("u1", 1.0))}, n=5)
+        assert merged == []
+
+    def test_scores_in_unit_interval(self, ranking, per_db):
+        merged = CoriMerger().merge(ranking, per_db, n=10)
+        assert all(0.0 <= item.score <= 1.0 for item in merged)
+
+    def test_invalid_parameters(self, ranking, per_db):
+        with pytest.raises(ValueError):
+            CoriMerger(collection_weight=-1)
+        with pytest.raises(ValueError):
+            CoriMerger().merge(ranking, per_db, n=0)
+
+
+class TestRawScoreMerger:
+    def test_trusts_raw_scores(self, ranking, per_db):
+        merged = RawScoreMerger().merge(ranking, per_db, n=3)
+        assert merged[0].doc_id == "m1"  # the inflated scale wins
+
+    def test_deterministic_tie_break(self, ranking):
+        per_db = {
+            "good": results(("x", 1.0)),
+            "mid": results(("x", 1.0)),
+        }
+        merged = RawScoreMerger().merge(ranking, per_db, n=2)
+        assert [item.database for item in merged] == ["good", "mid"]
+
+
+class TestRoundRobinMerger:
+    def test_interleaves_by_database_rank(self, ranking, per_db):
+        merged = RoundRobinMerger().merge(ranking, per_db, n=5)
+        assert [item.doc_id for item in merged] == ["g1", "m1", "p1", "g2", "m2"]
+
+    def test_scores_reconstruct_order(self, ranking, per_db):
+        merged = RoundRobinMerger().merge(ranking, per_db, n=5)
+        scores = [item.score for item in merged]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_stops_when_everything_emitted(self, ranking, per_db):
+        merged = RoundRobinMerger().merge(ranking, per_db, n=100)
+        assert len(merged) == 5
+
+    def test_skips_empty_databases(self, ranking):
+        per_db = {"good": [], "mid": results(("m1", 1.0))}
+        merged = RoundRobinMerger().merge(ranking, per_db, n=5)
+        assert [item.doc_id for item in merged] == ["m1"]

@@ -1,0 +1,80 @@
+"""Unit tests for repro.lm.ngrams (bigram language models)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Document
+from repro.lm.ngrams import (
+    BIGRAM_SEPARATOR,
+    bigram_model_from_documents,
+    bigrams,
+    split_bigram,
+)
+from repro.text import Analyzer
+
+
+class TestBigrams:
+    def test_adjacent_pairs(self):
+        assert bigrams(["a", "b", "c"]) == [f"a{BIGRAM_SEPARATOR}b", f"b{BIGRAM_SEPARATOR}c"]
+
+    def test_short_sequences(self):
+        assert bigrams(["solo"]) == []
+        assert bigrams([]) == []
+
+    def test_split_round_trip(self):
+        for pair in bigrams(["alpha", "beta", "gamma"]):
+            first, second = split_bigram(pair)
+            assert f"{first}{BIGRAM_SEPARATOR}{second}" == pair
+
+    def test_split_rejects_unigram(self):
+        with pytest.raises(ValueError):
+            split_bigram("plain")
+
+    def test_separator_never_produced_by_tokenizer(self):
+        from repro.text.tokenizer import Tokenizer
+
+        assert Tokenizer().tokenize(f"a{BIGRAM_SEPARATOR}b") == ["a", "b"]
+
+
+class TestBigramModel:
+    def test_counts(self):
+        docs = [
+            Document(doc_id="a", text="white house press"),
+            Document(doc_id="b", text="white house garden"),
+        ]
+        model = bigram_model_from_documents(docs, Analyzer.raw())
+        assert model.df(f"white{BIGRAM_SEPARATOR}house") == 2
+        assert model.ctf(f"white{BIGRAM_SEPARATOR}house") == 2
+        assert model.df(f"house{BIGRAM_SEPARATOR}press") == 1
+        assert model.documents_seen == 2
+
+    def test_sentence_boundaries_reset_adjacency(self):
+        docs = [Document(doc_id="a", text="alpha beta. gamma delta")]
+        model = bigram_model_from_documents(docs, Analyzer.raw())
+        assert f"alpha{BIGRAM_SEPARATOR}beta" in model
+        assert f"gamma{BIGRAM_SEPARATOR}delta" in model
+        assert f"beta{BIGRAM_SEPARATOR}gamma" not in model
+
+    def test_stopwords_removed_before_pairing(self):
+        docs = [Document(doc_id="a", text="white and house")]
+        model = bigram_model_from_documents(docs)  # inquery-style default
+        assert f"white{BIGRAM_SEPARATOR}hous" in model
+
+    def test_stemming_applied(self):
+        docs = [Document(doc_id="a", text="running dogs")]
+        model = bigram_model_from_documents(docs)
+        assert f"run{BIGRAM_SEPARATOR}dog" in model
+
+    def test_repeated_phrase_in_one_document(self):
+        docs = [Document(doc_id="a", text="red car red car red car")]
+        model = bigram_model_from_documents(docs, Analyzer.raw())
+        pair = f"red{BIGRAM_SEPARATOR}car"
+        assert model.df(pair) == 1
+        assert model.ctf(pair) == 3
+
+    def test_empty_documents(self):
+        docs = [Document(doc_id="a", text="...")]
+        model = bigram_model_from_documents(docs, Analyzer.raw())
+        assert len(model) == 0
+        assert model.documents_seen == 1

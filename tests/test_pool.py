@@ -1,0 +1,150 @@
+"""Unit tests for repro.sampling.pool and sampler resumability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus, Document, partition_round_robin
+from repro.index import DatabaseServer
+from repro.sampling import (
+    ListBootstrap,
+    MaxDocuments,
+    QueryBasedSampler,
+    RandomFromOther,
+    SamplerConfig,
+    SamplingPool,
+)
+from repro.synth import cacm_like
+
+
+@pytest.fixture(scope="module")
+def federation() -> dict[str, DatabaseServer]:
+    corpus = cacm_like().build(seed=21, scale=0.3)
+    parts = partition_round_robin(corpus, 3)
+    return {part.name: DatabaseServer(part) for part in parts}
+
+
+def bootstrap_factory(servers):
+    return lambda name: RandomFromOther(servers[name].actual_language_model())
+
+
+class TestResumableSampler:
+    def test_resume_equivalent_to_one_shot(self, small_synthetic_server):
+        boot = RandomFromOther(small_synthetic_server.actual_language_model())
+        stepped = QueryBasedSampler(small_synthetic_server, bootstrap=boot, seed=7)
+        stepped.run(MaxDocuments(60))
+        resumed = stepped.run(MaxDocuments(140))
+        oneshot = QueryBasedSampler(small_synthetic_server, bootstrap=boot, seed=7).run(
+            MaxDocuments(140)
+        )
+        assert resumed.documents_examined == oneshot.documents_examined == 140
+        assert resumed.model.vocabulary == oneshot.model.vocabulary
+        assert resumed.query_terms == oneshot.query_terms
+
+    def test_run_with_satisfied_criterion_is_noop(self, small_synthetic_server):
+        boot = RandomFromOther(small_synthetic_server.actual_language_model())
+        sampler = QueryBasedSampler(small_synthetic_server, bootstrap=boot, seed=7)
+        sampler.run(MaxDocuments(40))
+        queries_before = sampler.queries_run
+        again = sampler.run(MaxDocuments(40))
+        assert sampler.queries_run == queries_before
+        assert again.documents_examined == 40
+
+    def test_progress_properties(self, small_synthetic_server):
+        boot = RandomFromOther(small_synthetic_server.actual_language_model())
+        sampler = QueryBasedSampler(small_synthetic_server, bootstrap=boot, seed=9)
+        assert sampler.documents_examined == 0
+        sampler.run(MaxDocuments(50))
+        assert sampler.documents_examined == 50
+        assert sampler.queries_run > 0
+        assert len(sampler.model) > 0
+
+    def test_last_rdiff_needs_two_snapshots(self, small_synthetic_server):
+        boot = RandomFromOther(small_synthetic_server.actual_language_model())
+        sampler = QueryBasedSampler(
+            small_synthetic_server,
+            bootstrap=boot,
+            config=SamplerConfig(snapshot_interval=25),
+            seed=9,
+        )
+        assert sampler.last_rdiff() is None
+        sampler.run(MaxDocuments(25))
+        assert sampler.last_rdiff() is None
+        sampler.run(MaxDocuments(50))
+        value = sampler.last_rdiff()
+        assert value is not None and 0.0 <= value <= 1.0
+
+    def test_exhausted_sampler_stays_exhausted(self):
+        corpus = Corpus([Document(doc_id="only", text="solo document here")])
+        server = DatabaseServer(corpus)
+        sampler = QueryBasedSampler(
+            server, bootstrap=ListBootstrap(["solo", "document"]), seed=1
+        )
+        first = sampler.run(MaxDocuments(10))
+        assert first.stop_reason == "vocabulary_exhausted"
+        second = sampler.run(MaxDocuments(10))
+        assert second.stop_reason == "vocabulary_exhausted"
+        assert second.queries_run == first.queries_run
+
+
+class TestSamplingPool:
+    def test_uniform_split(self, federation):
+        pool = SamplingPool(federation, bootstrap_factory(federation), scheduler="uniform")
+        result = pool.run(150)
+        assert result.total_documents == 150
+        for run in result.runs.values():
+            assert run.documents_examined == 50
+
+    def test_round_robin_budget_exact(self, federation):
+        pool = SamplingPool(
+            federation, bootstrap_factory(federation), scheduler="round_robin", increment=25
+        )
+        result = pool.run(200)
+        assert result.total_documents == 200
+        # Allocation spread is at most one increment.
+        counts = [run.documents_examined for run in result.runs.values()]
+        assert max(counts) - min(counts) <= 25
+
+    def test_convergence_covers_every_database(self, federation):
+        pool = SamplingPool(
+            federation, bootstrap_factory(federation), scheduler="convergence", increment=50
+        )
+        result = pool.run(450)
+        assert result.total_documents == 450
+        assert all(run.documents_examined > 0 for run in result.runs.values())
+
+    def test_models_property(self, federation):
+        pool = SamplingPool(federation, bootstrap_factory(federation))
+        result = pool.run(90)
+        assert set(result.models) == set(federation)
+        assert all(len(model) > 0 for model in result.models.values())
+
+    def test_exhaustion_releases_budget(self):
+        # One tiny database (8 docs) and one normal one: the tiny one
+        # exhausts and the rest of the budget flows to the other.
+        tiny = Corpus(
+            [Document(doc_id=f"t{i}", text=f"unique{i} shared words here") for i in range(8)],
+            name="tinydb",
+        )
+        big = cacm_like().build(seed=33, scale=0.1)
+        servers = {"tinydb": DatabaseServer(tiny), "bigdb": DatabaseServer(big)}
+        pool = SamplingPool(
+            servers,
+            bootstrap_factory(servers),
+            scheduler="round_robin",
+            increment=20,
+        )
+        result = pool.run(120)
+        assert result.runs["tinydb"].documents_examined <= 8
+        assert result.runs["bigdb"].documents_examined >= 100
+
+    def test_validation(self, federation):
+        with pytest.raises(ValueError):
+            SamplingPool({}, bootstrap_factory(federation))
+        with pytest.raises(ValueError):
+            SamplingPool(federation, bootstrap_factory(federation), scheduler="magic")
+        with pytest.raises(ValueError):
+            SamplingPool(federation, bootstrap_factory(federation), increment=0)
+        pool = SamplingPool(federation, bootstrap_factory(federation))
+        with pytest.raises(ValueError):
+            pool.run(0)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.index.positions and phrase search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import Corpus, Document
+from repro.index import DatabaseServer, InvertedIndex, PositionalIndex, SearchEngine
+from repro.index.positions import PositionalPostingList
+from repro.text import Analyzer
+
+
+@pytest.fixture(scope="module")
+def corpus() -> Corpus:
+    return Corpus(
+        [
+            Document(doc_id="a", text="white house press office"),
+            Document(doc_id="b", text="white painted house garden"),
+            Document(doc_id="c", text="white house white house"),
+            Document(doc_id="d", text="house white"),
+            Document(doc_id="e", text="green garden gnome"),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def positional(corpus) -> PositionalIndex:
+    return PositionalIndex(corpus, Analyzer.raw())
+
+
+class TestPositionalPostings:
+    def test_positions_recorded(self, positional):
+        posting = positional.postings("white")
+        assert posting is not None
+        assert posting.doc_indices.tolist() == [0, 1, 2, 3]
+        # doc c: positions 0 and 2.
+        assert posting.positions[2].tolist() == [0, 2]
+
+    def test_absent_term(self, positional):
+        assert positional.postings("zebra") is None
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            PositionalPostingList(
+                doc_indices=np.arange(2), positions=(np.array([0]),)
+            )
+
+
+class TestPhrasePostings:
+    def test_adjacent_match(self, positional):
+        posting = positional.phrase_postings(["white", "house"])
+        assert posting.doc_indices.tolist() == [0, 2]
+
+    def test_phrase_counts(self, positional):
+        posting = positional.phrase_postings(["white", "house"])
+        assert posting.term_frequencies.tolist() == [1, 2]  # doc c matches twice
+
+    def test_order_matters(self, positional):
+        posting = positional.phrase_postings(["house", "white"])
+        assert posting.doc_indices.tolist() == [2, 3]  # "house white" in c and d
+
+    def test_gap_does_not_match(self, positional):
+        # "white painted house": white..house not adjacent in doc b.
+        posting = positional.phrase_postings(["white", "house"])
+        assert 1 not in posting.doc_indices.tolist()
+
+    def test_three_word_phrase(self, positional):
+        posting = positional.phrase_postings(["white", "house", "press"])
+        assert posting.doc_indices.tolist() == [0]
+
+    def test_unknown_member_empty(self, positional):
+        assert len(positional.phrase_postings(["white", "zebra"])) == 0
+
+    def test_empty_phrase(self, positional):
+        assert len(positional.phrase_postings([])) == 0
+
+
+class TestEnginePhraseSearch:
+    def test_phrase_search_ranks_by_count(self, corpus):
+        engine = SearchEngine(InvertedIndex(corpus, Analyzer.raw()))
+        results = engine.search_phrase("white house", n=5)
+        assert [r.doc_id for r in results] == ["c", "a"]
+
+    def test_single_word_phrase_falls_back(self, corpus):
+        engine = SearchEngine(InvertedIndex(corpus, Analyzer.raw()))
+        assert engine.search_phrase("white", n=2) == engine.search("white", n=2)
+
+    def test_phrase_through_stemmed_index(self):
+        stemmed = Corpus(
+            [
+                Document(doc_id="x", text="the running dogs barked"),
+                Document(doc_id="y", text="dogs running around"),
+            ]
+        )
+        engine = SearchEngine(InvertedIndex(stemmed))  # inquery-style
+        results = engine.search_phrase("running dog", n=5)
+        assert [r.doc_id for r in results] == ["x"]
+
+    def test_stopwords_removed_before_adjacency(self):
+        stemmed = Corpus([Document(doc_id="x", text="bread and butter")])
+        engine = SearchEngine(InvertedIndex(stemmed))
+        # "and" is a stopword: bread/butter are adjacent index terms.
+        assert engine.search_phrase("bread butter", n=1)
+
+    def test_invalid_n(self, corpus):
+        engine = SearchEngine(InvertedIndex(corpus, Analyzer.raw()))
+        with pytest.raises(ValueError):
+            engine.search_phrase("white house", n=0)
+
+
+class TestServerQuotedQueries:
+    def test_quoted_query_is_phrase(self, corpus):
+        server = DatabaseServer(corpus, analyzer=Analyzer.raw())
+        quoted = [d.doc_id for d in server.run_query('"white house"', max_docs=5)]
+        unquoted = [d.doc_id for d in server.run_query("white house", max_docs=5)]
+        assert quoted == ["c", "a"]
+        assert set(quoted) < set(unquoted)
+
+    def test_quoted_query_counts_as_query(self, corpus):
+        server = DatabaseServer(corpus, analyzer=Analyzer.raw())
+        server.run_query('"white house"', max_docs=5)
+        assert server.costs.queries_run == 1
+
+    def test_empty_quotes(self, corpus):
+        server = DatabaseServer(corpus, analyzer=Analyzer.raw())
+        assert server.run_query('""', max_docs=5) == []

@@ -1,0 +1,98 @@
+"""Unit tests for repro.synth.profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth.profiles import (
+    MSSUPPORT_DOMAIN_TERMS,
+    cacm_like,
+    mssupport_like,
+    paper_testbed,
+    trec123_like,
+    wsj88_like,
+)
+
+
+class TestProfileDefinitions:
+    def test_table1_size_ordering(self):
+        # CACM < WSJ88 < TREC-123 in documents, as in the paper's Table 1.
+        cacm = cacm_like().generator.num_documents
+        wsj = wsj88_like().generator.num_documents
+        trec = trec123_like().generator.num_documents
+        assert cacm < wsj < trec
+
+    def test_cacm_document_count_matches_paper(self):
+        assert cacm_like().generator.num_documents == 3204
+
+    def test_variety_labels(self):
+        assert cacm_like().variety == "homogeneous"
+        assert wsj88_like().variety == "heterogeneous"
+        assert trec123_like().variety == "very heterogeneous"
+
+    def test_heterogeneity_increases_with_size(self):
+        assert cacm_like().num_topics < wsj88_like().num_topics < trec123_like().num_topics
+
+    def test_vocabulary_grows_with_size(self):
+        assert (
+            cacm_like().vocabulary.content_size
+            < wsj88_like().vocabulary.content_size
+            < trec123_like().vocabulary.content_size
+        )
+
+    def test_mssupport_has_domain_terms(self):
+        profile = mssupport_like()
+        assert profile.vocabulary.domain_terms == MSSUPPORT_DOMAIN_TERMS
+        assert profile.pinned_front == len(MSSUPPORT_DOMAIN_TERMS)
+
+
+class TestScaling:
+    def test_scale_one_is_identity(self):
+        profile = cacm_like()
+        assert profile.scaled(1.0) is profile
+
+    def test_scale_down_documents_linear(self):
+        scaled = wsj88_like().scaled(0.1)
+        assert scaled.generator.num_documents == 1200
+
+    def test_scale_down_vocabulary_sqrt(self):
+        base = wsj88_like()
+        scaled = base.scaled(0.25)
+        assert scaled.vocabulary.content_size == pytest.approx(
+            base.vocabulary.content_size * 0.5, rel=0.01
+        )
+
+    def test_scale_floor_keeps_topic_vocab_valid(self):
+        scaled = trec123_like().scaled(0.0001)
+        assert scaled.vocabulary.content_size > scaled.topic_vocab_size
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            cacm_like().scaled(0)
+
+
+class TestBuild:
+    def test_build_small(self):
+        corpus = cacm_like().build(seed=0, scale=0.02)
+        assert len(corpus) == 64
+        assert corpus.name == "cacm"
+
+    def test_build_deterministic(self):
+        first = cacm_like().build(seed=5, scale=0.02)
+        second = cacm_like().build(seed=5, scale=0.02)
+        assert [d.text for d in first] == [d.text for d in second]
+
+    def test_build_seed_changes_content(self):
+        first = cacm_like().build(seed=1, scale=0.02)
+        second = cacm_like().build(seed=2, scale=0.02)
+        assert [d.text for d in first] != [d.text for d in second]
+
+    def test_mssupport_contains_product_terms(self):
+        corpus = mssupport_like().build(seed=0, scale=0.05)
+        text = " ".join(document.text for document in corpus)
+        hits = sum(1 for term in ("microsoft", "excel", "windows") if term in text)
+        assert hits == 3
+
+    def test_paper_testbed_keys(self):
+        testbed = paper_testbed(seed=0, scale=0.01)
+        assert set(testbed) == {"cacm", "wsj88", "trec123"}

@@ -1,0 +1,94 @@
+"""Public API surface tests.
+
+Guards the promises README makes: every re-exported name imports, every
+``__all__`` entry exists, and all public callables carry docstrings.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.corpus",
+    "repro.dbselect",
+    "repro.expansion",
+    "repro.experiments",
+    "repro.federation",
+    "repro.index",
+    "repro.lm",
+    "repro.sampling",
+    "repro.sizeest",
+    "repro.starts",
+    "repro.summarize",
+    "repro.synth",
+    "repro.text",
+    "repro.utils",
+]
+
+
+def _walk_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                if info.name.startswith("__"):
+                    continue  # never import __main__ (it runs the CLI)
+                yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestPackageSurface:
+    def test_imports(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module is not None
+
+    def test_all_entries_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package_name}.__all__ lists missing {name}"
+
+    def test_module_docstring(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+
+class TestDocstrings:
+    def test_every_public_callable_documented(self):
+        undocumented = []
+        for module in _walk_modules():
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if obj.__module__.startswith("repro") and not (obj.__doc__ or "").strip():
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, undocumented
+
+    def test_public_methods_documented(self):
+        undocumented = []
+        for module in _walk_modules():
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if not inspect.isclass(obj) or not obj.__module__.startswith("repro"):
+                    continue
+                for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+                    if method_name.startswith("_"):
+                        continue
+                    if method.__qualname__.split(".")[0] != obj.__name__:
+                        continue  # inherited
+                    if not (method.__doc__ or "").strip():
+                        undocumented.append(f"{obj.__module__}.{obj.__name__}.{method_name}")
+        assert not undocumented, sorted(set(undocumented))
+
+
+class TestVersion:
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))

@@ -1,0 +1,152 @@
+"""Behavioural tests of sampling dynamics on synthetic databases.
+
+These test the *scientific* behaviour the paper depends on, beyond the
+mechanical unit tests: bias of retrieved samples, metric convergence,
+strategy interactions, and the relationship between observable and
+hidden quality signals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import DatabaseServer
+from repro.lm import ctf_ratio, percentage_learned, rdiff
+from repro.sampling import (
+    FrequencyFromLearned,
+    MaxDocuments,
+    QueryBasedSampler,
+    RandomFromOther,
+    SamplerConfig,
+)
+from repro.synth import wsj88_like
+
+
+@pytest.fixture(scope="module")
+def server() -> DatabaseServer:
+    return DatabaseServer(wsj88_like().build(seed=71, scale=0.1))
+
+
+@pytest.fixture(scope="module")
+def actual(server):
+    return server.actual_language_model()
+
+
+def run_with(server, seed=0, max_docs=200, **kwargs):
+    sampler = QueryBasedSampler(
+        server,
+        bootstrap=RandomFromOther(server.actual_language_model()),
+        stopping=MaxDocuments(max_docs),
+        seed=seed,
+        **kwargs,
+    )
+    return sampler.run()
+
+
+class TestConvergenceBehaviour:
+    def test_ctf_ratio_grows_along_snapshots(self, server, actual):
+        run = run_with(server, seed=1)
+        ratios = [
+            ctf_ratio(s.model.project(server.index.analyzer), actual)
+            for s in run.snapshots
+        ]
+        assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > 0.6
+
+    def test_rdiff_falls_with_more_documents(self, server):
+        run = run_with(server, seed=2, max_docs=300)
+        values = [
+            rdiff(a.model, b.model)
+            for a, b in zip(run.snapshots, run.snapshots[1:])
+        ]
+        assert values[-1] < values[0]
+
+    def test_marginal_value_of_documents_decreases(self, server, actual):
+        # The paper's leveling-off: the first 100 documents buy more ctf
+        # coverage than the second 100.
+        run = run_with(server, seed=3, max_docs=200)
+        at_100 = ctf_ratio(
+            run.snapshot_at(100).model.project(server.index.analyzer), actual
+        )
+        at_200 = ctf_ratio(
+            run.snapshot_at(200).model.project(server.index.analyzer), actual
+        )
+        assert at_100 > (at_200 - at_100)
+
+
+class TestSampleBias:
+    def test_sample_df_overestimates_query_terms(self, server, actual):
+        # Retrieval bias: terms used as queries appear in *every*
+        # retrieved document for that query, inflating their sample
+        # df relative to a random sample.
+        run = run_with(server, seed=4)
+        sample_fraction = run.documents_examined / server.num_documents
+        inflated = 0
+        checked = 0
+        for record in run.queries:
+            if record.failed or record.new_documents == 0:
+                continue
+            term = record.term
+            true_df = actual.df(server.index.analyzer.project_term(term) or term)
+            if true_df == 0:
+                continue
+            expected_in_sample = true_df * sample_fraction
+            if run.model.df(term) > expected_in_sample:
+                inflated += 1
+            checked += 1
+        assert checked > 10
+        # More than half of all query terms are overrepresented in the
+        # sample (at this small corpus scale the bias is diluted by the
+        # large sample fraction; at paper scale it is far stronger).
+        assert inflated / checked > 0.55
+
+    def test_learned_vocabulary_skews_frequent(self, server, actual):
+        # The learned vocabulary covers a far greater share of term
+        # *occurrences* than of distinct terms (paper's Figure 1a vs 1b).
+        run = run_with(server, seed=5, max_docs=100)
+        projected = run.model.project(server.index.analyzer)
+        assert ctf_ratio(projected, actual) > 1.5 * percentage_learned(projected, actual)
+
+
+class TestStrategyInteractions:
+    def test_frequency_strategy_queries_never_fail(self, server):
+        # High-frequency learned terms (beyond the first bootstrap
+        # query) always match something on the server unless they are
+        # server-side stopwords.
+        run = run_with(server, seed=6, strategy=FrequencyFromLearned("ctf"))
+        steady_state = run.queries[5:]
+        failures = [record for record in steady_state if record.failed]
+        # Stopwords dominate raw ctf, so early failures happen — but
+        # every failure must be a server-stopword query.
+        from repro.text.stopwords import INQUERY_STOPWORDS
+
+        assert all(record.term in INQUERY_STOPWORDS for record in failures)
+
+    def test_different_docs_per_query_reach_same_coverage(self, server, actual):
+        # Table 2's headline: N barely matters for small N.
+        coverage = {}
+        for docs_per_query in (2, 4):
+            run = run_with(
+                server,
+                seed=7,
+                config=SamplerConfig(docs_per_query=docs_per_query),
+            )
+            projected = run.model.project(server.index.analyzer)
+            coverage[docs_per_query] = ctf_ratio(projected, actual)
+        assert abs(coverage[2] - coverage[4]) < 0.08
+
+
+class TestCostAccounting:
+    def test_server_meters_match_run(self, server):
+        server.reset_costs()
+        run = run_with(server, seed=8, max_docs=100)
+        assert server.costs.queries_run == run.queries_run
+        assert server.costs.failed_queries == run.failed_queries
+        # The server returned at least as many documents as the client
+        # kept (duplicates are returned but not re-kept).
+        assert server.costs.documents_returned >= run.documents_examined
+
+    def test_bytes_metered(self, server):
+        server.reset_costs()
+        run_with(server, seed=9, max_docs=50)
+        assert server.costs.bytes_returned > 0

@@ -1,0 +1,88 @@
+"""Unit tests for repro.index.scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.scoring import (
+    Bm25Scorer,
+    CollectionContext,
+    InqueryScorer,
+    TfIdfScorer,
+    _robertson_tf,
+)
+
+CONTEXT = CollectionContext(num_documents=1000, average_doc_length=100.0)
+
+
+def _score(scorer, tfs, lengths, df, context=CONTEXT):
+    return scorer.score_term(
+        np.asarray(tfs, dtype=np.float64),
+        np.asarray(lengths, dtype=np.float64),
+        df,
+        context,
+    )
+
+
+class TestRobertsonTf:
+    def test_increases_with_tf(self):
+        values = _robertson_tf(np.array([1.0, 2.0, 5.0]), np.full(3, 100.0), 100.0)
+        assert np.all(np.diff(values) > 0)
+
+    def test_decreases_with_doc_length(self):
+        values = _robertson_tf(np.array([3.0, 3.0]), np.array([50.0, 500.0]), 100.0)
+        assert values[0] > values[1]
+
+    def test_saturates_below_one(self):
+        values = _robertson_tf(np.array([10_000.0]), np.array([100.0]), 100.0)
+        assert values[0] < 1.0
+
+    def test_zero_average_guarded(self):
+        values = _robertson_tf(np.array([2.0]), np.array([10.0]), 0.0)
+        assert np.isfinite(values[0])
+
+
+@pytest.mark.parametrize("scorer", [TfIdfScorer(), Bm25Scorer(), InqueryScorer()])
+class TestAllScorers:
+    def test_higher_tf_scores_higher(self, scorer):
+        scores = _score(scorer, [1, 5], [100, 100], df=10)
+        assert scores[1] > scores[0]
+
+    def test_longer_doc_scores_lower_at_same_tf(self, scorer):
+        scores = _score(scorer, [3, 3], [50, 400], df=10)
+        assert scores[0] > scores[1]
+
+    def test_rare_term_scores_higher(self, scorer):
+        rare = _score(scorer, [3], [100], df=2)[0]
+        common = _score(scorer, [3], [100], df=900)[0]
+        assert rare > common
+
+    def test_scores_finite_and_nonnegative(self, scorer):
+        scores = _score(scorer, [1, 2, 100], [10, 100, 1000], df=500)
+        assert np.all(np.isfinite(scores))
+        assert np.all(scores >= 0)
+
+
+class TestInquerySpecifics:
+    def test_default_belief_floor(self):
+        scorer = InqueryScorer(default_belief=0.4)
+        scores = _score(scorer, [1], [100], df=999)
+        assert scores[0] >= 0.4
+
+    def test_belief_bounded_by_one(self):
+        scorer = InqueryScorer()
+        scores = _score(scorer, [1000], [100], df=1)
+        assert scores[0] < 1.0
+
+
+class TestBm25Specifics:
+    def test_k1_zero_ignores_tf(self):
+        scorer = Bm25Scorer(k1=0.0)
+        scores = _score(scorer, [1, 10], [100, 100], df=10)
+        assert scores[0] == pytest.approx(scores[1])
+
+    def test_b_zero_ignores_length(self):
+        scorer = Bm25Scorer(b=0.0)
+        scores = _score(scorer, [3, 3], [50, 500], df=10)
+        assert scores[0] == pytest.approx(scores[1])

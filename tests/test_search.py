@@ -1,0 +1,103 @@
+"""Unit tests for repro.index.search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus, Document
+from repro.index import InvertedIndex, SearchEngine
+from repro.text import Analyzer
+
+
+@pytest.fixture(scope="module")
+def engine() -> SearchEngine:
+    corpus = Corpus(
+        [
+            Document(doc_id="d1", text="apple apple apple"),
+            Document(doc_id="d2", text="apple banana"),
+            Document(doc_id="d3", text="banana banana cherry"),
+            Document(doc_id="d4", text="cherry apple banana plum"),
+            Document(doc_id="d5", text="plum plum plum plum plum"),
+        ]
+    )
+    return SearchEngine(InvertedIndex(corpus, Analyzer.raw()))
+
+
+class TestSingleTermSearch:
+    def test_highest_tf_ranks_first(self, engine):
+        results = engine.search("apple", n=3)
+        assert results[0].doc_id == "d1"
+
+    def test_returns_at_most_n(self, engine):
+        assert len(engine.search("apple", n=2)) == 2
+
+    def test_returns_all_matches_when_fewer_than_n(self, engine):
+        assert len(engine.search("cherry", n=10)) == 2
+
+    def test_unknown_term_returns_empty(self, engine):
+        assert engine.search("durian", n=5) == []
+
+    def test_scores_descending(self, engine):
+        results = engine.search("banana", n=5)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_n(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("apple", n=0)
+
+    def test_deterministic_tie_break_by_doc_order(self, engine):
+        # d2 and d4 both contain "apple" once; d2 is shorter so scores
+        # higher, but equal-score ties must resolve by document order.
+        corpus = Corpus(
+            [
+                Document(doc_id="a", text="kiwi fig"),
+                Document(doc_id="b", text="kiwi fig"),
+                Document(doc_id="c", text="kiwi fig"),
+            ]
+        )
+        same_engine = SearchEngine(InvertedIndex(corpus, Analyzer.raw()))
+        results = same_engine.search("kiwi", n=3)
+        assert [r.doc_id for r in results] == ["a", "b", "c"]
+
+
+class TestMultiTermSearch:
+    def test_documents_matching_more_terms_preferred(self, engine):
+        # d2 matches both query terms once; d1 matches only "apple"
+        # (albeit three times) — the saturating tf keeps d2 ahead.
+        results = engine.search("apple banana", n=5)
+        assert results[0].doc_id == "d2"
+
+    def test_multi_term_includes_partial_matches(self, engine):
+        doc_ids = {r.doc_id for r in engine.search("cherry plum", n=5)}
+        assert {"d3", "d4", "d5"} <= doc_ids
+
+    def test_empty_query(self, engine):
+        assert engine.search("", n=5) == []
+
+    def test_punctuation_only_query(self, engine):
+        assert engine.search("!!!", n=5) == []
+
+
+class TestAnalyzedQueries:
+    def test_query_goes_through_database_analyzer(self):
+        corpus = Corpus([Document(doc_id="d", text="The dogs were running fast")])
+        stemmed_engine = SearchEngine(InvertedIndex(corpus))  # inquery-style
+        # Raw query forms must match the stemmed index.
+        assert stemmed_engine.search("running", n=1)
+        assert stemmed_engine.search("dogs", n=1)
+        assert stemmed_engine.search("dog", n=1)
+
+    def test_stopword_query_fails(self):
+        corpus = Corpus([Document(doc_id="d", text="the cat sat")])
+        stemmed_engine = SearchEngine(InvertedIndex(corpus))
+        assert stemmed_engine.search("the", n=5) == []
+
+
+class TestFetch:
+    def test_fetch_returns_document(self, engine):
+        assert engine.fetch("d3").text == "banana banana cherry"
+
+    def test_fetch_missing_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.fetch("zzz")

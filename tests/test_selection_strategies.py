@@ -1,0 +1,146 @@
+"""Unit tests for repro.sampling.selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lm import LanguageModel
+from repro.sampling import (
+    FrequencyFromLearned,
+    ListBootstrap,
+    RandomFromLearned,
+    RandomFromOther,
+    is_eligible_query_term,
+)
+
+
+@pytest.fixture
+def learned() -> LanguageModel:
+    model = LanguageModel()
+    model.add_document(["apple", "apple", "apple", "banana"])      # apple ctf 3
+    model.add_document(["apple", "banana", "cherry"])
+    model.add_document(["banana", "dragonfruit"])                  # banana df 3
+    return model
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestEligibility:
+    @pytest.mark.parametrize("term", ["apple", "win32", "abc"])
+    def test_eligible(self, term):
+        assert is_eligible_query_term(term)
+
+    @pytest.mark.parametrize("term", ["ab", "12", "1988", "", "two words", "a-b"])
+    def test_ineligible(self, term):
+        # The paper: "could not be a number and was required to be 3 or
+        # more characters long".
+        assert not is_eligible_query_term(term)
+
+    def test_custom_min_length(self):
+        assert is_eligible_query_term("ab", min_length=2)
+
+
+class TestRandomFromLearned:
+    def test_selects_from_vocabulary(self, learned):
+        term = RandomFromLearned().select(learned, set(), rng())
+        assert term in learned.vocabulary
+
+    def test_never_reuses(self, learned):
+        strategy = RandomFromLearned()
+        used: set[str] = set()
+        picks = []
+        while True:
+            term = strategy.select(learned, used, rng(len(picks)))
+            if term is None:
+                break
+            assert term not in used
+            used.add(term)
+            picks.append(term)
+        assert sorted(picks) == sorted(learned.vocabulary)
+
+    def test_exhausted_returns_none(self, learned):
+        used = set(learned.vocabulary)
+        assert RandomFromLearned().select(learned, used, rng()) is None
+
+    def test_empty_model_returns_none(self):
+        assert RandomFromLearned().select(LanguageModel(), set(), rng()) is None
+
+    def test_ineligible_terms_skipped(self):
+        model = LanguageModel()
+        model.add_document(["ab", "12", "999"])
+        assert RandomFromLearned().select(model, set(), rng()) is None
+
+    def test_deterministic_given_rng(self, learned):
+        first = RandomFromLearned().select(learned, set(), rng(42))
+        second = RandomFromLearned().select(learned, set(), rng(42))
+        assert first == second
+
+
+class TestFrequencyFromLearned:
+    def test_df_picks_highest_df(self, learned):
+        assert FrequencyFromLearned("df").select(learned, set(), rng()) == "banana"
+
+    def test_ctf_picks_highest_ctf(self, learned):
+        assert FrequencyFromLearned("ctf").select(learned, set(), rng()) == "apple"
+
+    def test_avg_tf_picks_highest_ratio(self, learned):
+        # apple: 4/2 = 2.0; banana: 3/3 = 1.0
+        assert FrequencyFromLearned("avg_tf").select(learned, set(), rng()) == "apple"
+
+    def test_used_terms_skipped(self, learned):
+        assert (
+            FrequencyFromLearned("df").select(learned, {"banana"}, rng()) == "apple"
+        )
+
+    def test_tie_breaks_alphabetically(self):
+        model = LanguageModel()
+        model.add_document(["zebra", "aardvark"])
+        assert FrequencyFromLearned("df").select(model, set(), rng()) == "aardvark"
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            FrequencyFromLearned("idf")
+
+    def test_name(self):
+        assert FrequencyFromLearned("ctf").name == "ctf_llm"
+
+
+class TestRandomFromOther:
+    def test_draws_from_other_model(self, learned):
+        other = LanguageModel()
+        other.add_document(["xylophone", "yacht"])
+        strategy = RandomFromOther(other)
+        term = strategy.select(learned, set(), rng())
+        assert term in {"xylophone", "yacht"}
+
+    def test_ignores_learned_model(self):
+        other = LanguageModel()
+        other.add_document(["xylophone"])
+        assert RandomFromOther(other).select(LanguageModel(), set(), rng()) == "xylophone"
+
+    def test_exhaustion(self):
+        other = LanguageModel()
+        other.add_document(["xylophone"])
+        assert RandomFromOther(other).select(LanguageModel(), {"xylophone"}, rng()) is None
+
+
+class TestListBootstrap:
+    def test_in_order(self):
+        bootstrap = ListBootstrap(["first", "second"])
+        assert bootstrap.select(LanguageModel(), set(), rng()) == "first"
+        assert bootstrap.select(LanguageModel(), {"first"}, rng()) == "second"
+
+    def test_filters_ineligible(self):
+        bootstrap = ListBootstrap(["ab", "12", "valid"])
+        assert bootstrap.terms == ["valid"]
+
+    def test_all_ineligible_rejected(self):
+        with pytest.raises(ValueError):
+            ListBootstrap(["ab", "12"])
+
+    def test_exhaustion(self):
+        bootstrap = ListBootstrap(["only"])
+        assert bootstrap.select(LanguageModel(), {"only"}, rng()) is None

@@ -1,0 +1,99 @@
+"""Unit tests for repro.lm.shrinkage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lm import LanguageModel, shrink, shrink_all
+
+
+def make_model(term_ctf: dict[str, int], docs: int, name: str = "m") -> LanguageModel:
+    model = LanguageModel(name=name)
+    for term, ctf in term_ctf.items():
+        model.add_term(term, df=max(1, ctf // 2), ctf=ctf)
+    model.documents_seen = docs
+    model.tokens_seen = sum(term_ctf.values())
+    return model
+
+
+@pytest.fixture
+def sample() -> LanguageModel:
+    return make_model({"alpha": 40, "beta": 8, "gamma": 2}, docs=50, name="sample")
+
+
+@pytest.fixture
+def background() -> LanguageModel:
+    return make_model(
+        {"alpha": 400, "beta": 300, "delta": 200, "epsilon": 100}, docs=1000, name="bg"
+    )
+
+
+class TestShrink:
+    def test_gains_background_vocabulary(self, sample, background):
+        shrunk = shrink(sample, background, weight=0.8)
+        assert "delta" in shrunk  # unseen in the sample, known to background
+        assert shrunk.ctf("delta") > 0
+
+    def test_sample_terms_dominant_at_high_weight(self, sample, background):
+        shrunk = shrink(sample, background, weight=0.9)
+        # alpha stays the top term; its count stays near the sample's.
+        assert shrunk.top_terms(1, key="ctf")[0].term == "alpha"
+        assert shrunk.ctf("alpha") >= 0.8 * sample.ctf("alpha")
+
+    def test_weight_one_is_identity_on_counts(self, sample, background):
+        shrunk = shrink(sample, background, weight=1.0)
+        for term in sample:
+            assert shrunk.ctf(term) == sample.ctf(term)
+        # Background-only terms get zero mass at weight 1 → dropped.
+        assert "delta" not in shrunk
+
+    def test_token_mass_preserved_approximately(self, sample, background):
+        shrunk = shrink(sample, background, weight=0.7)
+        assert shrunk.total_ctf == pytest.approx(sample.total_ctf, rel=0.2)
+
+    def test_magnitudes_keep_sample_scale(self, sample, background):
+        shrunk = shrink(sample, background, weight=0.8)
+        assert shrunk.documents_seen == sample.documents_seen
+        assert shrunk.tokens_seen == sample.tokens_seen
+
+    def test_df_never_exceeds_ctf(self, sample, background):
+        shrunk = shrink(sample, background, weight=0.5)
+        for stats in shrunk.items():
+            assert 1 <= stats.df <= stats.ctf
+
+    def test_invalid_weight(self, sample, background):
+        for weight in (0.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                shrink(sample, background, weight=weight)
+
+    def test_empty_models_rejected(self, sample):
+        with pytest.raises(ValueError):
+            shrink(LanguageModel(), sample)
+        with pytest.raises(ValueError):
+            shrink(sample, LanguageModel())
+
+
+class TestShrinkAll:
+    def test_every_model_shrunk_toward_union(self):
+        models = {
+            "a": make_model({"alpha": 20, "shared": 10}, docs=30, name="a"),
+            "b": make_model({"beta": 20, "shared": 10}, docs=30, name="b"),
+            "c": make_model({"gamma": 20, "shared": 10}, docs=30, name="c"),
+        }
+        shrunk = shrink_all(models, weight=0.7)
+        assert set(shrunk) == {"a", "b", "c"}
+        # a's shrunk model now knows beta and gamma (from the union).
+        assert "beta" in shrunk["a"]
+        assert "gamma" in shrunk["a"]
+        # ...but its own vocabulary still dominates.
+        assert shrunk["a"].ctf("alpha") > shrunk["a"].ctf("beta")
+
+    def test_single_model_copied(self):
+        models = {"only": make_model({"alpha": 5}, docs=10)}
+        shrunk = shrink_all(models)
+        assert shrunk["only"] is not models["only"]
+        assert shrunk["only"].ctf("alpha") == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            shrink_all({})

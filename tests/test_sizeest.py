@@ -1,0 +1,214 @@
+"""Unit tests for repro.sizeest (capture-recapture and sample-resample)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lm import LanguageModel
+from repro.sampling import RandomFromOther
+from repro.sizeest import (
+    capture_recapture_report,
+    collect_capture_samples,
+    estimate_database_size,
+    lincoln_petersen,
+    sample_resample,
+    schnabel,
+    schumacher_eschmeyer,
+)
+
+
+class TestLincolnPetersen:
+    def test_known_overlap(self):
+        # n1=50, n2=40, m=19 → Chapman: 51*41/20 - 1 = 103.55
+        sample_a = {f"d{i}" for i in range(50)}
+        sample_b = {f"d{i}" for i in range(31, 71)}
+        assert lincoln_petersen(sample_a, sample_b) == pytest.approx(103.55)
+
+    def test_no_overlap_finite(self):
+        estimate = lincoln_petersen({"a", "b"}, {"c", "d"})
+        assert np.isfinite(estimate)
+        assert estimate == pytest.approx(3 * 3 / 1 - 1)
+
+    def test_identical_samples(self):
+        sample = {f"d{i}" for i in range(10)}
+        # Full recapture: estimate ≈ the sample size itself.
+        assert lincoln_petersen(sample, sample) == pytest.approx(11 * 11 / 11 - 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lincoln_petersen(set(), {"a"})
+
+
+class TestMultiSample:
+    def _uniform_samples(self, population: int, size: int, k: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        return [
+            {f"d{i}" for i in rng.choice(population, size=size, replace=False)}
+            for _ in range(k)
+        ]
+
+    @pytest.mark.parametrize("estimator", [schnabel, schumacher_eschmeyer])
+    def test_recovers_population_under_uniform_sampling(self, estimator):
+        # With truly uniform samples the estimators should land near the
+        # true population (within ~30% at this effort).
+        samples = self._uniform_samples(population=1000, size=150, k=5, seed=3)
+        estimate = estimator(samples)
+        assert 650 < estimate < 1400, estimate
+
+    @pytest.mark.parametrize("estimator", [schnabel, schumacher_eschmeyer])
+    def test_requires_two_samples(self, estimator):
+        with pytest.raises(ValueError):
+            estimator([{"a"}])
+
+    @pytest.mark.parametrize("estimator", [schnabel, schumacher_eschmeyer])
+    def test_rejects_empty_sample(self, estimator):
+        with pytest.raises(ValueError):
+            estimator([{"a"}, set()])
+
+    def test_schumacher_disjoint_samples_undefined(self):
+        with pytest.raises(ValueError, match="recaptures"):
+            schumacher_eschmeyer([{"a"}, {"b"}, {"c"}])
+
+    def test_schnabel_disjoint_samples_finite(self):
+        # Schnabel's +1 correction keeps disjoint samples finite (a
+        # large estimate, as it should be).
+        estimate = schnabel([{f"a{i}" for i in range(10)}, {f"b{i}" for i in range(10)}])
+        assert np.isfinite(estimate)
+        assert estimate >= 100
+
+
+class TestCollectSamples:
+    def test_episodes_differ(self, small_synthetic_server):
+        bootstrap = RandomFromOther(small_synthetic_server.actual_language_model())
+        samples = collect_capture_samples(
+            small_synthetic_server, bootstrap, num_samples=3, docs_per_sample=30, seed=2
+        )
+        assert len(samples) == 3
+        assert all(len(sample) == 30 for sample in samples)
+        assert samples[0] != samples[1]
+
+    def test_minimum_two(self, small_synthetic_server):
+        bootstrap = RandomFromOther(small_synthetic_server.actual_language_model())
+        with pytest.raises(ValueError):
+            collect_capture_samples(small_synthetic_server, bootstrap, num_samples=1)
+
+
+class FakeCountingServer:
+    """Reports hit counts from a fixed df table."""
+
+    name = "fake"
+
+    def __init__(self, df_table: dict[str, int]) -> None:
+        self.df_table = df_table
+
+    def hit_count(self, query: str) -> int:
+        return self.df_table.get(query, 0)
+
+
+class TestSampleResample:
+    def _sample_model(self, term_df: dict[str, int], documents: int) -> LanguageModel:
+        model = LanguageModel(name="sample")
+        for term, df in term_df.items():
+            model.add_term(term, df=df, ctf=df)
+        model.documents_seen = documents
+        return model
+
+    def test_exact_when_proportions_match(self):
+        # Sample of 50 docs: term in 10 of them.  Server: 200 hits.
+        # N̂ = 200 * 50 / 10 = 1000, for every probe → median 1000.
+        sample = self._sample_model({"alpha": 10, "beta": 5}, documents=50)
+        server = FakeCountingServer({"alpha": 200, "beta": 100})
+        estimate = sample_resample(server, sample, num_probes=2)
+        assert estimate.estimate == pytest.approx(1000.0)
+
+    def test_median_resists_outliers(self):
+        sample = self._sample_model({"alpha": 10, "beta": 10, "gamma": 10}, documents=50)
+        server = FakeCountingServer({"alpha": 200, "beta": 200, "gamma": 10_000})
+        estimate = sample_resample(server, sample, num_probes=3)
+        assert estimate.estimate == pytest.approx(1000.0)
+
+    def test_failed_probes_skipped(self):
+        sample = self._sample_model({"alpha": 10, "zzz": 10}, documents=50)
+        server = FakeCountingServer({"alpha": 200})  # zzz unknown to server
+        estimate = sample_resample(server, sample, num_probes=2)
+        assert estimate.probe_terms == ("alpha",)
+
+    def test_all_probes_failing_raises(self):
+        sample = self._sample_model({"alpha": 10}, documents=50)
+        with pytest.raises(ValueError, match="every probe failed"):
+            sample_resample(FakeCountingServer({}), sample)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="no documents"):
+            sample_resample(FakeCountingServer({}), LanguageModel())
+
+    def test_min_sample_df_respected(self):
+        sample = self._sample_model({"rare": 1, "common": 10}, documents=50)
+        server = FakeCountingServer({"rare": 5, "common": 200})
+        estimate = sample_resample(server, sample, num_probes=5, min_sample_df=2)
+        assert "rare" not in estimate.probe_terms
+
+
+class TestOrchestration:
+    def test_sample_resample_end_to_end(self, small_synthetic_server):
+        bootstrap = RandomFromOther(small_synthetic_server.actual_language_model())
+        estimate = estimate_database_size(
+            small_synthetic_server,
+            bootstrap,
+            method="sample_resample",
+            sample_documents=80,
+            seed=3,
+        )
+        true_size = small_synthetic_server.num_documents
+        assert 0.3 * true_size < estimate < 3 * true_size
+
+    def test_capture_end_to_end(self, small_synthetic_server):
+        bootstrap = RandomFromOther(small_synthetic_server.actual_language_model())
+        estimate = estimate_database_size(
+            small_synthetic_server,
+            bootstrap,
+            method="schnabel",
+            sample_documents=120,
+            seed=3,
+        )
+        assert estimate > 0
+
+    def test_report_contains_both_estimators(self, small_synthetic_server):
+        bootstrap = RandomFromOther(small_synthetic_server.actual_language_model())
+        report = capture_recapture_report(
+            small_synthetic_server, bootstrap, sample_documents=120, seed=3
+        )
+        assert set(report) == {"schnabel", "schumacher_eschmeyer"}
+        for result in report.values():
+            assert result.num_samples == 4
+            assert result.distinct_documents <= result.documents_drawn
+
+    def test_unknown_method(self, small_synthetic_server):
+        bootstrap = RandomFromOther(small_synthetic_server.actual_language_model())
+        with pytest.raises(ValueError, match="unknown method"):
+            estimate_database_size(small_synthetic_server, bootstrap, method="magic")
+
+
+class TestServerHitCount:
+    def test_matches_df_for_single_term(self, tiny_server):
+        # "apple" stems to "appl"; hit_count goes through the analyzer.
+        assert tiny_server.hit_count("apple") == tiny_server.index.df("appl")
+
+    def test_union_for_multi_term(self, tiny_server):
+        apple = tiny_server.hit_count("apple")
+        honey = tiny_server.hit_count("honey")
+        union = tiny_server.hit_count("apple honey")
+        assert union <= apple + honey
+        assert union >= max(apple, honey)
+
+    def test_stopword_query_zero(self, tiny_server):
+        assert tiny_server.hit_count("the") == 0
+
+    def test_metered(self, tiny_corpus):
+        from repro.index import DatabaseServer
+
+        server = DatabaseServer(tiny_corpus)
+        server.hit_count("apple")
+        server.hit_count("honey")
+        assert server.costs.hit_count_queries == 2

@@ -1,0 +1,88 @@
+"""Unit tests for repro.corpus.split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import (
+    Corpus,
+    Document,
+    partition_by_topic,
+    partition_chunks,
+    partition_round_robin,
+)
+
+
+@pytest.fixture
+def labeled_corpus() -> Corpus:
+    documents = []
+    for i in range(10):
+        topic = ["sports", "finance", "science"][i % 3]
+        documents.append(Document(doc_id=f"d{i}", text=f"doc {i}", topic=topic))
+    return Corpus(documents, name="labeled")
+
+
+class TestRoundRobin:
+    def test_covers_all_documents(self, labeled_corpus):
+        parts = partition_round_robin(labeled_corpus, 3)
+        assert sum(len(p) for p in parts) == len(labeled_corpus)
+
+    def test_near_equal_sizes(self, labeled_corpus):
+        sizes = [len(p) for p in partition_round_robin(labeled_corpus, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_no_duplicates_across_parts(self, labeled_corpus):
+        parts = partition_round_robin(labeled_corpus, 4)
+        all_ids = [doc_id for part in parts for doc_id in part.doc_ids]
+        assert len(all_ids) == len(set(all_ids))
+
+    def test_invalid_k(self, labeled_corpus):
+        with pytest.raises(ValueError):
+            partition_round_robin(labeled_corpus, 0)
+
+    def test_part_names(self, labeled_corpus):
+        parts = partition_round_robin(labeled_corpus, 2)
+        assert parts[0].name == "labeled-rr0"
+
+
+class TestChunks:
+    def test_contiguous(self, labeled_corpus):
+        parts = partition_chunks(labeled_corpus, 3)
+        flattened = [doc_id for part in parts for doc_id in part.doc_ids]
+        assert flattened == labeled_corpus.doc_ids
+
+    def test_sizes_near_equal(self, labeled_corpus):
+        sizes = [len(p) for p in partition_chunks(labeled_corpus, 3)]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_documents(self):
+        corpus = Corpus([Document(doc_id="a", text="x")])
+        parts = partition_chunks(corpus, 3)
+        assert sum(len(p) for p in parts) == 1
+
+
+class TestByTopic:
+    def test_one_part_per_topic(self, labeled_corpus):
+        parts = partition_by_topic(labeled_corpus)
+        assert len(parts) == 3
+        assert [p.name for p in parts] == [
+            "labeled-finance",
+            "labeled-science",
+            "labeled-sports",
+        ]
+
+    def test_parts_are_topic_pure(self, labeled_corpus):
+        for part in partition_by_topic(labeled_corpus):
+            assert len(part.topics()) == 1
+
+    def test_unlabeled_go_to_misc(self):
+        corpus = Corpus(
+            [
+                Document(doc_id="a", text="x", topic="sports"),
+                Document(doc_id="b", text="y"),
+            ]
+        )
+        parts = partition_by_topic(corpus)
+        names = {p.name for p in parts}
+        assert any(name.endswith("-misc") for name in names)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.sampling.staleness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus
+from repro.index import DatabaseServer
+from repro.sampling import (
+    MaxDocuments,
+    QueryBasedSampler,
+    RandomFromOther,
+    RefreshPolicy,
+    staleness_probe,
+)
+from repro.synth import cacm_like, wsj88_like
+
+
+@pytest.fixture(scope="module")
+def stable_server() -> DatabaseServer:
+    return DatabaseServer(cacm_like().build(seed=81, scale=0.3))
+
+
+@pytest.fixture(scope="module")
+def stored_model(stable_server):
+    sampler = QueryBasedSampler(
+        stable_server,
+        bootstrap=RandomFromOther(stable_server.actual_language_model()),
+        stopping=MaxDocuments(200),
+        seed=4,
+    )
+    return sampler.run().model
+
+
+@pytest.fixture(scope="module")
+def drifted_server() -> DatabaseServer:
+    """A 'replaced' database: same interface, very different content."""
+    replacement = wsj88_like().build(seed=99, scale=0.08)
+    renamed = Corpus(replacement, name="cacm")  # same name, new content
+    return DatabaseServer(renamed)
+
+
+class TestStalenessProbe:
+    def test_fresh_database_not_stale(self, stable_server, stored_model):
+        report = staleness_probe(
+            stable_server,
+            stored_model,
+            bootstrap=RandomFromOther(stable_server.actual_language_model()),
+            probe_documents=50,
+            seed=7,
+        )
+        assert report.probe_documents == 50
+        assert not report.is_stale(), report
+
+    def test_replaced_database_detected(self, drifted_server, stored_model):
+        report = staleness_probe(
+            drifted_server,
+            stored_model,
+            bootstrap=RandomFromOther(drifted_server.actual_language_model()),
+            probe_documents=50,
+            seed=7,
+        )
+        assert report.is_stale(), report
+
+    def test_probe_size_validated(self, stable_server, stored_model):
+        with pytest.raises(ValueError):
+            staleness_probe(
+                stable_server,
+                stored_model,
+                bootstrap=RandomFromOther(stable_server.actual_language_model()),
+                probe_documents=0,
+            )
+
+    def test_report_fields_in_range(self, stable_server, stored_model):
+        report = staleness_probe(
+            stable_server,
+            stored_model,
+            bootstrap=RandomFromOther(stable_server.actual_language_model()),
+            probe_documents=30,
+            seed=1,
+        )
+        assert 0.0 <= report.rdiff_score <= 1.0
+        assert -1.0 <= report.spearman <= 1.0
+
+
+class TestRefreshPolicy:
+    def test_fresh_model_kept(self, stable_server, stored_model):
+        policy = RefreshPolicy(refresh_documents=100)
+        model, report, refreshed = policy.maybe_refresh(
+            stable_server,
+            stored_model,
+            bootstrap=RandomFromOther(stable_server.actual_language_model()),
+            seed=3,
+        )
+        assert not refreshed
+        assert model is stored_model
+
+    def test_stale_model_replaced(self, drifted_server, stored_model):
+        policy = RefreshPolicy(refresh_documents=80)
+        model, report, refreshed = policy.maybe_refresh(
+            drifted_server,
+            stored_model,
+            bootstrap=RandomFromOther(drifted_server.actual_language_model()),
+            seed=3,
+        )
+        assert refreshed
+        assert report.is_stale()
+        assert model is not stored_model
+        assert model.documents_seen == 80

@@ -1,0 +1,180 @@
+"""Unit tests for repro.starts (protocol, servers, acquisition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lm import LanguageModel
+from repro.sampling import ListBootstrap, MaxDocuments
+from repro.starts import (
+    CooperationRefused,
+    CooperativeSource,
+    HonestServer,
+    LegacyServer,
+    MisrepresentingServer,
+    SamplingSource,
+    UncooperativeServer,
+    acquire_language_model,
+    export_starts,
+    parse_starts,
+)
+from repro.starts.protocol import records_to_model
+
+
+@pytest.fixture
+def model() -> LanguageModel:
+    built = LanguageModel(name="demo")
+    built.add_document(["apple", "apple", "banana"])
+    built.add_document(["cherry"])
+    return built
+
+
+class TestProtocolRoundTrip:
+    def test_export_parse_round_trip(self, model):
+        metadata, records = parse_starts(export_starts(model))
+        rebuilt = records_to_model(metadata, records)
+        assert set(rebuilt) == set(model)
+        for term in model:
+            assert rebuilt.df(term) == model.df(term)
+            assert rebuilt.ctf(term) == model.ctf(term)
+        assert rebuilt.documents_seen == model.documents_seen
+        assert rebuilt.tokens_seen == model.tokens_seen
+
+    def test_metadata_flags(self, model):
+        metadata, _ = parse_starts(export_starts(model, stemming=False, stopwords=True))
+        assert metadata.stemming is False
+        assert metadata.stopwords is True
+        assert metadata.source == "demo"
+
+    def test_records_sorted(self, model):
+        lines = export_starts(model).splitlines()[2:]
+        terms = [line.split()[1] for line in lines]
+        assert terms == sorted(terms)
+
+    def test_empty_model(self):
+        metadata, records = parse_starts(export_starts(LanguageModel(name="empty")))
+        assert records == []
+        assert metadata.documents == 0
+
+
+class TestProtocolErrors:
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="@starts"):
+            parse_starts("term apple df=1 ctf=1\n")
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError, match="version"):
+            parse_starts("@starts version=9 source=x\n@attr documents=1 tokens=1 stemming=true stopwords=true\n")
+
+    def test_missing_attr_line(self):
+        with pytest.raises(ValueError, match="@attr"):
+            parse_starts("@starts version=1 source=x\nterm a df=1 ctf=1\n")
+
+    def test_missing_attr_field(self):
+        with pytest.raises(ValueError, match="documents"):
+            parse_starts("@starts version=1 source=x\n@attr tokens=1 stemming=true stopwords=true\n")
+
+    def test_malformed_record(self):
+        text = (
+            "@starts version=1 source=x\n"
+            "@attr documents=1 tokens=1 stemming=true stopwords=true\n"
+            "term apple df=1\n"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            parse_starts(text)
+
+    def test_bad_boolean(self):
+        with pytest.raises(ValueError, match="true/false"):
+            parse_starts("@starts version=1 source=x\n@attr documents=1 tokens=1 stemming=yes stopwords=true\n")
+
+
+class TestServers:
+    def test_honest_export_matches_index(self, tiny_server):
+        honest = HonestServer(tiny_server)
+        metadata, records = parse_starts(honest.starts_export())
+        actual = tiny_server.actual_language_model()
+        assert metadata.documents == actual.documents_seen
+        assert len(records) == len(actual)
+
+    def test_legacy_refuses(self, tiny_server):
+        with pytest.raises(CooperationRefused, match="legacy"):
+            LegacyServer(tiny_server).starts_export()
+
+    def test_uncooperative_refuses(self, tiny_server):
+        with pytest.raises(CooperationRefused, match="denied"):
+            UncooperativeServer(tiny_server).starts_export()
+
+    def test_all_wrappers_search_honestly(self, tiny_server):
+        expected = [d.doc_id for d in tiny_server.run_query("apple", max_docs=3)]
+        for wrapper_class in (HonestServer, LegacyServer, UncooperativeServer):
+            wrapper = wrapper_class(tiny_server)
+            got = [d.doc_id for d in wrapper.run_query("apple", max_docs=3)]
+            assert got == expected
+
+    def test_misrepresenting_inflates(self, tiny_server):
+        liar = MisrepresentingServer(tiny_server, inflation=10.0)
+        forged = liar.forged_model()
+        actual = tiny_server.actual_language_model()
+        assert forged.documents_seen == actual.documents_seen * 10
+        some_term = next(iter(actual))
+        assert forged.df(some_term) == actual.df(some_term) * 10
+
+    def test_misrepresenting_injects(self, tiny_server):
+        liar = MisrepresentingServer(tiny_server, injected_terms=("jackpot",))
+        assert liar.forged_model().df("jackpot") > 0
+        # But the search surface stays honest:
+        assert liar.run_query("jackpot", max_docs=5) == []
+
+    def test_invalid_inflation(self, tiny_server):
+        with pytest.raises(ValueError):
+            MisrepresentingServer(tiny_server, inflation=0.5)
+
+
+class TestAcquisition:
+    def _sampling(self) -> SamplingSource:
+        return SamplingSource(
+            bootstrap=ListBootstrap(["apple", "honey", "bees", "sugar"]),
+            stopping=MaxDocuments(4),
+        )
+
+    def test_trusting_honest_uses_starts(self, tiny_server):
+        result = acquire_language_model(
+            HonestServer(tiny_server), self._sampling(), CooperativeSource()
+        )
+        assert result.method == "starts"
+        assert result.queries_run == 0
+
+    def test_legacy_falls_back_to_sampling(self, tiny_server):
+        result = acquire_language_model(
+            LegacyServer(tiny_server), self._sampling(), CooperativeSource()
+        )
+        assert result.method == "sampling"
+        assert result.documents_examined > 0
+
+    def test_untrusting_always_samples(self, tiny_server):
+        result = acquire_language_model(
+            HonestServer(tiny_server),
+            self._sampling(),
+            CooperativeSource(),
+            trust_exports=False,
+        )
+        assert result.method == "sampling"
+
+    def test_trusting_liar_imports_forgery(self, tiny_server):
+        liar = MisrepresentingServer(tiny_server, injected_terms=("jackpot",))
+        result = acquire_language_model(liar, self._sampling(), CooperativeSource())
+        assert result.method == "starts"
+        assert result.model.df("jackpot") > 0
+
+    def test_sampling_defeats_forgery(self, tiny_server):
+        liar = MisrepresentingServer(tiny_server, injected_terms=("jackpot",))
+        result = acquire_language_model(
+            liar, self._sampling(), CooperativeSource(), trust_exports=False
+        )
+        assert result.method == "sampling"
+        assert result.model.df("jackpot") == 0
+
+    def test_plain_server_without_protocol_samples(self, tiny_server):
+        # A bare DatabaseServer has no starts_export attribute at all.
+        result = acquire_language_model(tiny_server, self._sampling(), CooperativeSource())
+        assert result.method == "sampling"

@@ -1,0 +1,105 @@
+"""Unit tests for repro.text.stemmer (the Porter algorithm).
+
+Reference outputs are the classic examples from Porter's 1980 paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.stemmer import PorterStemmer, stem
+
+
+@pytest.fixture(scope="module")
+def stemmer() -> PorterStemmer:
+    return PorterStemmer()
+
+
+class TestStep1:
+    @pytest.mark.parametrize(
+        ("word", "expected"),
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+        ],
+    )
+    def test_plurals_and_ed_ing(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        ("word", "expected"),
+        [
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ],
+    )
+    def test_cleanup_rules(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        ("word", "expected"),
+        [("happy", "happi"), ("sky", "sky")],
+    )
+    def test_y_to_i(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+
+class TestLaterSteps:
+    @pytest.mark.parametrize(
+        ("word", "expected"),
+        [
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("adoption", "adopt"),
+            ("effective", "effect"),
+            ("formality", "formal"),
+            ("sensitivity", "sensit"),
+        ],
+    )
+    def test_derivational_suffixes(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    def test_morphological_family_conflates(self, stemmer):
+        family = ["report", "reports", "reported", "reporting"]
+        stems = {stemmer.stem(word) for word in family}
+        assert stems == {"report"}
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("word", ["a", "is", "be", "i"])
+    def test_short_words_unchanged(self, stemmer, word):
+        assert stemmer.stem(word) == word
+
+    def test_uppercase_folded(self, stemmer):
+        assert stemmer.stem("Running") == stemmer.stem("running")
+
+    def test_module_level_stem_matches_class(self, stemmer):
+        for word in ("generalizations", "oscillators", "databases"):
+            assert stem(word) == stemmer.stem(word)
+
+    def test_never_longer_than_input(self, stemmer):
+        words = ["abatements", "singing", "possibly", "relativity", "xxxx"]
+        for word in words:
+            assert len(stemmer.stem(word)) <= len(word)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.sampling.stopping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lm import LanguageModel
+from repro.sampling import AllOf, AnyOf, MaxDocuments, MaxQueries, RdiffConvergence
+from repro.sampling.result import SamplerState, Snapshot
+
+
+def state_with(documents: int = 0, queries: int = 0) -> SamplerState:
+    return SamplerState(model=LanguageModel(), documents_examined=documents, queries_run=queries)
+
+
+def snapshot(documents: int, term_freqs: dict[str, int]) -> Snapshot:
+    model = LanguageModel()
+    for term, freq in term_freqs.items():
+        model.add_term(term, df=freq, ctf=freq)
+    return Snapshot(documents_examined=documents, queries_run=documents // 4, model=model)
+
+
+class TestBudgets:
+    def test_max_documents(self):
+        criterion = MaxDocuments(300)
+        assert not criterion.should_stop(state_with(documents=299))
+        assert criterion.should_stop(state_with(documents=300))
+
+    def test_max_queries(self):
+        criterion = MaxQueries(100)
+        assert not criterion.should_stop(state_with(queries=99))
+        assert criterion.should_stop(state_with(queries=100))
+
+    @pytest.mark.parametrize("criterion_class", [MaxDocuments, MaxQueries])
+    def test_invalid_limits(self, criterion_class):
+        with pytest.raises(ValueError):
+            criterion_class(0)
+
+    def test_describe(self):
+        assert MaxDocuments(300).describe() == "max_documents(300)"
+
+
+class TestRdiffConvergence:
+    def test_needs_enough_snapshots(self):
+        criterion = RdiffConvergence(threshold=0.5, consecutive=2)
+        state = state_with()
+        state.snapshots = [snapshot(50, {"a": 5}), snapshot(100, {"a": 5})]
+        # Two snapshots give one rdiff value; two consecutive values
+        # need three snapshots.
+        assert not criterion.should_stop(state)
+
+    def test_stops_when_stable(self):
+        criterion = RdiffConvergence(threshold=0.01, consecutive=2)
+        state = state_with()
+        stable = {"a": 9, "b": 5, "c": 2}
+        state.snapshots = [
+            snapshot(50, stable),
+            snapshot(100, stable),
+            snapshot(150, stable),
+        ]
+        assert criterion.should_stop(state)
+
+    def test_does_not_stop_while_moving(self):
+        criterion = RdiffConvergence(threshold=0.01, consecutive=2)
+        state = state_with()
+        state.snapshots = [
+            snapshot(50, {"a": 9, "b": 5, "c": 2}),
+            snapshot(100, {"a": 2, "b": 9, "c": 5}),  # big reshuffle
+            snapshot(150, {"a": 5, "b": 2, "c": 9}),  # big reshuffle
+        ]
+        assert not criterion.should_stop(state)
+
+    def test_requires_all_recent_spans_stable(self):
+        criterion = RdiffConvergence(threshold=0.01, consecutive=2)
+        state = state_with()
+        stable = {"a": 9, "b": 5, "c": 2}
+        state.snapshots = [
+            snapshot(50, {"a": 2, "b": 9, "c": 5}),
+            snapshot(100, stable),  # one unstable span just before
+            snapshot(150, stable),
+        ]
+        assert not criterion.should_stop(state)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RdiffConvergence(threshold=0)
+        with pytest.raises(ValueError):
+            RdiffConvergence(consecutive=0)
+
+
+class TestCombinators:
+    def test_any_of(self):
+        criterion = AnyOf([MaxDocuments(10), MaxQueries(5)])
+        assert criterion.should_stop(state_with(documents=10, queries=0))
+        assert criterion.should_stop(state_with(documents=0, queries=5))
+        assert not criterion.should_stop(state_with(documents=9, queries=4))
+
+    def test_all_of(self):
+        criterion = AllOf([MaxDocuments(10), MaxQueries(5)])
+        assert not criterion.should_stop(state_with(documents=10, queries=0))
+        assert criterion.should_stop(state_with(documents=10, queries=5))
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf([])
+        with pytest.raises(ValueError):
+            AllOf([])
+
+    def test_describe_nests(self):
+        description = AnyOf([MaxDocuments(3), MaxQueries(4)]).describe()
+        assert "max_documents(3)" in description
+        assert "max_queries(4)" in description

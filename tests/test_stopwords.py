@@ -1,0 +1,40 @@
+"""Unit tests for repro.text.stopwords."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.stopwords import INQUERY_STOPWORDS, is_stopword
+
+
+class TestStoplist:
+    def test_exactly_418_words(self):
+        # The paper: "the default stopword list of the Inquery IR system,
+        # which contained 418 very frequent and/or closed-class words".
+        assert len(INQUERY_STOPWORDS) == 418
+
+    def test_all_lowercase(self):
+        assert all(word == word.lower() for word in INQUERY_STOPWORDS)
+
+    def test_no_whitespace_inside_words(self):
+        assert all(" " not in word for word in INQUERY_STOPWORDS)
+
+    @pytest.mark.parametrize("word", ["the", "and", "a", "of", "is", "was", "which"])
+    def test_core_function_words_present(self, word):
+        assert word in INQUERY_STOPWORDS
+
+    @pytest.mark.parametrize("word", ["apple", "database", "query", "microsoft"])
+    def test_content_words_absent(self, word):
+        assert word not in INQUERY_STOPWORDS
+
+
+class TestIsStopword:
+    def test_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("THE")
+
+    def test_non_stopword(self):
+        assert not is_stopword("apple")
+
+    def test_empty_string(self):
+        assert not is_stopword("")

@@ -1,0 +1,88 @@
+"""Unit tests for repro.summarize."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lm import LanguageModel
+from repro.summarize import format_summary_grid, summarize
+
+
+@pytest.fixture
+def model() -> LanguageModel:
+    built = LanguageModel(name="support")
+    # term → (df, ctf): "excel" is topically concentrated (high avg-tf),
+    # "windows" broadly frequent, "the" a stopword, "ok" too short,
+    # "1988" numeric, "hapax" appears once.
+    stats = {
+        "excel": (10, 80),
+        "windows": (60, 90),
+        "printer": (20, 30),
+        "the": (90, 500),
+        "ok": (40, 60),
+        "1988": (15, 20),
+        "hapax": (1, 9),
+    }
+    for term, (df, ctf) in stats.items():
+        built.add_term(term, df=df, ctf=ctf)
+    return built
+
+
+class TestSummarize:
+    def test_stopwords_excluded(self, model):
+        assert "the" not in summarize(model).words
+
+    def test_short_terms_excluded(self, model):
+        assert "ok" not in summarize(model).words
+
+    def test_numbers_excluded(self, model):
+        assert "1988" not in summarize(model).words
+
+    def test_min_df_filters_hapax(self, model):
+        assert "hapax" not in summarize(model, min_df=2).words
+        assert "hapax" in summarize(model, min_df=1).words
+
+    def test_avg_tf_ranking(self, model):
+        summary = summarize(model, rank_by="avg_tf")
+        # excel avg-tf 8.0 > printer 1.5 ≈ windows 1.5
+        assert summary.words[0] == "excel"
+
+    def test_df_ranking(self, model):
+        assert summarize(model, rank_by="df").words[0] == "windows"
+
+    def test_ctf_ranking(self, model):
+        assert summarize(model, rank_by="ctf").words[0] == "windows"
+
+    def test_k_limits_output(self, model):
+        assert len(summarize(model, k=2).terms) == 2
+
+    def test_invalid_parameters(self, model):
+        with pytest.raises(ValueError):
+            summarize(model, k=0)
+        with pytest.raises(ValueError):
+            summarize(model, rank_by="idf")
+
+    def test_metadata(self, model):
+        summary = summarize(model, rank_by="df")
+        assert summary.database == "support"
+        assert summary.rank_by == "df"
+
+
+class TestFormatGrid:
+    def test_contains_all_terms(self, model):
+        summary = summarize(model, rank_by="avg_tf")
+        grid = format_summary_grid(summary, columns=2)
+        for word in summary.words:
+            assert word in grid
+
+    def test_title_line(self, model):
+        grid = format_summary_grid(summarize(model))
+        assert "ranked by avg_tf" in grid.splitlines()[0]
+
+    def test_empty_summary(self):
+        grid = format_summary_grid(summarize(LanguageModel(name="empty"), k=5))
+        assert "empty" in grid
+
+    def test_invalid_columns(self, model):
+        with pytest.raises(ValueError):
+            format_summary_grid(summarize(model), columns=0)

@@ -1,0 +1,105 @@
+"""Edge-case tests for the text substrate under unusual inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus, Document
+from repro.index import DatabaseServer, InvertedIndex
+from repro.lm import LanguageModel
+from repro.text import Analyzer, Tokenizer
+from repro.text.stemmer import PorterStemmer
+
+
+class TestTokenizerEdgeCases:
+    def test_very_long_token(self):
+        token = "a" * 10_000
+        assert Tokenizer().tokenize(token) == [token]
+
+    def test_newlines_and_tabs_are_separators(self):
+        assert Tokenizer().tokenize("one\ntwo\tthree") == ["one", "two", "three"]
+
+    def test_leading_trailing_separators(self):
+        assert Tokenizer().tokenize("...word...") == ["word"]
+
+    def test_digits_inside_words(self):
+        assert Tokenizer().tokenize("b2b model t5x") == ["b2b", "model", "t5x"]
+
+    def test_only_unicode_punctuation(self):
+        assert Tokenizer().tokenize("—…«»") == []
+
+
+class TestStemmerEdgeCases:
+    def test_all_vowels(self):
+        assert PorterStemmer().stem("aeiou") == "aeiou"
+
+    def test_all_consonants(self):
+        stemmed = PorterStemmer().stem("bcdfg")
+        assert stemmed  # no crash, non-empty
+
+    def test_repeated_suffix_layers(self):
+        # Stemming applies one pass; the output is stable and non-empty.
+        stemmed = PorterStemmer().stem("rationalizations")
+        assert stemmed
+        assert len(stemmed) < len("rationalizations")
+
+    def test_y_only_word(self):
+        assert PorterStemmer().stem("yyy")
+
+
+class TestAnalyzerEdgeCases:
+    def test_document_of_only_stopwords(self):
+        analyzer = Analyzer.inquery_style()
+        assert analyzer.analyze("the and of a in to") == []
+
+    def test_empty_text(self):
+        assert Analyzer.inquery_style().analyze("") == []
+
+    def test_custom_stopword_set(self):
+        analyzer = Analyzer(stopwords=frozenset({"foo"}))
+        assert analyzer.analyze("foo bar") == ["bar"]
+
+
+class TestIndexEdgeCases:
+    def test_document_that_analyzes_to_nothing(self):
+        corpus = Corpus(
+            [
+                Document(doc_id="empty", text="the and of"),
+                Document(doc_id="full", text="apple tree"),
+            ]
+        )
+        index = InvertedIndex(corpus)
+        assert index.num_documents == 2
+        assert index.doc_lengths.tolist() == [0, 2]
+
+    def test_single_document_corpus(self):
+        corpus = Corpus([Document(doc_id="one", text="word word word")])
+        server = DatabaseServer(corpus)
+        documents = server.run_query("word", max_docs=5)
+        assert [d.doc_id for d in documents] == ["one"]
+
+    def test_identical_documents(self):
+        corpus = Corpus(
+            [Document(doc_id=f"d{i}", text="identical text here") for i in range(5)]
+        )
+        server = DatabaseServer(corpus)
+        results = server.run_query("identical", max_docs=10)
+        assert len(results) == 5
+
+
+class TestLanguageModelEdgeCases:
+    def test_add_empty_document(self):
+        model = LanguageModel()
+        model.add_document([])
+        assert model.documents_seen == 1
+        assert model.tokens_seen == 0
+        assert len(model) == 0
+
+    def test_projection_of_empty_model(self):
+        projected = LanguageModel().project(Analyzer.inquery_style())
+        assert len(projected) == 0
+
+    def test_unicode_terms(self):
+        model = LanguageModel()
+        model.add_document(["naïve", "café"])
+        assert model.df("naïve") == 1

@@ -1,0 +1,130 @@
+"""Unit tests for repro.synth.topics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.topics import MixtureWeights, TopicModel, TopicSpace
+from repro.synth.vocabulary import SyntheticVocabulary, VocabularyConfig
+from repro.utils.rand import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def vocab() -> SyntheticVocabulary:
+    return SyntheticVocabulary(VocabularyConfig(content_size=1500), seed=0)
+
+
+@pytest.fixture(scope="module")
+def space(vocab) -> TopicSpace:
+    return TopicSpace(vocab, num_topics=4, topic_vocab_size=200, seed=5)
+
+
+class TestMixtureWeights:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureWeights(stopwords=-0.1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureWeights(stopwords=0, shared=0, topic=0, noise=0)
+
+
+class TestTopicModel:
+    def test_sample_shape_and_range(self, space):
+        rng = ensure_rng(0)
+        ids = space[0].sample(500, rng)
+        assert ids.shape == (500,)
+        assert ids.min() >= 0
+        assert ids.max() < len(space.words)
+
+    def test_sample_zero(self, space):
+        assert space[0].sample(0, ensure_rng(0)).size == 0
+
+    def test_sample_negative_rejected(self, space):
+        with pytest.raises(ValueError):
+            space[0].sample(-1, ensure_rng(0))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            TopicModel("t", np.arange(3), np.ones(4))
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            TopicModel("t", np.arange(3), np.zeros(3))
+
+    def test_probability_of_sums_slots(self, space):
+        topic = space[0]
+        # Probabilities over all distinct ids must sum to ~1.
+        total = sum(topic.probability_of(int(i)) for i in np.unique(topic.word_ids))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTopicSpace:
+    def test_topic_count(self, space):
+        assert len(space) == 4
+
+    def test_stopwords_dominate_samples(self, space, vocab):
+        rng = ensure_rng(1)
+        ids = space[0].sample(20_000, rng)
+        stop_count = int((ids < len(vocab.stopwords)).sum())
+        fraction = stop_count / ids.size
+        # MixtureWeights defaults put ~44% of mass on stopwords.
+        assert 0.35 < fraction < 0.55
+
+    def test_topics_have_distinct_specialties(self, space):
+        rng = ensure_rng(2)
+        sample_a = set(space[0].sample(5000, rng).tolist())
+        sample_b = set(space[1].sample(5000, rng).tolist())
+        # Shared core overlaps, but each topic must also have words the
+        # other effectively never produces.
+        assert sample_a - sample_b and sample_b - sample_a
+
+    def test_decode_round_trip(self, space):
+        rng = ensure_rng(3)
+        ids = space[0].sample(10, rng)
+        words = space.decode(ids)
+        assert len(words) == 10
+        assert all(isinstance(word, str) and word for word in words)
+
+    def test_invalid_topic_vocab_size(self, vocab):
+        with pytest.raises(ValueError):
+            TopicSpace(vocab, num_topics=2, topic_vocab_size=10**6)
+
+    def test_invalid_num_topics(self, vocab):
+        with pytest.raises(ValueError):
+            TopicSpace(vocab, num_topics=0)
+
+    def test_pinned_front_words_frequent(self, vocab):
+        space = TopicSpace(
+            vocab, num_topics=2, topic_vocab_size=100, pinned_front=5, seed=1
+        )
+        rng = ensure_rng(4)
+        ids = space[0].sample(50_000, rng)
+        stop_count = len(vocab.stopwords)
+        # The 5 pinned content words occupy ids stop_count..stop_count+4
+        # and must each actually occur in a large sample.
+        pinned_hits = [(ids == stop_count + i).sum() for i in range(5)]
+        assert all(hits > 0 for hits in pinned_hits)
+        # And they should be much more frequent than a mid-tail content word.
+        tail_hits = (ids == stop_count + 1200).sum()
+        assert min(pinned_hits) > tail_hits
+
+    def test_always_boost_in_every_topic(self, vocab):
+        space = TopicSpace(
+            vocab,
+            num_topics=3,
+            topic_vocab_size=50,
+            pinned_front=4,
+            always_boost=4,
+            seed=2,
+        )
+        stop_count = len(vocab.stopwords)
+        for topic in space.topics:
+            ids = set(topic.word_ids.tolist())
+            for i in range(4):
+                assert stop_count + i in ids
+
+    def test_always_boost_exceeding_size_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            TopicSpace(vocab, num_topics=1, topic_vocab_size=10, always_boost=11)

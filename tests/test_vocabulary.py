@@ -1,0 +1,94 @@
+"""Unit tests for repro.synth.vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth.vocabulary import SyntheticVocabulary, VocabularyConfig, synthesize_word
+from repro.text.stopwords import INQUERY_STOPWORDS
+
+
+class TestSynthesizeWord:
+    def test_deterministic(self):
+        assert synthesize_word(123) == synthesize_word(123)
+
+    def test_distinct_for_distinct_indices(self):
+        words = {synthesize_word(i) for i in range(5000)}
+        assert len(words) == 5000
+
+    def test_lowercase_alpha_only(self):
+        for i in range(0, 3000, 17):
+            word = synthesize_word(i)
+            assert word.isalpha() and word == word.lower()
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_word(-1)
+
+    def test_words_grow_with_index(self):
+        # Large indices roll over into multi-syllable words.
+        assert len(synthesize_word(10_000_000)) > len(synthesize_word(0))
+
+
+class TestVocabularyConfig:
+    def test_invalid_content_size(self):
+        with pytest.raises(ValueError):
+            VocabularyConfig(content_size=0)
+
+    def test_invalid_family_fraction(self):
+        with pytest.raises(ValueError):
+            VocabularyConfig(family_fraction=1.5)
+
+
+class TestSyntheticVocabulary:
+    @pytest.fixture(scope="class")
+    def vocab(self) -> SyntheticVocabulary:
+        return SyntheticVocabulary(
+            VocabularyConfig(content_size=2000, domain_terms=("excel", "windows")),
+            seed=3,
+        )
+
+    def test_stopwords_are_the_library_stoplist(self, vocab):
+        assert set(vocab.stopwords) == INQUERY_STOPWORDS
+
+    def test_content_size_respected(self, vocab):
+        assert len(vocab.content) == 2000
+
+    def test_domain_terms_lead_content(self, vocab):
+        assert vocab.content[:2] == ["excel", "windows"]
+
+    def test_no_duplicates_across_classes(self, vocab):
+        words = vocab.all_words()
+        assert len(words) == len(set(words))
+
+    def test_no_stopwords_in_content(self, vocab):
+        assert not set(vocab.content) & INQUERY_STOPWORDS
+
+    def test_deterministic_given_seed(self):
+        config = VocabularyConfig(content_size=500)
+        first = SyntheticVocabulary(config, seed=9).all_words()
+        second = SyntheticVocabulary(config, seed=9).all_words()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        config = VocabularyConfig(content_size=500)
+        first = SyntheticVocabulary(config, seed=1).all_words()
+        second = SyntheticVocabulary(config, seed=2).all_words()
+        assert first != second
+
+    def test_morphological_families_present(self, vocab):
+        # With family_fraction > 0 some suffixed variants must exist
+        # alongside their lemma.
+        content = set(vocab.content)
+        families = [word for word in content if word + "s" in content]
+        assert families, "expected at least one lemma with its plural variant"
+
+    def test_noise_sizes(self, vocab):
+        numbers = [w for w in vocab.noise if w.isdigit()]
+        shorts = [w for w in vocab.noise if not w.isdigit()]
+        assert len(numbers) == vocab.config.noise_numbers
+        assert len(shorts) == vocab.config.noise_short
+        assert all(len(w) <= 2 for w in shorts)
+
+    def test_size_property(self, vocab):
+        assert vocab.size == len(vocab.all_words())
