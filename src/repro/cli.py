@@ -33,10 +33,12 @@ from repro.lm.io import load_language_model, save_language_model
 from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
 from repro.sampling.selection import FrequencyFromLearned, ListBootstrap, RandomFromLearned
 from repro.sampling.stopping import MaxDocuments
+from repro.sampling.transport import ResilientDatabase, RetryPolicy, UnreliableServer
 from repro.sizeest.orchestrate import estimate_database_size
 from repro.summarize.summary import format_summary_grid, summarize
 from repro.synth.profiles import PROFILES_BY_NAME
 from repro.text.analyzer import Analyzer
+from repro.utils.rand import derive_seed
 
 
 def _add_generate(subparsers) -> None:
@@ -86,6 +88,19 @@ def _add_sample(subparsers) -> None:
         nargs="*",
         default=None,
         help="explicit initial query terms (default: frequent corpus terms)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="simulate an unreliable transport: per-query probability of a "
+        "transient failure (sampled through the retrying client)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="retries per query before abandoning it (with --fault-rate)",
     )
 
 
@@ -196,12 +211,29 @@ def _cmd_search(args) -> int:
 
 
 def _cmd_sample(args) -> int:
+    if not 0.0 <= args.fault_rate < 1.0:
+        print("--fault-rate must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return 2
     server = DatabaseServer(read_jsonl(args.corpus))
     bootstrap = (
         ListBootstrap(args.bootstrap) if args.bootstrap else _default_bootstrap(server)
     )
+    database = server
+    if args.fault_rate > 0:
+        database = ResilientDatabase(
+            UnreliableServer(
+                server,
+                transient_rate=args.fault_rate,
+                seed=derive_seed(args.seed, "faults"),
+            ),
+            policy=RetryPolicy(max_attempts=args.max_retries + 1),
+            seed=args.seed,
+        )
     sampler = QueryBasedSampler(
-        server,
+        database,
         bootstrap=bootstrap,
         strategy=_make_strategy(args.strategy),
         stopping=MaxDocuments(args.max_docs),
@@ -214,6 +246,16 @@ def _cmd_sample(args) -> int:
         f"sampled {run.documents_examined} documents with {run.queries_run} queries "
         f"({run.failed_queries} failed); learned {len(run.model):,} terms -> {args.output}"
     )
+    if args.fault_rate > 0:
+        metrics = database.metrics
+        print(
+            f"transport: {metrics.attempts} attempts for {metrics.queries} queries, "
+            f"{metrics.retries} retries, {metrics.queries_abandoned} abandoned, "
+            f"{metrics.total_backoff:.1f}s simulated backoff"
+        )
+    if run.stop_reason == "database_unreachable":
+        print("warning: database became unreachable; the model is partial",
+              file=sys.stderr)
     return 0
 
 

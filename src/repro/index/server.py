@@ -36,6 +36,7 @@ class QueryCosts:
 
     queries_run: int = 0
     failed_queries: int = 0
+    errored_queries: int = 0
     documents_returned: int = 0
     bytes_returned: int = 0
     hit_count_queries: int = 0
@@ -47,6 +48,17 @@ class QueryCosts:
             self.failed_queries += 1
         self.documents_returned += len(documents)
         self.bytes_returned += sum(document.size_bytes for document in documents)
+
+    def record_error(self) -> None:
+        """Account for a query that raised instead of returning results.
+
+        An attempted query consumed server work even when it died
+        mid-execution, so the meters must see it — otherwise retried
+        queries look free and experiment accounting undercounts cost.
+        """
+        self.queries_run += 1
+        self.failed_queries += 1
+        self.errored_queries += 1
 
 
 @dataclass(frozen=True)
@@ -93,12 +105,18 @@ class DatabaseServer:
             raise ValueError(f"max_docs must be positive, got {max_docs}")
         if self.policy.max_results_per_query is not None:
             max_docs = min(max_docs, self.policy.max_results_per_query)
-        stripped = query.strip()
-        if len(stripped) >= 2 and stripped.startswith('"') and stripped.endswith('"'):
-            results = self.engine.search_phrase(stripped[1:-1], n=max_docs)
-        else:
-            results = self.engine.search(query, n=max_docs)
-        documents = [self.engine.fetch(result.doc_id) for result in results]
+        try:
+            stripped = query.strip()
+            if len(stripped) >= 2 and stripped.startswith('"') and stripped.endswith('"'):
+                results = self.engine.search_phrase(stripped[1:-1], n=max_docs)
+            else:
+                results = self.engine.search(query, n=max_docs)
+            documents = [self.engine.fetch(result.doc_id) for result in results]
+        except Exception:
+            # A query that dies mid-execution was still attempted; meter
+            # it before propagating so cost accounting stays honest.
+            self.costs.record_error()
+            raise
         self.costs.record(documents)
         return documents
 

@@ -24,6 +24,13 @@ The pluggable pieces the paper varies experimentally live here:
 ``run_query`` surface) and produces a :class:`SamplingRun` carrying the
 learned model, periodic snapshots (for learning curves and rdiff), and
 full cost accounting.
+
+Remote databases fail; :mod:`repro.sampling.transport` makes the loop
+survive that: a retrying :class:`ResilientDatabase` client (exponential
+backoff, circuit breaker, transport metrics), the
+:class:`ServerError` exception taxonomy every database surface may
+raise, and a deterministic fault injector (:class:`UnreliableServer`)
+for experimenting on degraded transports.
 """
 
 from repro.sampling.pool import PoolResult, SamplingPool
@@ -46,28 +53,54 @@ from repro.sampling.stopping import (
     RdiffConvergence,
     StoppingCriterion,
 )
+from repro.sampling.transport import (
+    CircuitBreaker,
+    CircuitOpenError,
+    PermanentServerError,
+    RateLimitedError,
+    ResilientDatabase,
+    RetryPolicy,
+    ServerError,
+    ServerTimeout,
+    SimulatedClock,
+    TransientServerError,
+    TransportMetrics,
+    UnreliableServer,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "FrequencyFromLearned",
     "ListBootstrap",
     "MaxDocuments",
     "MaxQueries",
+    "PermanentServerError",
     "PoolResult",
     "QueryBasedSampler",
     "QueryRecord",
     "QueryTermSelector",
     "RandomFromLearned",
     "RandomFromOther",
+    "RateLimitedError",
     "RdiffConvergence",
     "RefreshPolicy",
+    "ResilientDatabase",
+    "RetryPolicy",
     "SamplerConfig",
     "SamplingPool",
     "SamplingRun",
+    "ServerError",
+    "ServerTimeout",
+    "SimulatedClock",
     "Snapshot",
     "StalenessReport",
     "StoppingCriterion",
+    "TransientServerError",
+    "TransportMetrics",
+    "UnreliableServer",
     "is_eligible_query_term",
     "staleness_probe",
 ]

@@ -31,6 +31,10 @@ from repro.utils.rand import derive_seed
 
 _SCHEDULERS = ("uniform", "round_robin", "convergence")
 
+#: Stop reasons after which a database can yield no further documents —
+#: its remaining budget is reallocated to the other databases.
+_TERMINAL_STOPS = ("vocabulary_exhausted", "database_unreachable")
+
 
 @dataclass(frozen=True)
 class PoolResult:
@@ -114,11 +118,59 @@ class SamplingPool:
         return PoolResult(runs=runs)
 
     def _run_uniform(self, total_documents: int) -> dict[str, SamplingRun]:
-        share = max(1, total_documents // len(self.samplers))
-        return {
-            name: sampler.run(MaxDocuments(share))
-            for name, sampler in self.samplers.items()
-        }
+        # Exact shares: base + one extra for the first ``remainder``
+        # databases, so the pool samples precisely ``total_documents`` —
+        # never the remainder-truncated count (100 over 3 must be
+        # 34+33+33, not 33×3) and never an overshoot when the budget is
+        # smaller than the number of databases (5 over 10 is five
+        # single-document shares, not ten).
+        names = list(self.samplers)
+        base, remainder = divmod(total_documents, len(names))
+        runs: dict[str, SamplingRun] = {}
+        dead: set[str] = set()
+        shortfall = 0
+        for position, name in enumerate(names):
+            share = base + (1 if position < remainder else 0)
+            if share == 0:
+                runs[name] = self._idle_run(name)
+                continue
+            shortfall += share - self._grow(runs, name, share)
+        # Budget a dead (exhausted / unreachable) database could not
+        # spend flows to the databases that can still yield documents.
+        while shortfall > 0:
+            dead.update(n for n, run in runs.items() if run.stop_reason in _TERMINAL_STOPS)
+            alive = [name for name in names if name not in dead]
+            if not alive:
+                break
+            extra_base, extra_remainder = divmod(shortfall, len(alive))
+            shortfall = 0
+            for position, name in enumerate(alive):
+                extra = extra_base + (1 if position < extra_remainder else 0)
+                if extra == 0:
+                    continue
+                gained = self._grow(runs, name, extra)
+                shortfall += extra - gained
+                if gained < extra:
+                    dead.add(name)
+        return runs
+
+    def _grow(self, runs: dict[str, SamplingRun], name: str, grant: int) -> int:
+        """Advance one sampler by ``grant`` documents; return the gain."""
+        sampler = self.samplers[name]
+        before = sampler.documents_examined
+        runs[name] = sampler.run(MaxDocuments(before + grant))
+        return sampler.documents_examined - before
+
+    def _idle_run(self, name: str) -> SamplingRun:
+        """A database's current state, reported without spending budget."""
+        sampler = self.samplers[name]
+        return SamplingRun(
+            model=sampler.model,
+            snapshots=list(sampler.snapshots),
+            queries=[],
+            stop_reason="not_scheduled",
+            documents=[],
+        )
 
     def _run_incremental(self, total_documents: int) -> dict[str, SamplingRun]:
         remaining = total_documents
@@ -128,27 +180,19 @@ class SamplingPool:
         turn = 0
         while remaining > 0 and len(exhausted) < len(self.samplers):
             name = self._pick_next(order, turn, exhausted)
-            sampler = self.samplers[name]
-            before = sampler.documents_examined
             grant = min(self.increment, remaining)
-            runs[name] = sampler.run(MaxDocuments(before + grant))
-            gained = sampler.documents_examined - before
+            gained = self._grow(runs, name, grant)
             remaining -= gained
-            if gained < grant or runs[name].stop_reason == "vocabulary_exhausted":
-                # The database cannot yield more documents.
+            if gained < grant or runs[name].stop_reason in _TERMINAL_STOPS:
+                # The database cannot yield more documents (empty or
+                # unreachable); its budget flows to the others.
                 exhausted.add(name)
             turn += 1
         # Databases never scheduled still contribute their (empty) state
         # without consuming any budget.
-        for name, sampler in self.samplers.items():
+        for name in self.samplers:
             if name not in runs:
-                runs[name] = SamplingRun(
-                    model=sampler.model,
-                    snapshots=list(sampler.snapshots),
-                    queries=[],
-                    stop_reason="not_scheduled",
-                    documents=[],
-                )
+                runs[name] = self._idle_run(name)
         return runs
 
     def _pick_next(self, order: list[str], turn: int, exhausted: set[str]) -> str:

@@ -24,11 +24,19 @@ class QueryRecord:
     term: str
     documents_returned: int
     new_documents: int
+    #: Transport error class name when the query was abandoned by the
+    #: retry layer (None for queries that executed normally).
+    error: str | None = None
 
     @property
     def failed(self) -> bool:
         """A failed query returned no documents (paper Section 5.2)."""
         return self.documents_returned == 0
+
+    @property
+    def abandoned(self) -> bool:
+        """True when the query died in transport rather than returning."""
+        return self.error is not None
 
 
 @dataclass
@@ -62,7 +70,9 @@ class SamplingRun:
         Per-query records in execution order.
     stop_reason:
         Which condition ended the run (a criterion description,
-        ``"vocabulary_exhausted"``, or ``"query_budget_guard"``).
+        ``"vocabulary_exhausted"``, ``"query_budget_guard"``, or
+        ``"database_unreachable"`` when the transport layer's circuit
+        breaker gave up on the database).
     documents:
         The sampled documents themselves (when the sampler is
         configured to keep them — the default).  The paper's Sections
@@ -90,6 +100,11 @@ class SamplingRun:
     def failed_queries(self) -> int:
         """Queries that returned no documents."""
         return sum(1 for record in self.queries if record.failed)
+
+    @property
+    def abandoned_queries(self) -> int:
+        """Queries the transport layer abandoned after exhausting retries."""
+        return sum(1 for record in self.queries if record.abandoned)
 
     @property
     def query_terms(self) -> list[str]:

@@ -33,12 +33,22 @@ from repro.lm.model import LanguageModel
 from repro.sampling.result import QueryRecord, SamplerState, SamplingRun, Snapshot
 from repro.sampling.selection import QueryTermSelector, RandomFromLearned
 from repro.sampling.stopping import MaxDocuments, StoppingCriterion
+from repro.sampling.transport import CircuitOpenError, ServerError
 from repro.text.analyzer import Analyzer
 from repro.utils.rand import ensure_rng
 
 
 class SearchableDatabase(Protocol):
-    """The minimal database surface the paper assumes (Section 3)."""
+    """The minimal database surface the paper assumes (Section 3).
+
+    ``run_query`` may raise any
+    :class:`~repro.sampling.transport.ServerError` — remote databases
+    fail.  The sampler records such queries as failed instead of
+    crashing, and stops with ``"database_unreachable"`` when the error
+    signals the database is gone for good (a
+    :class:`~repro.sampling.transport.CircuitOpenError`, or a wrapper
+    whose ``unreachable`` attribute is true).
+    """
 
     def run_query(self, query: str, max_docs: int) -> list[Document]:
         """Run a query; return up to ``max_docs`` full documents."""
@@ -198,8 +208,12 @@ class QueryBasedSampler:
         elif self._exhausted:
             stop_reason = "vocabulary_exhausted"
         elif self._pending:
-            # Finish the query a previous run truncated mid-results.
-            new_documents, budget_hit, rest = self._absorb(self._pending, criterion)
+            # Finish the query a previous run truncated mid-results.  That
+            # query is already counted in queries_run, so snapshots taken
+            # while absorbing the tail must not add an in-flight +1.
+            new_documents, budget_hit, rest = self._absorb(
+                self._pending, criterion, query_counted=True
+            )
             self._pending = rest
             if new_documents:
                 record = self._queries[self._pending_query_index]
@@ -216,13 +230,27 @@ class QueryBasedSampler:
                 stop_reason = "vocabulary_exhausted"
                 break
             self._used_terms.add(term)
-            documents = self.database.run_query(term, max_docs=self.config.docs_per_query)
+            error_name: str | None = None
+            unreachable = False
+            try:
+                documents = self.database.run_query(
+                    term, max_docs=self.config.docs_per_query
+                )
+            except ServerError as error:
+                # An abandoned query costs its term and counts as failed,
+                # but never crashes the run (transport contract).
+                documents = []
+                error_name = type(error).__name__
+                unreachable = isinstance(error, CircuitOpenError) or bool(
+                    getattr(self.database, "unreachable", False)
+                )
             new_documents, budget_hit, rest = self._absorb(documents, criterion)
             self._queries.append(
                 QueryRecord(
                     term=term,
                     documents_returned=len(documents),
                     new_documents=new_documents,
+                    error=error_name,
                 )
             )
             state.queries_run += 1
@@ -232,6 +260,8 @@ class QueryBasedSampler:
                 self._pending = rest
                 self._pending_query_index = len(self._queries) - 1
                 stop_reason = criterion.describe()
+            elif unreachable:
+                stop_reason = "database_unreachable"
             elif criterion.should_stop(state):
                 stop_reason = criterion.describe()
             elif state.queries_run >= self.config.max_total_queries:
@@ -252,14 +282,20 @@ class QueryBasedSampler:
         )
 
     def _absorb(
-        self, documents: list[Document], criterion: StoppingCriterion
+        self,
+        documents: list[Document],
+        criterion: StoppingCriterion,
+        query_counted: bool = False,
     ) -> tuple[int, bool, list[Document]]:
         """Fold documents into the model until the criterion fires.
 
         Returns (new documents absorbed, whether the criterion fired
         mid-list, the unconsumed tail).  Stopping the moment the
         criterion is met keeps runs at exact document budgets; the tail
-        is preserved so a resumed run loses nothing.
+        is preserved so a resumed run loses nothing.  ``query_counted``
+        marks the pending tail of a previous run, whose query is
+        already in ``queries_run`` — snapshots then skip the in-flight
+        +1 so stepped and one-shot runs report identical counts.
         """
         state = self._state
         new_documents = 0
@@ -273,7 +309,7 @@ class QueryBasedSampler:
             new_documents += 1
             state.documents_examined += 1
             if state.documents_examined >= self._next_snapshot:
-                self._take_snapshot(in_flight_query=True)
+                self._take_snapshot(in_flight_query=not query_counted)
             if criterion.should_stop(state):
                 return new_documents, True, list(documents[index + 1 :])
         return new_documents, False, []

@@ -12,6 +12,12 @@ interface so they can be swapped, compared, and composed:
   architecture implies: try the protocol (it is cheap when it works),
   fall back to sampling when the database can't or won't cooperate —
   or always sample, if the service doesn't trust exports.
+
+Acquisition degrades rather than fails: when even sampling cannot
+finish because the database became unreachable (the transport layer's
+circuit breaker stayed open), the result carries whatever partial model
+was learned plus a ``warning`` — a selection service would rather rank
+with a weak model than drop the database silently.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from repro.lm.model import LanguageModel
 from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.stopping import MaxDocuments, StoppingCriterion
+from repro.sampling.transport import ServerError
 from repro.starts.protocol import parse_starts, records_to_model
 from repro.starts.servers import CooperationRefused
 
@@ -31,9 +38,12 @@ class AcquisitionResult:
     """A language model plus how it was obtained."""
 
     model: LanguageModel
-    method: str  # "starts" or "sampling"
+    method: str  # "starts", "sampling", or "sampling_partial"
     queries_run: int = 0
     documents_examined: int = 0
+    #: Set when the model is degraded (e.g. sampling ended because the
+    #: database became unreachable); None for clean acquisitions.
+    warning: str | None = None
 
 
 class CooperativeSource:
@@ -71,7 +81,12 @@ class SamplingSource:
         self.seed = seed
 
     def acquire(self, server) -> AcquisitionResult:
-        """Sample the database and return the learned model."""
+        """Sample the database and return the learned model.
+
+        If the database becomes unreachable mid-run (transport circuit
+        breaker open), the partial model is returned with
+        ``method="sampling_partial"`` and a warning instead of raising.
+        """
         sampler = QueryBasedSampler(
             server,
             bootstrap=self.bootstrap,
@@ -80,11 +95,21 @@ class SamplingSource:
             seed=self.seed,
         )
         run = sampler.run()
+        method = "sampling"
+        warning = None
+        if run.stop_reason == "database_unreachable":
+            method = "sampling_partial"
+            warning = (
+                f"database became unreachable after "
+                f"{run.documents_examined} documents / {run.queries_run} "
+                f"queries; the model is partial"
+            )
         return AcquisitionResult(
             model=run.model,
-            method="sampling",
+            method=method,
             queries_run=run.queries_run,
             documents_examined=run.documents_examined,
+            warning=warning,
         )
 
 
@@ -100,10 +125,17 @@ def acquire_language_model(
     entirely — the stance the paper recommends for open multi-party
     environments, where an export can be forged but retrieval behaviour
     cannot.
+
+    The policy degrades in three steps: protocol → sampling →
+    partial-model-with-warning.  A transport failure during the
+    cooperative exchange (a :class:`ServerError`) falls through to
+    sampling just like a refusal; a sampling run cut short by an
+    unreachable database still yields its partial model, flagged via
+    :attr:`AcquisitionResult.warning`.
     """
     if trust_exports and cooperative is not None and hasattr(server, "starts_export"):
         try:
             return cooperative.acquire(server)
-        except (CooperationRefused, ValueError):
+        except (CooperationRefused, ServerError, ValueError):
             pass
     return sampling.acquire(server)

@@ -42,6 +42,8 @@ class TestParser:
             ["stats", "c.jsonl", "--indexed"],
             ["search", "c.jsonl", "query terms", "-n", "3"],
             ["sample", "c.jsonl", "-o", "m.lm", "--strategy", "ctf"],
+            ["sample", "c.jsonl", "-o", "m.lm", "--fault-rate", "0.2",
+             "--max-retries", "2"],
             ["compare", "m.lm", "c.jsonl"],
             ["summarize", "m.lm", "--rank-by", "df", "-k", "10"],
             ["estimate-size", "c.jsonl", "--method", "schnabel"],
@@ -108,6 +110,32 @@ class TestSampleAndCompare:
         # Bootstrap terms that match nothing: the run exhausts but the
         # command still succeeds with whatever it learned (possibly nothing).
         assert code == 0
+
+    def test_fault_rate_samples_through_retries(self, corpus_path, tmp_path, capsys):
+        out = tmp_path / "faulty.lm"
+        code = main(["sample", str(corpus_path), "-o", str(out), "--max-docs", "40",
+                     "--fault-rate", "0.3", "--max-retries", "5", "--seed", "2"])
+        assert code == 0
+        assert load_language_model(out).documents_seen == 40
+        output = capsys.readouterr().out
+        assert "transport:" in output
+        assert "retries" in output
+
+    def test_fault_rate_matches_fault_free_model(self, corpus_path, tmp_path, capsys):
+        clean, faulty = tmp_path / "clean.lm", tmp_path / "faulty.lm"
+        assert main(["sample", str(corpus_path), "-o", str(clean), "--max-docs", "30",
+                     "--seed", "4"]) == 0
+        assert main(["sample", str(corpus_path), "-o", str(faulty), "--max-docs", "30",
+                     "--seed", "4", "--fault-rate", "0.2", "--max-retries", "6"]) == 0
+        # Retries absorb the faults: the learned model is identical.
+        assert load_language_model(faulty).vocabulary == load_language_model(clean).vocabulary
+
+    def test_invalid_fault_rate_rejected(self, corpus_path, tmp_path):
+        out = tmp_path / "x.lm"
+        assert main(["sample", str(corpus_path), "-o", str(out),
+                     "--fault-rate", "1.5"]) == 2
+        assert main(["sample", str(corpus_path), "-o", str(out),
+                     "--max-retries", "-1"]) == 2
 
 
 class TestSummarize:

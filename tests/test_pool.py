@@ -7,10 +7,13 @@ import pytest
 from repro.corpus import Corpus, Document, partition_round_robin
 from repro.index import DatabaseServer
 from repro.sampling import (
+    CircuitBreaker,
     ListBootstrap,
     MaxDocuments,
+    PermanentServerError,
     QueryBasedSampler,
     RandomFromOther,
+    ResilientDatabase,
     SamplerConfig,
     SamplingPool,
 )
@@ -73,6 +76,48 @@ class TestResumableSampler:
         sampler.run(MaxDocuments(50))
         value = sampler.last_rdiff()
         assert value is not None and 0.0 <= value <= 1.0
+
+    @pytest.mark.parametrize(
+        "config,budgets",
+        [
+            # Paper-default config, snapshot-aligned budgets.
+            (SamplerConfig(), (100, 200)),
+            # Budgets that fire mid-query (not multiples of docs_per_query),
+            # so the stepped run carries a pending tail across run() calls.
+            (SamplerConfig(docs_per_query=8, snapshot_interval=10), (9, 30)),
+            (SamplerConfig(docs_per_query=6, snapshot_interval=25), (47, 143)),
+        ],
+    )
+    def test_stepped_equals_one_shot_exactly(
+        self, small_synthetic_server, config, budgets
+    ):
+        """Stepped runs must be indistinguishable from one-shot runs:
+        same model, same query records, and the same (documents, queries)
+        snapshot pairs — including when a budget fires mid-query."""
+        boot = RandomFromOther(small_synthetic_server.actual_language_model())
+        first_budget, final_budget = budgets
+
+        stepped_sampler = QueryBasedSampler(
+            small_synthetic_server, bootstrap=boot, config=config, seed=17
+        )
+        stepped_sampler.run(MaxDocuments(first_budget))
+        stepped = stepped_sampler.run(MaxDocuments(final_budget))
+        oneshot = QueryBasedSampler(
+            small_synthetic_server, bootstrap=boot, config=config, seed=17
+        ).run(MaxDocuments(final_budget))
+
+        assert stepped.documents_examined == oneshot.documents_examined == final_budget
+        assert stepped.model.vocabulary == oneshot.model.vocabulary
+        assert stepped.queries == oneshot.queries
+        stepped_pairs = [(s.documents_examined, s.queries_run) for s in stepped.snapshots]
+        oneshot_pairs = [(s.documents_examined, s.queries_run) for s in oneshot.snapshots]
+        # The stepped run may take one extra end-of-run snapshot at the
+        # intermediate budget; every other (documents, queries) pair —
+        # in particular queries_run, which used to be off by one when a
+        # pending tail crossed a snapshot boundary — must be identical.
+        extra = [pair for pair in stepped_pairs if pair not in oneshot_pairs]
+        assert all(pair[0] == first_budget for pair in extra), extra
+        assert [pair for pair in stepped_pairs if pair in oneshot_pairs] == oneshot_pairs
 
     def test_exhausted_sampler_stays_exhausted(self):
         corpus = Corpus([Document(doc_id="only", text="solo document here")])
@@ -137,6 +182,77 @@ class TestSamplingPool:
         result = pool.run(120)
         assert result.runs["tinydb"].documents_examined <= 8
         assert result.runs["bigdb"].documents_examined >= 100
+
+    @pytest.mark.parametrize("scheduler", ["uniform", "round_robin", "convergence"])
+    @pytest.mark.parametrize("total", [2, 100, 151])
+    def test_budget_exact_for_every_scheduler(self, federation, scheduler, total):
+        """Every scheduler must sample exactly the requested total —
+        never the remainder-truncated count (100 over 3 databases is
+        34+33+33, not 99) and never an overshoot (2 over 3 is 2)."""
+        pool = SamplingPool(
+            federation, bootstrap_factory(federation), scheduler=scheduler, increment=25
+        )
+        result = pool.run(total)
+        assert result.total_documents == total
+
+    def test_uniform_remainder_spread(self, federation):
+        pool = SamplingPool(federation, bootstrap_factory(federation), scheduler="uniform")
+        result = pool.run(100)
+        counts = sorted(
+            (run.documents_examined for run in result.runs.values()), reverse=True
+        )
+        assert counts == [34, 33, 33]
+
+    def test_uniform_budget_smaller_than_pool(self, federation):
+        pool = SamplingPool(federation, bootstrap_factory(federation), scheduler="uniform")
+        result = pool.run(2)
+        counts = [run.documents_examined for run in result.runs.values()]
+        assert sum(counts) == 2
+        assert max(counts) == 1  # one document each, nobody overshoots
+        assert sum(1 for run in result.runs.values() if run.stop_reason == "not_scheduled") == 1
+
+    def test_uniform_reallocates_exhausted_share(self):
+        tiny = Corpus(
+            [Document(doc_id=f"t{i}", text=f"unique{i} shared words here") for i in range(8)],
+            name="tinydb",
+        )
+        big = cacm_like().build(seed=33, scale=0.1)
+        servers = {"tinydb": DatabaseServer(tiny), "bigdb": DatabaseServer(big)}
+        pool = SamplingPool(servers, bootstrap_factory(servers), scheduler="uniform")
+        result = pool.run(120)
+        # The tiny database exhausts at 8; its unspent share flows on.
+        assert result.runs["tinydb"].documents_examined <= 8
+        assert result.total_documents == 120
+
+    @pytest.mark.parametrize("scheduler", ["uniform", "round_robin", "convergence"])
+    def test_unreachable_database_budget_reallocated(self, scheduler):
+        parts = partition_round_robin(cacm_like().build(seed=29, scale=0.2), 2)
+        servers = {part.name: DatabaseServer(part) for part in parts}
+        names = list(servers)
+        dead_name, alive_name = names[0], names[1]
+
+        class DeadDatabase:
+            """Permanently failing remote endpoint."""
+
+            name = dead_name
+
+            def run_query(self, query, max_docs=10):
+                raise PermanentServerError("endpoint gone")
+
+        databases = {
+            dead_name: ResilientDatabase(
+                DeadDatabase(), breaker=CircuitBreaker(failure_threshold=2, cooldown=1e9)
+            ),
+            alive_name: servers[alive_name],
+        }
+        pool = SamplingPool(
+            databases, bootstrap_factory(servers), scheduler=scheduler, increment=25
+        )
+        result = pool.run(100)
+        assert result.runs[dead_name].stop_reason == "database_unreachable"
+        assert result.runs[dead_name].documents_examined == 0
+        # The unreachable database's budget flowed to the healthy one.
+        assert result.runs[alive_name].documents_examined == 100
 
     def test_validation(self, federation):
         with pytest.raises(ValueError):

@@ -56,6 +56,30 @@ class TestCostAccounting:
         assert server.costs.queries_run == 0
         assert server.costs.bytes_returned == 0
 
+    def test_erroring_query_still_metered(self, tiny_corpus, monkeypatch):
+        # A query that dies mid-execution was still attempted — the
+        # meters must count it or retried queries look free (Ext-10).
+        server = DatabaseServer(tiny_corpus)
+        server.run_query("apple", max_docs=2)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("scorer blew up")
+
+        monkeypatch.setattr(server.engine, "search", explode)
+        with pytest.raises(RuntimeError):
+            server.run_query("honey", max_docs=2)
+        assert server.costs.queries_run == 2
+        assert server.costs.failed_queries == 1
+        assert server.costs.errored_queries == 1
+
+    def test_invalid_max_docs_not_metered(self, tiny_corpus):
+        # Client-side misuse is rejected before the query is attempted.
+        server = DatabaseServer(tiny_corpus)
+        with pytest.raises(ValueError):
+            server.run_query("apple", max_docs=0)
+        assert server.costs.queries_run == 0
+        assert server.costs.errored_queries == 0
+
 
 class TestGroundTruth:
     def test_actual_language_model_is_index_export(self, tiny_server):
