@@ -1,0 +1,124 @@
+"""Frozen pre-optimization reference implementations.
+
+The performance-regression harness needs a stable "before" to compare
+against, or speedups silently evaporate as the library's shared
+primitives improve.  This module preserves, verbatim, the hot paths as
+they stood before the fast-experiment-substrate work:
+
+* ``measure_run_baseline`` — full re-projection of every snapshot plus
+  metric computation with the original scalar helpers;
+* ``rank_terms_baseline`` — the Python tie-run loop that
+  ``repro.lm.compare.rank_terms`` replaced with vectorized rank
+  assignment;
+* ``total_ctf_baseline`` — the Σ-over-vocabulary sum the cached
+  running total replaced.
+
+These functions are *only* imported by the benchmarks.  They must stay
+byte-for-byte faithful to the historical behaviour (the equivalence
+tests in ``tests/`` pin today's implementations to the same outputs),
+so do not "fix" or optimize them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import CurvePoint, LearningCurve
+from repro.lm.model import LanguageModel
+from repro.sampling.result import SamplingRun
+from repro.text.analyzer import Analyzer
+
+
+def total_ctf_baseline(model: LanguageModel) -> int:
+    """Pre-PR ``LanguageModel.total_ctf``: re-sum the whole vocabulary."""
+    return sum(model._ctf.values())
+
+
+def rank_terms_baseline(
+    model: LanguageModel, terms: list[str], metric: str = "df"
+) -> np.ndarray:
+    """Pre-PR ``rank_terms`` (method="average"): Python tie-run loop."""
+    getter = {
+        "df": lambda m, t: m.df(t),
+        "ctf": lambda m, t: m.ctf(t),
+        "avg_tf": lambda m, t: m.avg_tf(t),
+    }[metric]
+    values = np.asarray([getter(model, term) for term in terms], dtype=np.float64)
+    order = np.argsort(-values, kind="stable")
+    ranks = np.empty(len(terms), dtype=np.float64)
+    position = 0
+    while position < len(terms):
+        run_end = position
+        while (
+            run_end + 1 < len(terms)
+            and values[order[run_end + 1]] == values[order[position]]
+        ):
+            run_end += 1
+        shared = (position + run_end) / 2.0 + 1.0
+        for i in range(position, run_end + 1):
+            ranks[order[i]] = shared
+        position = run_end + 1
+    return ranks
+
+
+def _percentage_learned_baseline(learned: LanguageModel, actual: LanguageModel) -> float:
+    if len(actual) == 0:
+        return 0.0
+    common = sum(1 for term in learned if term in actual)
+    return common / len(actual)
+
+
+def _ctf_ratio_baseline(learned: LanguageModel, actual: LanguageModel) -> float:
+    total = total_ctf_baseline(actual)
+    if total == 0:
+        return 0.0
+    covered = sum(actual.ctf(term) for term in learned if term in actual)
+    return covered / total
+
+
+def _spearman_baseline(learned: LanguageModel, actual: LanguageModel) -> float:
+    terms = sorted(learned.vocabulary & actual.vocabulary)
+    n = len(terms)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return 1.0
+    learned_ranks = rank_terms_baseline(learned, terms, "df")
+    actual_ranks = rank_terms_baseline(actual, terms, "df")
+    learned_std = learned_ranks.std()
+    actual_std = actual_ranks.std()
+    if learned_std == 0 or actual_std == 0:
+        return 0.0
+    covariance = np.mean(
+        (learned_ranks - learned_ranks.mean()) * (actual_ranks - actual_ranks.mean())
+    )
+    return float(covariance / (learned_std * actual_std))
+
+
+def measure_run_baseline(
+    run: SamplingRun,
+    actual: LanguageModel,
+    server_analyzer: Analyzer,
+    database: str,
+    strategy: str,
+    docs_per_query: int,
+) -> LearningCurve:
+    """Pre-PR ``measure_run``: re-project every snapshot from scratch."""
+    points = []
+    for snapshot in run.snapshots:
+        projected = snapshot.model.project(server_analyzer)
+        points.append(
+            CurvePoint(
+                documents=snapshot.documents_examined,
+                queries=snapshot.queries_run,
+                percentage_learned=_percentage_learned_baseline(projected, actual),
+                ctf_ratio=_ctf_ratio_baseline(projected, actual),
+                spearman=_spearman_baseline(projected, actual),
+            )
+        )
+    return LearningCurve(
+        database=database,
+        strategy=strategy,
+        docs_per_query=docs_per_query,
+        points=tuple(points),
+    )

@@ -1,27 +1,42 @@
-"""Substrate performance benchmarks.
+"""Substrate performance benchmarks and the perf-regression baseline.
 
 Unlike the table/figure benches (which regenerate the paper's results
 once), these are conventional multi-round pytest benchmarks of the hot
 paths a deployment would care about: analysis throughput, index
-construction, query latency, and sampling throughput.  They exist so
-performance regressions in the substrate are visible, not to reproduce
-anything from the paper.
+construction, query latency, sampling throughput, and learning-curve
+measurement.  They exist so performance regressions in the substrate
+are visible, not to reproduce anything from the paper.
+
+Every benchmark also feeds the session's :class:`~conftest.PerfRecorder`,
+which writes the machine-readable ``BENCH_perf.json`` baseline
+(seconds/op and ops/sec per hot path, plus derived speedups).  The
+curve-measurement benches compare three implementations of the same
+computation — the frozen pre-optimization path
+(:mod:`benchmarks.baselines`), today's full-reprojection reference, and
+the incremental engine — and assert they still produce identical
+curves, so the recorded speedup is never bought with changed results.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from benchmarks.baselines import measure_run_baseline
+from repro.experiments.runner import measure_run, measure_run_full, run_sampling
 from repro.index import DatabaseServer, InvertedIndex, SearchEngine
 from repro.lm import ctf_ratio, spearman_rank_correlation
 from repro.sampling import MaxDocuments, QueryBasedSampler, RandomFromOther
 from repro.synth import wsj88_like
 from repro.text import Analyzer
 
+#: Scale the perf corpus is built at (600 documents) — independent of
+#: REPRO_SCALE so baselines are comparable across runs.
+PERF_SCALE = 0.05
+
 
 @pytest.fixture(scope="module")
 def corpus():
-    return wsj88_like().build(seed=101, scale=0.05)  # 600 docs
+    return wsj88_like().build(seed=101, scale=PERF_SCALE)  # 600 docs
 
 
 @pytest.fixture(scope="module")
@@ -34,7 +49,29 @@ def frequent_terms(server):
     return [s.term for s in server.actual_language_model().top_terms(50, "ctf")]
 
 
-def test_perf_analyze_documents(benchmark, corpus):
+@pytest.fixture(scope="module")
+def curve_run(server):
+    """A 300-document sampling run with 50-document snapshots — the
+    workload the incremental curve measurer is specified against."""
+    actual = server.actual_language_model()
+    run = run_sampling(
+        server,
+        bootstrap=RandomFromOther(actual),
+        max_documents=300,
+        seed=5,
+    )
+    # Projection is stem-cache-bound on first touch; measure all three
+    # implementations against a warm cache, as in steady-state use.
+    measure_run_full(run, actual, server.index.analyzer, "wsj88", "random_olm", 4)
+    return run, actual
+
+
+@pytest.fixture(autouse=True)
+def _record_scale(perf_recorder):
+    perf_recorder.scale = PERF_SCALE
+
+
+def test_perf_analyze_documents(benchmark, corpus, perf_recorder):
     analyzer = Analyzer.inquery_style()
     texts = [corpus[i].text for i in range(100)]
 
@@ -43,16 +80,18 @@ def test_perf_analyze_documents(benchmark, corpus):
 
     total = benchmark(analyze_all)
     assert total > 0
+    perf_recorder.record_benchmark("analyze_100_documents", benchmark)
 
 
-def test_perf_index_build(benchmark, corpus):
+def test_perf_index_build(benchmark, corpus, perf_recorder):
     index = benchmark.pedantic(
         lambda: InvertedIndex(corpus), rounds=3, iterations=1
     )
     assert index.num_documents == len(corpus)
+    perf_recorder.record_benchmark("index_build", benchmark)
 
 
-def test_perf_single_term_query(benchmark, server, frequent_terms):
+def test_perf_single_term_query(benchmark, server, frequent_terms, perf_recorder):
     engine = server.engine
 
     def query_round():
@@ -63,9 +102,10 @@ def test_perf_single_term_query(benchmark, server, frequent_terms):
 
     hits = benchmark(query_round)
     assert hits > 0
+    perf_recorder.record_benchmark("query_50_single_term", benchmark)
 
 
-def test_perf_multi_term_query(benchmark, server, frequent_terms):
+def test_perf_multi_term_query(benchmark, server, frequent_terms, perf_recorder):
     engine = server.engine
     queries = [
         " ".join(frequent_terms[i : i + 3]) for i in range(0, 30, 3)
@@ -76,9 +116,10 @@ def test_perf_multi_term_query(benchmark, server, frequent_terms):
 
     hits = benchmark(query_round)
     assert hits > 0
+    perf_recorder.record_benchmark("query_10_multi_term", benchmark)
 
 
-def test_perf_sampling_run(benchmark, server):
+def test_perf_sampling_run(benchmark, server, perf_recorder):
     actual = server.actual_language_model()
 
     def one_run():
@@ -92,9 +133,10 @@ def test_perf_sampling_run(benchmark, server):
 
     run = benchmark.pedantic(one_run, rounds=3, iterations=1)
     assert run.documents_examined == 100
+    perf_recorder.record_benchmark("sampling_run_100_docs", benchmark)
 
 
-def test_perf_metric_computation(benchmark, server):
+def test_perf_metric_computation(benchmark, server, perf_recorder):
     actual = server.actual_language_model()
     sampler = QueryBasedSampler(
         server,
@@ -113,3 +155,63 @@ def test_perf_metric_computation(benchmark, server):
     ratio, spearman = benchmark(compute_metrics)
     assert 0 < ratio <= 1
     assert -1 <= spearman <= 1
+    perf_recorder.record_benchmark("metric_pair_computation", benchmark)
+
+
+def test_perf_measure_run_pre_pr_baseline(benchmark, server, curve_run, perf_recorder):
+    run, actual = curve_run
+    curve = benchmark.pedantic(
+        lambda: measure_run_baseline(
+            run, actual, server.index.analyzer, "wsj88", "random_olm", 4
+        ),
+        rounds=7,
+        iterations=1,
+    )
+    assert len(curve.points) == 6
+    perf_recorder.record_benchmark("measure_run_pre_pr_baseline", benchmark)
+
+
+def test_perf_measure_run_full(benchmark, server, curve_run, perf_recorder):
+    run, actual = curve_run
+    curve = benchmark.pedantic(
+        lambda: measure_run_full(
+            run, actual, server.index.analyzer, "wsj88", "random_olm", 4
+        ),
+        rounds=7,
+        iterations=1,
+    )
+    assert len(curve.points) == 6
+    perf_recorder.record_benchmark("measure_run_full_reprojection", benchmark)
+
+
+def test_perf_measure_run_incremental(benchmark, server, curve_run, perf_recorder):
+    run, actual = curve_run
+    curve = benchmark.pedantic(
+        lambda: measure_run(
+            run, actual, server.index.analyzer, "wsj88", "random_olm", 4
+        ),
+        rounds=7,
+        iterations=1,
+    )
+    # The speedup must not come from changed results: all three
+    # implementations produce the identical curve.
+    args = (run, actual, server.index.analyzer, "wsj88", "random_olm", 4)
+    assert curve.points == measure_run_full(*args).points
+    assert curve.points == measure_run_baseline(*args).points
+    perf_recorder.record_benchmark("measure_run_incremental", benchmark)
+    if "measure_run_pre_pr_baseline" not in perf_recorder.hot_paths:
+        return  # deselected sibling benches (-k): nothing to compare against
+    speedup = perf_recorder.speedup(
+        "measure_run_incremental_vs_pre_pr",
+        before="measure_run_pre_pr_baseline",
+        after="measure_run_incremental",
+    )
+    if "measure_run_full_reprojection" in perf_recorder.hot_paths:
+        perf_recorder.speedup(
+            "measure_run_incremental_vs_full_reprojection",
+            before="measure_run_full_reprojection",
+            after="measure_run_incremental",
+        )
+    # Loose floor so a loaded CI machine cannot flake; the recorded
+    # baseline documents the real (~3.5x) margin.
+    assert speedup > 1.5, f"incremental curve measurement regressed: {speedup:.2f}x"

@@ -12,6 +12,7 @@ Exposes the library's main workflows as ``repro <subcommand>``:
     repro summarize model.lm --rank-by avg_tf -k 20
     repro estimate-size corpus.jsonl --method sample_resample
     repro federate a.jsonl b.jsonl c.jsonl --query "market court" -n 5
+    repro experiments --only fig1 fig3 --scale 0.1 --workers 4
 
 Corpora are JSONL files (``{"doc_id", "text", ...}`` per line); models
 use the library's text format (:mod:`repro.lm.io`).  Every stochastic
@@ -150,6 +151,41 @@ def _add_federate(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_experiments(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "experiments",
+        help="regenerate the paper's figures/tables from synthetic testbeds",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=("fig1", "fig3", "fig4", "table2", "table3"),
+        default=None,
+        help="subset of experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes to fan independent trials across (1 = serial; "
+        "results are identical for any worker count)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="testbed seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="corpus scale factor (default: REPRO_SCALE or 1.0)",
+    )
+    parser.add_argument(
+        "--seeds",
+        nargs="*",
+        type=int,
+        default=(0, 1, 2),
+        help="per-trial seeds averaged by each experiment",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -166,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_summarize(subparsers)
     _add_estimate_size(subparsers)
     _add_federate(subparsers)
+    _add_experiments(subparsers)
     return parser
 
 
@@ -334,6 +371,65 @@ def _cmd_federate(args) -> int:
     return 0
 
 
+def _cmd_experiments(args) -> int:
+    # Imported lazily: the experiments package pulls in the synthetic
+    # corpus machinery, which the file-based subcommands never need.
+    from repro.experiments import (
+        Testbed,
+        figure1_and_2_curves,
+        figure3_strategy_curves,
+        figure4_rdiff_series,
+        format_series,
+        format_table,
+        table2_docs_per_query,
+    )
+    from repro.experiments.reporting import curve_series
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    wanted = set(args.only) if args.only else {"fig1", "fig3", "fig4", "table2", "table3"}
+    seeds = tuple(args.seeds)
+    testbed = Testbed(seed=args.seed, scale=args.scale)
+    if "fig1" in wanted:
+        curves = figure1_and_2_curves(testbed, seeds=seeds, workers=args.workers)
+        for metric, title in (
+            ("percentage_learned", "Figure 1a: fraction of terms learned"),
+            ("ctf_ratio", "Figure 1b: ctf ratio"),
+            ("spearman", "Figure 2: Spearman rank correlation"),
+        ):
+            print(format_series(curve_series(curves, metric), title=title))
+            print()
+    run_fig3 = "fig3" in wanted
+    if run_fig3 or "table3" in wanted:
+        results = figure3_strategy_curves(testbed, seeds=seeds, workers=args.workers)
+        if run_fig3:
+            strategy_curves = {label: curve for label, (curve, _) in results.items()}
+            print(
+                format_series(
+                    curve_series(strategy_curves, "ctf_ratio"),
+                    title="Figure 3: ctf ratio by query-selection strategy (wsj88)",
+                )
+            )
+            print()
+        if "table3" in wanted:
+            rows = [
+                {"strategy": label, "mean_queries": round(queries, 1)}
+                for label, (_, queries) in results.items()
+            ]
+            print(format_table(rows, title="Table 3: queries to exhaust the budget"))
+            print()
+    if "fig4" in wanted:
+        series = figure4_rdiff_series(testbed, seeds=seeds, workers=args.workers)
+        print(format_series(series, title="Figure 4: rdiff between snapshots"))
+        print()
+    if "table2" in wanted:
+        rows = table2_docs_per_query(testbed, seeds=seeds, workers=args.workers)
+        print(format_table(rows, title="Table 2: effect of docs per query (N)"))
+        print()
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -343,6 +439,7 @@ _COMMANDS = {
     "summarize": _cmd_summarize,
     "estimate-size": _cmd_estimate_size,
     "federate": _cmd_federate,
+    "experiments": _cmd_experiments,
 }
 
 

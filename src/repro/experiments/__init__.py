@@ -12,6 +12,14 @@ harness and the examples.
 Scaling: experiments honour the ``REPRO_SCALE`` environment variable
 (default 1.0) so the whole evaluation can be shrunk for smoke tests or
 grown toward the paper's corpus sizes.
+
+Performance: snapshot scoring is incremental
+(:mod:`repro.experiments.incremental`) and multi-run experiments fan
+independent trials across processes (:mod:`repro.experiments.parallel`;
+pass ``workers=N`` to any figure/table function or ``--workers`` to
+``repro experiments``).  Both optimizations are bit-identical to the
+straightforward serial/full paths — see DESIGN.md's "Performance
+architecture".
 """
 
 from repro.experiments.figures import (
@@ -19,11 +27,14 @@ from repro.experiments.figures import (
     figure3_strategy_curves,
     figure4_rdiff_series,
 )
+from repro.experiments.incremental import IncrementalCurveMeasurer
+from repro.experiments.parallel import TrialResult, TrialSpec, run_trial, run_trials
 from repro.experiments.runner import (
     CurvePoint,
     LearningCurve,
     average_curves,
     measure_run,
+    measure_run_full,
     rdiff_series,
     run_sampling,
 )
@@ -39,8 +50,11 @@ from repro.experiments.reporting import format_series, format_table
 
 __all__ = [
     "CurvePoint",
+    "IncrementalCurveMeasurer",
     "LearningCurve",
     "Testbed",
+    "TrialResult",
+    "TrialSpec",
     "average_curves",
     "default_scale",
     "figure1_and_2_curves",
@@ -49,9 +63,12 @@ __all__ = [
     "format_series",
     "format_table",
     "measure_run",
+    "measure_run_full",
     "plot_series",
     "rdiff_series",
     "run_sampling",
+    "run_trial",
+    "run_trials",
     "table1_corpora",
     "table2_docs_per_query",
     "table3_query_counts",

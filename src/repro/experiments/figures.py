@@ -5,57 +5,53 @@ benchmark harness renders with :mod:`repro.experiments.reporting`.
 Figures 1a, 1b and 2 come from the same baseline runs; Figure 3 varies
 the query-selection strategy on the WSJ-like corpus; Figure 4 plots the
 rdiff convergence series for all three corpora.
+
+All figures accept ``workers``: their per-seed trials are independent,
+so they execute through :func:`repro.experiments.parallel.run_trials`,
+which fans out over processes when ``workers > 1`` and is guaranteed to
+return results bit-identical to serial execution (same derived seeds,
+same code path per trial).
 """
 
 from __future__ import annotations
 
-from repro.experiments.runner import (
-    LearningCurve,
-    average_curves,
-    measure_run,
-    rdiff_series,
-    run_sampling,
-)
+from repro.experiments.parallel import TrialSpec, run_trials
+from repro.experiments.runner import LearningCurve, average_curves
 from repro.experiments.testbed import Testbed
-from repro.sampling.selection import FrequencyFromLearned, RandomFromLearned, RandomFromOther
 from repro.utils.rand import derive_seed
 
 #: The corpora of Figures 1, 2, and 4, in presentation order.
 FIGURE1_PROFILES = ("cacm", "wsj88", "trec123")
 
+#: Figure 3's strategies, in presentation order.
+FIGURE3_STRATEGIES = ("random_olm", "random_llm", "avg_tf_llm", "df_llm", "ctf_llm")
+
 
 def figure1_and_2_curves(
-    testbed: Testbed, seeds: tuple[int, ...] = (0, 1, 2), docs_per_query: int = 4
+    testbed: Testbed,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    docs_per_query: int = 4,
+    workers: int = 1,
 ) -> dict[str, LearningCurve]:
     """Baseline learning curves per corpus (Figures 1a, 1b, and 2).
 
     Random-from-learned selection, N = ``docs_per_query``, runs ending
     at the paper's per-corpus document budgets, averaged over seeds.
     """
+    specs = [
+        TrialSpec(
+            profile=name,
+            strategy="random_llm",
+            seed=derive_seed(seed, "fig1", name),
+            docs_per_query=docs_per_query,
+        )
+        for name in FIGURE1_PROFILES
+        for seed in seeds
+    ]
+    results = run_trials(specs, testbed, workers=workers)
     curves: dict[str, LearningCurve] = {}
-    for name in FIGURE1_PROFILES:
-        server = testbed.server(name)
-        actual = testbed.actual_model(name)
-        per_seed = []
-        for seed in seeds:
-            run = run_sampling(
-                server,
-                bootstrap=testbed.bootstrap(),
-                strategy=RandomFromLearned(),
-                max_documents=testbed.document_budget(name),
-                docs_per_query=docs_per_query,
-                seed=derive_seed(seed, "fig1", name),
-            )
-            per_seed.append(
-                measure_run(
-                    run,
-                    actual,
-                    server.index.analyzer,
-                    database=name,
-                    strategy="random_llm",
-                    docs_per_query=docs_per_query,
-                )
-            )
+    for i, name in enumerate(FIGURE1_PROFILES):
+        per_seed = [r.curve for r in results[i * len(seeds) : (i + 1) * len(seeds)]]
         curves[name] = average_curves(per_seed)
     return curves
 
@@ -65,6 +61,7 @@ def figure3_strategy_curves(
     profile: str = "wsj88",
     seeds: tuple[int, ...] = (0, 1, 2),
     docs_per_query: int = 4,
+    workers: int = 1,
 ) -> dict[str, tuple[LearningCurve, float]]:
     """Query-selection strategies on one corpus (Figures 3a and 3b).
 
@@ -73,65 +70,52 @@ def figure3_strategy_curves(
     actual TREC-123 model, exactly the paper's (intentionally biased)
     choice.
     """
-    server = testbed.server(profile)
-    actual = testbed.actual_model(profile)
-    other = testbed.actual_model("trec123")
-    strategies = {
-        "random_olm": lambda: RandomFromOther(other),
-        "random_llm": lambda: RandomFromLearned(),
-        "avg_tf_llm": lambda: FrequencyFromLearned("avg_tf"),
-        "df_llm": lambda: FrequencyFromLearned("df"),
-        "ctf_llm": lambda: FrequencyFromLearned("ctf"),
-    }
-    results: dict[str, tuple[LearningCurve, float]] = {}
-    for label, make_strategy in strategies.items():
-        per_seed = []
-        query_counts = []
-        for seed in seeds:
-            run = run_sampling(
-                server,
-                bootstrap=testbed.bootstrap(),
-                strategy=make_strategy(),
-                max_documents=testbed.document_budget(profile),
-                docs_per_query=docs_per_query,
-                seed=derive_seed(seed, "fig3", profile, label),
-            )
-            query_counts.append(run.queries_run)
-            per_seed.append(
-                measure_run(
-                    run,
-                    actual,
-                    server.index.analyzer,
-                    database=profile,
-                    strategy=label,
-                    docs_per_query=docs_per_query,
-                )
-            )
-        results[label] = (
-            average_curves(per_seed),
-            sum(query_counts) / len(query_counts),
+    specs = [
+        TrialSpec(
+            profile=profile,
+            strategy=label,
+            seed=derive_seed(seed, "fig3", profile, label),
+            docs_per_query=docs_per_query,
         )
-    return results
+        for label in FIGURE3_STRATEGIES
+        for seed in seeds
+    ]
+    results = run_trials(specs, testbed, workers=workers)
+    out: dict[str, tuple[LearningCurve, float]] = {}
+    for i, label in enumerate(FIGURE3_STRATEGIES):
+        chunk = results[i * len(seeds) : (i + 1) * len(seeds)]
+        out[label] = (
+            average_curves([r.curve for r in chunk]),
+            sum(r.queries_run for r in chunk) / len(chunk),
+        )
+    return out
 
 
 def figure4_rdiff_series(
-    testbed: Testbed, seeds: tuple[int, ...] = (0, 1, 2), docs_per_query: int = 4
+    testbed: Testbed,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    docs_per_query: int = 4,
+    workers: int = 1,
 ) -> dict[str, list[tuple[int, float]]]:
     """rdiff between consecutive 50-document snapshots, per corpus."""
+    specs = [
+        TrialSpec(
+            profile=name,
+            strategy="random_llm",
+            seed=derive_seed(seed, "fig4", name),
+            docs_per_query=docs_per_query,
+            measure_curve=False,
+            measure_rdiff=True,
+        )
+        for name in FIGURE1_PROFILES
+        for seed in seeds
+    ]
+    results = run_trials(specs, testbed, workers=workers)
     all_series: dict[str, list[tuple[int, float]]] = {}
-    for name in FIGURE1_PROFILES:
-        server = testbed.server(name)
-        per_seed_series = []
-        for seed in seeds:
-            run = run_sampling(
-                server,
-                bootstrap=testbed.bootstrap(),
-                strategy=RandomFromLearned(),
-                max_documents=testbed.document_budget(name),
-                docs_per_query=docs_per_query,
-                seed=derive_seed(seed, "fig4", name),
-            )
-            per_seed_series.append(dict(rdiff_series(run)))
+    for i, name in enumerate(FIGURE1_PROFILES):
+        per_seed_series = [
+            dict(r.rdiff) for r in results[i * len(seeds) : (i + 1) * len(seeds)]
+        ]
         common = set(per_seed_series[0])
         for series in per_seed_series[1:]:
             common &= set(series)

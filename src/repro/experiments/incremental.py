@@ -1,0 +1,249 @@
+"""Incremental snapshot projection and metric accumulation.
+
+The paper's learning curves score every snapshot of a sampling run
+against the database's actual model.  Scored naively that is
+O(snapshots × vocabulary): each snapshot is re-projected through the
+server analyzer from scratch (re-stemming the entire learned
+vocabulary) and each metric re-walks the full projected vocabulary.
+
+A sampling run only ever *adds* statistics — df/ctf are monotone
+non-decreasing per term — so consecutive snapshots differ in the few
+terms the last 50 documents touched.  :class:`IncrementalCurveMeasurer`
+exploits this with a projected-id representation:
+
+* every raw term is analyzed **exactly once** over the whole run, the
+  first time it appears, and mapped to a small integer id of its
+  projected term (or -1 when the analyzer drops it);
+* per snapshot, raw-term statistics are pulled into numpy arrays and
+  diffed positionally against the previous snapshot's arrays, so the
+  quiescent bulk of the vocabulary is skipped at C speed;
+* the surviving deltas are folded into projected df/ctf arrays with a
+  vectorized scatter-add — no Python-level work per changed term;
+* the metric numerators (the ctf-ratio overlap sum, the sorted common
+  vocabulary and its actual-df values feeding the Spearman ranks) are
+  carried forward and updated only when a projected term first enters
+  the shared vocabulary.
+
+The positional diff leans on an invariant of :class:`LanguageModel`:
+``add_term`` / ``add_document`` / ``merge`` only ever *append* new
+terms, so the term order of a growing model — and of its snapshot
+copies — is stable, and the previous snapshot's terms are a prefix of
+the next one's in identical order.
+
+Equivalence with full reprojection is the contract, not an
+approximation:
+
+* the carried projected statistics are **identical** per term to
+  ``snapshot.model.project(analyzer)`` — integer statistics add, so
+  folding deltas sums to the same totals;
+* the maintained common-term list equals
+  ``sorted(projected.vocabulary & actual.vocabulary)`` because the
+  projected vocabulary only grows and the actual model is fixed;
+* all three metrics are therefore computed from exactly the inputs the
+  full-reprojection path would produce (integer numerators, the same
+  sorted term list, the same rank vectors), giving bit-identical
+  floats.
+
+``tests/test_incremental_measure.py`` enforces all three properties.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from itertools import islice
+
+import numpy as np
+
+from repro.lm.compare import rank_values, spearman_from_ranks
+from repro.lm.model import LanguageModel
+from repro.text.analyzer import Analyzer
+
+
+class IncrementalCurveMeasurer:
+    """Scores a run's snapshots against ``actual`` without re-projection.
+
+    Feed snapshots **in order of increasing documents examined** (the
+    order :class:`~repro.sampling.result.SamplingRun` stores them).
+    Each snapshot's raw model must extend the previous one the way a
+    growing :class:`LanguageModel` does: statistics only accumulate and
+    terms are only ever appended (see module docstring).  Copies of a
+    single sampler's model at increasing times — i.e. real snapshots —
+    satisfy this by construction.
+
+    Parameters
+    ----------
+    actual:
+        The database's actual language model (fixed for the run).
+    analyzer:
+        The server's analyzer, used to project learned raw terms into
+        the database's term space (paper Section 4.1).
+    """
+
+    def __init__(self, actual: LanguageModel, analyzer: Analyzer) -> None:
+        self._actual = actual
+        self._analyzer = analyzer
+        # Raw-term statistics of the previously advanced snapshot, as
+        # parallel arrays in the model's (stable) term order.
+        self._prev_df_values = np.empty(0, dtype=np.int64)
+        self._prev_ctf_values = np.empty(0, dtype=np.int64)
+        self._prev_size = 0
+        # Raw-term position → projected term id (-1: analyzer drops the
+        # term).  Aligned with the raw model's stable term order.
+        self._raw_projection_ids = np.empty(0, dtype=np.int64)
+        # Projected-term state: id → term string / df / ctf.  The
+        # arrays grow by doubling; only the first len(_projected_terms)
+        # entries are live.
+        self._projected_terms: list[str] = []
+        self._id_by_projected: dict[str, int] = {}
+        self._projected_df = np.zeros(0, dtype=np.int64)
+        self._projected_ctf = np.zeros(0, dtype=np.int64)
+        self._documents_seen = 0
+        self._tokens_seen = 0
+        # Running metric numerators: the sorted common vocabulary with
+        # its projected ids and actual-df values (parallel lists), and
+        # the Σ actual.ctf(t) overlap sum of the ctf-ratio metric.
+        self._common_terms: list[str] = []  # sorted(projected ∩ actual)
+        self._common_ids: list[int] = []
+        self._common_actual_df: list[int] = []
+        self._covered_ctf = 0
+        self._actual_size = len(actual)
+        self._actual_total_ctf = actual.total_ctf
+
+    def advance(self, model: LanguageModel) -> None:
+        """Fold the next snapshot's raw model into the carried state."""
+        size = len(model._df)
+        prev_size = self._prev_size
+        if prev_size > size:
+            raise ValueError(
+                "snapshots must be fed in order of increasing vocabulary; "
+                f"got {size} terms after {prev_size}"
+            )
+        df_values = np.fromiter(model._df.values(), dtype=np.int64, count=size)
+        ctf_values = np.fromiter(model._ctf.values(), dtype=np.int64, count=size)
+        if size > prev_size:
+            # Raw terms are append-only, so the terms past the previous
+            # size are exactly the never-seen ones: analyze each once.
+            new_ids = self._assign_ids(
+                islice(iter(model._df), prev_size, None), size - prev_size
+            )
+            self._raw_projection_ids = np.concatenate(
+                [self._raw_projection_ids, new_ids]
+            )
+        if prev_size:
+            changed = np.flatnonzero(
+                (df_values[:prev_size] != self._prev_df_values)
+                | (ctf_values[:prev_size] != self._prev_ctf_values)
+            )
+            indices = np.concatenate([changed, np.arange(prev_size, size)])
+            df_deltas = np.concatenate(
+                [df_values[changed] - self._prev_df_values[changed],
+                 df_values[prev_size:]]
+            )
+            ctf_deltas = np.concatenate(
+                [ctf_values[changed] - self._prev_ctf_values[changed],
+                 ctf_values[prev_size:]]
+            )
+        else:
+            indices = np.arange(size)
+            df_deltas = df_values
+            ctf_deltas = ctf_values
+        ids = self._raw_projection_ids[indices]
+        keep = ids >= 0
+        ids = ids[keep]
+        # Several raw terms may conflate into one projected term within
+        # a single batch; np.add.at accumulates duplicates correctly.
+        np.add.at(self._projected_df, ids, df_deltas[keep])
+        np.add.at(self._projected_ctf, ids, ctf_deltas[keep])
+        self._prev_df_values = df_values
+        self._prev_ctf_values = ctf_values
+        self._prev_size = size
+        self._documents_seen = model.documents_seen
+        self._tokens_seen = model.tokens_seen
+
+    def _assign_ids(self, new_terms, count: int) -> np.ndarray:
+        """Project ``count`` first-seen raw terms; return their ids."""
+        ids = np.empty(count, dtype=np.int64)
+        id_by_projected = self._id_by_projected
+        project_term = self._analyzer.project_term
+        actual_df_get = self._actual._df.get
+        actual_ctf = self._actual._ctf
+        common_terms = self._common_terms
+        for j, term in enumerate(new_terms):
+            mapped = project_term(term)
+            if mapped is None:
+                ids[j] = -1
+                continue
+            projected_id = id_by_projected.get(mapped)
+            if projected_id is None:
+                projected_id = len(self._projected_terms)
+                id_by_projected[mapped] = projected_id
+                self._projected_terms.append(mapped)
+                if projected_id == self._projected_df.size:
+                    self._grow_projected_arrays()
+                actual_df = actual_df_get(mapped)
+                if actual_df is not None:
+                    # The projected term just entered the shared
+                    # vocabulary: update the overlap numerators.
+                    self._covered_ctf += actual_ctf[mapped]
+                    position = bisect_left(common_terms, mapped)
+                    common_terms.insert(position, mapped)
+                    self._common_ids.insert(position, projected_id)
+                    self._common_actual_df.insert(position, actual_df)
+            ids[j] = projected_id
+        return ids
+
+    def _grow_projected_arrays(self) -> None:
+        capacity = max(1024, 2 * self._projected_df.size)
+        grown_df = np.zeros(capacity, dtype=np.int64)
+        grown_df[: self._projected_df.size] = self._projected_df
+        grown_ctf = np.zeros(capacity, dtype=np.int64)
+        grown_ctf[: self._projected_ctf.size] = self._projected_ctf
+        self._projected_df = grown_df
+        self._projected_ctf = grown_ctf
+
+    def projected_model(self, name: str = "incremental-projected") -> LanguageModel:
+        """Materialize the carried projection as a :class:`LanguageModel`.
+
+        Term-for-term identical (df, ctf, documents/tokens seen) to
+        ``snapshot.model.project(analyzer)`` for the last advanced
+        snapshot.
+        """
+        count = len(self._projected_terms)
+        model = LanguageModel(name=name)
+        model._df = dict(zip(self._projected_terms, self._projected_df[:count].tolist()))
+        model._ctf = dict(zip(self._projected_terms, self._projected_ctf[:count].tolist()))
+        model._total_ctf = int(self._projected_ctf[:count].sum())
+        model.documents_seen = self._documents_seen
+        model.tokens_seen = self._tokens_seen
+        return model
+
+    def measure(self, model: LanguageModel) -> tuple[float, float, float]:
+        """Advance to ``model`` and return its curve-point metrics.
+
+        Returns ``(percentage_learned, ctf_ratio, spearman)`` — exactly
+        the values the full-reprojection path computes for the same
+        snapshot.
+        """
+        self.advance(model)
+        common = self._common_terms
+        percentage = len(common) / self._actual_size if self._actual_size else 0.0
+        ratio = (
+            self._covered_ctf / self._actual_total_ctf
+            if self._actual_total_ctf
+            else 0.0
+        )
+        n = len(common)
+        if n == 0:
+            spearman = 0.0
+        elif n == 1:
+            spearman = 1.0
+        else:
+            learned_values = self._projected_df[
+                np.asarray(self._common_ids, dtype=np.int64)
+            ].astype(np.float64)
+            actual_values = np.asarray(self._common_actual_df, dtype=np.float64)
+            spearman = spearman_from_ranks(
+                rank_values(learned_values, common),
+                rank_values(actual_values, common),
+            )
+        return percentage, ratio, spearman

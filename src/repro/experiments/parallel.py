@@ -1,0 +1,189 @@
+"""Parallel execution of independent sampling trials.
+
+Every multi-run experiment in the paper's evaluation — Figures 1-4,
+Tables 2-3 — is an average over independent (database, strategy, seed)
+trials.  Each trial is CPU-bound (sampling, projection, metric curves)
+and shares nothing with its siblings beyond the read-only testbed, so
+the natural speedup is process-level fan-out.
+
+:class:`TrialSpec` names one trial declaratively; :func:`run_trials`
+executes a list of specs either in-process (``workers <= 1``) or across
+a :class:`~concurrent.futures.ProcessPoolExecutor`.  Both paths call
+the same :func:`run_trial` on a testbed with the same ``(seed, scale)``,
+and every random decision in a trial is derived from ``spec.seed``
+alone, so results are **bit-identical regardless of worker count** —
+the equivalence ``tests/test_parallel_runner.py`` pins down.  Result
+order always matches spec order.
+
+Worker processes obtain their testbed one of two ways:
+
+* under the POSIX default ``fork`` start method the parent publishes
+  its testbed in a module global just before spawning, so children
+  inherit already-built corpora and indexes copy-on-write — no per
+  worker rebuild;
+* under ``spawn`` (or if the global is absent) the initializer rebuilds
+  ``Testbed(seed, scale)`` from scratch, which is deterministic and
+  therefore merely slower, never different.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import (
+    LearningCurve,
+    measure_run,
+    rdiff_series,
+    run_sampling,
+)
+from repro.experiments.testbed import Testbed
+from repro.sampling.selection import (
+    FrequencyFromLearned,
+    QueryTermSelector,
+    RandomFromLearned,
+    RandomFromOther,
+)
+
+#: Strategy labels accepted by :class:`TrialSpec` (the figure-3 names):
+#: ``random_llm`` / ``df_llm`` / ``ctf_llm`` / ``avg_tf_llm`` select
+#: query terms from the learned model; ``random_olm`` selects from the
+#: reference ("other") TREC-123 model.
+STRATEGY_LABELS = ("random_llm", "random_olm", "df_llm", "ctf_llm", "avg_tf_llm")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One sampling trial, fully determined by its fields.
+
+    ``seed`` is the final per-trial seed (callers derive it with
+    :func:`repro.utils.rand.derive_seed` exactly as the serial loops
+    always have).  ``max_documents=None`` resolves to the testbed's
+    per-corpus document budget inside the worker, so building specs
+    never forces corpus construction in the parent process.
+    """
+
+    profile: str
+    strategy: str
+    seed: int
+    docs_per_query: int = 4
+    max_documents: int | None = None
+    #: Score snapshots into a :class:`LearningCurve` (Figures 1-3, Tables 2-3).
+    measure_curve: bool = True
+    #: Compute the consecutive-snapshot rdiff series (Figure 4).
+    measure_rdiff: bool = False
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """What one trial produced (all fields picklable)."""
+
+    spec: TrialSpec
+    queries_run: int
+    documents_examined: int
+    curve: LearningCurve | None
+    rdiff: tuple[tuple[int, float], ...]
+
+
+def make_strategy(testbed: Testbed, label: str) -> QueryTermSelector:
+    """Instantiate the query-selection strategy named ``label``."""
+    if label == "random_llm":
+        return RandomFromLearned()
+    if label == "random_olm":
+        return RandomFromOther(testbed.actual_model("trec123"))
+    if label.endswith("_llm"):
+        metric = label[: -len("_llm")]
+        if metric in ("df", "ctf", "avg_tf"):
+            return FrequencyFromLearned(metric)
+    raise ValueError(f"unknown strategy {label!r}; choose from {STRATEGY_LABELS}")
+
+
+def run_trial(testbed: Testbed, spec: TrialSpec) -> TrialResult:
+    """Execute one trial. The single code path shared by serial and
+    parallel execution — the bit-identity guarantee hangs on that."""
+    server = testbed.server(spec.profile)
+    max_documents = (
+        spec.max_documents
+        if spec.max_documents is not None
+        else testbed.document_budget(spec.profile)
+    )
+    run = run_sampling(
+        server,
+        bootstrap=testbed.bootstrap(),
+        strategy=make_strategy(testbed, spec.strategy),
+        max_documents=max_documents,
+        docs_per_query=spec.docs_per_query,
+        seed=spec.seed,
+    )
+    curve = None
+    if spec.measure_curve:
+        curve = measure_run(
+            run,
+            testbed.actual_model(spec.profile),
+            server.index.analyzer,
+            database=spec.profile,
+            strategy=spec.strategy,
+            docs_per_query=spec.docs_per_query,
+        )
+    rdiff = tuple(rdiff_series(run)) if spec.measure_rdiff else ()
+    return TrialResult(
+        spec=spec,
+        queries_run=run.queries_run,
+        documents_examined=run.documents_examined,
+        curve=curve,
+        rdiff=rdiff,
+    )
+
+
+# Published for worker processes.  Under fork this carries the parent's
+# testbed (with its lazily built corpora) into children copy-on-write;
+# under spawn it starts as None and the initializer rebuilds.
+_WORKER_TESTBED: Testbed | None = None
+
+
+def _initialize_worker(seed: int, scale: float) -> None:
+    global _WORKER_TESTBED
+    inherited = _WORKER_TESTBED
+    if inherited is None or inherited.seed != seed or inherited.scale != scale:
+        _WORKER_TESTBED = Testbed(seed=seed, scale=scale)
+
+
+def _run_trial_in_worker(spec: TrialSpec) -> TrialResult:
+    assert _WORKER_TESTBED is not None, "worker initializer did not run"
+    return run_trial(_WORKER_TESTBED, spec)
+
+
+def default_workers() -> int:
+    """A sensible worker count: the machine's CPUs (minimum 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    testbed: Testbed,
+    workers: int = 1,
+) -> list[TrialResult]:
+    """Run ``specs`` and return their results in the same order.
+
+    ``workers <= 1`` runs everything in-process on ``testbed``; higher
+    counts fan trials out over a process pool whose workers use a
+    testbed with the same ``(seed, scale)``.  Either way the results
+    are identical, so callers choose purely on resources.
+    """
+    specs = list(specs)
+    if workers <= 1 or len(specs) <= 1:
+        return [run_trial(testbed, spec) for spec in specs]
+    global _WORKER_TESTBED
+    previous = _WORKER_TESTBED
+    _WORKER_TESTBED = testbed
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(specs)),
+            initializer=_initialize_worker,
+            initargs=(testbed.seed, testbed.scale),
+        ) as pool:
+            return list(pool.map(_run_trial_in_worker, specs))
+    finally:
+        _WORKER_TESTBED = previous

@@ -7,12 +7,20 @@ removal — Section 4.1), and compute vocabulary / frequency metrics
 against the actual model.  :func:`run_sampling` executes the run,
 :func:`measure_run` produces the curve, and :func:`average_curves`
 averages aligned curves over random seeds.
+
+:func:`measure_run` scores snapshots incrementally (see
+:mod:`repro.experiments.incremental`), carrying the projected model and
+metric numerators forward between snapshots instead of re-projecting
+the whole vocabulary each time.  :func:`measure_run_full` keeps the
+straightforward full-reprojection path as the equivalence reference and
+performance baseline: both produce bit-identical curves.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.experiments.incremental import IncrementalCurveMeasurer
 from repro.index.server import DatabaseServer
 from repro.lm.compare import ctf_ratio, percentage_learned, rdiff, spearman_rank_correlation
 from repro.lm.model import LanguageModel
@@ -97,7 +105,47 @@ def measure_run(
     strategy: str,
     docs_per_query: int,
 ) -> LearningCurve:
-    """Project each snapshot and score it against the actual model."""
+    """Score each snapshot against the actual model (incrementally).
+
+    Produces the same curve as :func:`measure_run_full` — the
+    incremental engine's equivalence contract — in O(changed terms) per
+    snapshot instead of O(vocabulary).
+    """
+    measurer = IncrementalCurveMeasurer(actual, server_analyzer)
+    points = []
+    for snapshot in run.snapshots:
+        percentage, ratio, spearman = measurer.measure(snapshot.model)
+        points.append(
+            CurvePoint(
+                documents=snapshot.documents_examined,
+                queries=snapshot.queries_run,
+                percentage_learned=percentage,
+                ctf_ratio=ratio,
+                spearman=spearman,
+            )
+        )
+    return LearningCurve(
+        database=database,
+        strategy=strategy,
+        docs_per_query=docs_per_query,
+        points=tuple(points),
+    )
+
+
+def measure_run_full(
+    run: SamplingRun,
+    actual: LanguageModel,
+    server_analyzer: Analyzer,
+    database: str,
+    strategy: str,
+    docs_per_query: int,
+) -> LearningCurve:
+    """Full-reprojection reference scorer.
+
+    Projects every snapshot from scratch — O(snapshots × vocabulary).
+    Kept as the ground truth :func:`measure_run` is tested against and
+    as the "before" side of the performance-regression benchmarks.
+    """
     points = []
     for snapshot in run.snapshots:
         projected = snapshot.model.project(server_analyzer)
@@ -143,15 +191,17 @@ def average_curves(curves: list[LearningCurve]) -> LearningCurve:
         raise ValueError("need at least one curve")
     if len(curves) == 1:
         return curves[0]
-    common_docs = set(point.documents for point in curves[0].points)
-    for curve in curves[1:]:
-        common_docs &= {point.documents for point in curve.points}
+    # Index each curve's points by document count once — the lookup
+    # below is then O(1) per (document, curve) instead of a linear scan.
+    by_documents = [
+        {point.documents: point for point in curve.points} for curve in curves
+    ]
+    common_docs = set(by_documents[0])
+    for indexed in by_documents[1:]:
+        common_docs &= set(indexed)
     points = []
     for documents in sorted(common_docs):
-        at_docs = [
-            next(point for point in curve.points if point.documents == documents)
-            for curve in curves
-        ]
+        at_docs = [indexed[documents] for indexed in by_documents]
         count = len(at_docs)
         points.append(
             CurvePoint(

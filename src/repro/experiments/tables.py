@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from repro.experiments.figures import FIGURE1_PROFILES, figure3_strategy_curves
-from repro.experiments.runner import measure_run, run_sampling
+from repro.experiments.parallel import TrialSpec, run_trials
+from repro.experiments.runner import run_sampling
 from repro.experiments.testbed import Testbed
 from repro.sampling.selection import RandomFromLearned
 from repro.summarize.summary import DatabaseSummary, summarize
@@ -41,6 +42,7 @@ def table2_docs_per_query(
     docs_per_query_values: tuple[int, ...] = (1, 2, 4, 6, 8, 10),
     target_ctf_ratio: float = 0.8,
     seeds: tuple[int, ...] = (0, 1, 2),
+    workers: int = 1,
 ) -> list[dict[str, object]]:
     """Table 2: effect of N (docs examined per query).
 
@@ -48,26 +50,26 @@ def table2_docs_per_query(
     target ctf ratio, and the Spearman coefficient there.  Values are
     snapshot-resolution (multiples of 50), like the paper's.
     """
+    specs = [
+        TrialSpec(
+            profile=name,
+            strategy="random_llm",
+            seed=derive_seed(seed, "table2", name, docs_per_query),
+            docs_per_query=docs_per_query,
+        )
+        for docs_per_query in docs_per_query_values
+        for name in FIGURE1_PROFILES
+        for seed in seeds
+    ]
+    results = iter(run_trials(specs, testbed, workers=workers))
     rows = []
     for docs_per_query in docs_per_query_values:
         row: dict[str, object] = {"docs_per_query": docs_per_query}
         for name in FIGURE1_PROFILES:
-            server = testbed.server(name)
-            actual = testbed.actual_model(name)
             docs_needed: list[int | None] = []
             spearman_there: list[float] = []
-            for seed in seeds:
-                run = run_sampling(
-                    server,
-                    bootstrap=testbed.bootstrap(),
-                    strategy=RandomFromLearned(),
-                    max_documents=testbed.document_budget(name),
-                    docs_per_query=docs_per_query,
-                    seed=derive_seed(seed, "table2", name, docs_per_query),
-                )
-                curve = measure_run(
-                    run, actual, server.index.analyzer, name, "random_llm", docs_per_query
-                )
+            for _seed in seeds:
+                curve = next(results).curve
                 reached = curve.documents_to_reach_ctf(target_ctf_ratio)
                 docs_needed.append(reached)
                 if reached is not None:
@@ -89,13 +91,16 @@ def table3_query_counts(
     testbed: Testbed,
     profile: str = "wsj88",
     seeds: tuple[int, ...] = (0, 1, 2),
+    workers: int = 1,
 ) -> dict[str, float]:
     """Table 3: queries required to retrieve the document budget.
 
     Shares its runs' structure with Figure 3 (same strategies, same
     corpus); returns strategy → mean query count.
     """
-    results = figure3_strategy_curves(testbed, profile=profile, seeds=seeds)
+    results = figure3_strategy_curves(
+        testbed, profile=profile, seeds=seeds, workers=workers
+    )
     return {label: queries for label, (_, queries) in results.items()}
 
 

@@ -66,15 +66,35 @@ class InvertedIndex:
         self.corpus = corpus
         self.analyzer = analyzer or Analyzer.inquery_style()
         self._postings: dict[str, PostingList] = {}
+        self._df: dict[str, int] = {}
+        self._ctf: dict[str, int] = {}
         self._doc_lengths = np.zeros(len(corpus), dtype=np.int64)
         self._build()
 
+    _MISS = object()
+
     def _build(self) -> None:
+        # Stopping and stemming depend only on the token, so the
+        # analyzer runs once per distinct raw token per build; every
+        # other occurrence is a single dict probe (None: stopword).
+        # The analyzed term stream — and with it every downstream
+        # ordering — is exactly what analyze() would produce.
+        token_to_term: dict[str, str | None] = {}
+        cache_get = token_to_term.get
+        miss = self._MISS
+        analyze_token = self.analyzer.analyze_token
+        iter_tokens = self.analyzer.tokenizer.iter_tokens
         accumulator: dict[str, tuple[list[int], list[int]]] = {}
         for doc_index, document in enumerate(self.corpus):
-            counts = Counter(self.analyzer.analyze(document.text))
-            self._doc_lengths[doc_index] = sum(counts.values())
-            for term, tf in counts.items():
+            terms = []
+            for token in iter_tokens(document.text):
+                term = cache_get(token, miss)
+                if term is miss:
+                    term = token_to_term[token] = analyze_token(token)
+                if term is not None:
+                    terms.append(term)
+            self._doc_lengths[doc_index] = len(terms)
+            for term, tf in Counter(terms).items():
                 if term not in accumulator:
                     accumulator[term] = ([], [])
                 docs, tfs = accumulator[term]
@@ -85,6 +105,8 @@ class InvertedIndex:
                 doc_indices=np.asarray(docs, dtype=np.int64),
                 term_frequencies=np.asarray(tfs, dtype=np.int64),
             )
+            self._df[term] = len(docs)
+            self._ctf[term] = sum(tfs)
 
     # -- lookups --------------------------------------------------------------
 
@@ -93,14 +115,12 @@ class InvertedIndex:
         return self._postings.get(term)
 
     def df(self, term: str) -> int:
-        """Document frequency of ``term`` (0 if absent)."""
-        posting = self._postings.get(term)
-        return posting.document_frequency if posting else 0
+        """Document frequency of ``term`` (0 if absent; cached at build)."""
+        return self._df.get(term, 0)
 
     def ctf(self, term: str) -> int:
-        """Collection term frequency of ``term`` (0 if absent)."""
-        posting = self._postings.get(term)
-        return posting.collection_frequency if posting else 0
+        """Collection term frequency of ``term`` (0 if absent; cached at build)."""
+        return self._ctf.get(term, 0)
 
     def __contains__(self, term: str) -> bool:
         return term in self._postings
@@ -142,12 +162,8 @@ class InvertedIndex:
     def language_model(self) -> LanguageModel:
         """Export the index as the database's *actual* language model."""
         model = LanguageModel(name=f"{self.corpus.name}-actual")
-        for term, posting in self._postings.items():
-            model.add_term(
-                term,
-                df=posting.document_frequency,
-                ctf=posting.collection_frequency,
-            )
+        for term in self._postings:
+            model.add_term(term, df=self._df[term], ctf=self._ctf[term])
         model.documents_seen = self.num_documents
         model.tokens_seen = self.total_terms
         return model

@@ -57,6 +57,51 @@ def ctf_ratio(learned: LanguageModel, actual: LanguageModel) -> float:
     return covered / total
 
 
+def rank_values(
+    values: np.ndarray,
+    terms: list[str],
+    method: str = "average",
+) -> np.ndarray:
+    """Rank pre-gathered metric ``values`` (descending; rank 1 is best).
+
+    The computational core of :func:`rank_terms`, exposed so callers
+    that already hold a value array (e.g. the incremental curve
+    measurer) can skip per-term model lookups.  Tie handling is fully
+    vectorized: runs of equal values share the mean position
+    (``"average"``) or the best position (``"min"``), computed with the
+    same float operations as the scalar definition so results are
+    bit-identical to a term-by-term loop.
+    """
+    if method == "ordinal":
+        order = sorted(range(len(terms)), key=lambda i: (-values[i], terms[i]))
+        ranks = np.empty(len(terms), dtype=np.float64)
+        for position, index in enumerate(order, start=1):
+            ranks[index] = position
+        return ranks
+    if method not in ("average", "min"):
+        raise ValueError(f"method must be average/min/ordinal, got {method!r}")
+    n = len(terms)
+    order = np.argsort(-values, kind="stable")
+    ranks = np.empty(n, dtype=np.float64)
+    if n == 0:
+        return ranks
+    # Boundaries of runs of equal sorted values; every member of a run
+    # shares one rank derived from the run's start/end positions.
+    sorted_values = values[order]
+    run_start_mask = np.empty(n, dtype=bool)
+    run_start_mask[0] = True
+    np.not_equal(sorted_values[1:], sorted_values[:-1], out=run_start_mask[1:])
+    run_ids = np.cumsum(run_start_mask) - 1
+    run_starts = np.flatnonzero(run_start_mask)
+    if method == "average":
+        run_ends = np.append(run_starts[1:], n) - 1
+        shared = (run_starts + run_ends) / 2.0 + 1.0
+    else:  # min / competition ranking
+        shared = run_starts + 1.0
+    ranks[order] = shared[run_ids]
+    return ranks
+
+
 def rank_terms(
     model: LanguageModel,
     terms: list[str],
@@ -74,34 +119,7 @@ def rank_terms(
       occupy each rank" corresponds to this);
     * ``"ordinal"`` — ties broken deterministically by term string.
     """
-    values = _metric_values(model, terms, metric)
-    if method == "ordinal":
-        order = sorted(range(len(terms)), key=lambda i: (-values[i], terms[i]))
-        ranks = np.empty(len(terms), dtype=np.float64)
-        for position, index in enumerate(order, start=1):
-            ranks[index] = position
-        return ranks
-    if method not in ("average", "min"):
-        raise ValueError(f"method must be average/min/ordinal, got {method!r}")
-    # Sort descending by value; assign shared ranks to runs of equal values.
-    order = np.argsort(-values, kind="stable")
-    ranks = np.empty(len(terms), dtype=np.float64)
-    position = 0
-    while position < len(terms):
-        run_end = position
-        while (
-            run_end + 1 < len(terms)
-            and values[order[run_end + 1]] == values[order[position]]
-        ):
-            run_end += 1
-        if method == "average":
-            shared = (position + run_end) / 2.0 + 1.0
-        else:  # min / competition ranking
-            shared = position + 1.0
-        for i in range(position, run_end + 1):
-            ranks[order[i]] = shared
-        position = run_end + 1
-    return ranks
+    return rank_values(_metric_values(model, terms, metric), terms, method)
 
 
 def common_terms(a: LanguageModel, b: LanguageModel) -> list[str]:
@@ -114,6 +132,7 @@ def spearman_rank_correlation(
     actual: LanguageModel,
     metric: str = "df",
     tie_correction: bool = True,
+    terms: list[str] | None = None,
 ) -> float:
     """Spearman rank correlation of the two models' term rankings.
 
@@ -125,8 +144,13 @@ def spearman_rank_correlation(
     correlation of fractional ranks, which is exact in the presence of
     ties.  Without it, the paper's textbook formula
     ``1 - 6 Σ d² / (n³ - n)`` is used.
+
+    ``terms`` lets a caller that already maintains the sorted common
+    vocabulary (e.g. the incremental curve measurer) skip the O(V)
+    intersection; it must equal ``common_terms(learned, actual)``.
     """
-    terms = common_terms(learned, actual)
+    if terms is None:
+        terms = common_terms(learned, actual)
     n = len(terms)
     if n == 0:
         return 0.0
@@ -134,6 +158,20 @@ def spearman_rank_correlation(
         return 1.0
     learned_ranks = rank_terms(learned, terms, metric)
     actual_ranks = rank_terms(actual, terms, metric)
+    return spearman_from_ranks(learned_ranks, actual_ranks, tie_correction)
+
+
+def spearman_from_ranks(
+    learned_ranks: np.ndarray,
+    actual_ranks: np.ndarray,
+    tie_correction: bool = True,
+) -> float:
+    """The Spearman coefficient of two pre-computed rank vectors.
+
+    Shared by :func:`spearman_rank_correlation` and the incremental
+    curve measurer so both produce bit-identical values.  Callers
+    handle the degenerate n ∈ {0, 1} cases.
+    """
     if tie_correction:
         learned_std = learned_ranks.std()
         actual_std = actual_ranks.std()
@@ -144,6 +182,7 @@ def spearman_rank_correlation(
             (learned_ranks - learned_ranks.mean()) * (actual_ranks - actual_ranks.mean())
         )
         return float(covariance / (learned_std * actual_std))
+    n = learned_ranks.size
     differences = learned_ranks - actual_ranks
     return float(1.0 - 6.0 * np.sum(differences**2) / (n**3 - n))
 

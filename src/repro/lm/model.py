@@ -10,6 +10,7 @@ every metric compares like with like.
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Iterator
@@ -46,6 +47,9 @@ class LanguageModel:
         self.name = name
         self._df: dict[str, int] = {}
         self._ctf: dict[str, int] = {}
+        # Running Σ ctf, maintained by every mutator so total_ctf is
+        # O(1) — ctf_ratio calls it once per metric evaluation.
+        self._total_ctf: int = 0
         #: Number of documents folded into the model.
         self.documents_seen: int = 0
         #: Number of tokens folded into the model.
@@ -61,6 +65,7 @@ class LanguageModel:
             raise ValueError(f"df ({df}) cannot exceed ctf ({ctf}) for {term!r}")
         self._df[term] = self._df.get(term, 0) + df
         self._ctf[term] = self._ctf.get(term, 0) + ctf
+        self._total_ctf += ctf
 
     def add_document(self, terms: Iterable[str]) -> None:
         """Fold one document's terms into the model.
@@ -73,8 +78,10 @@ class LanguageModel:
         for term, count in counts.items():
             self._df[term] = self._df.get(term, 0) + 1
             self._ctf[term] = self._ctf.get(term, 0) + count
+        tokens = sum(counts.values())
+        self._total_ctf += tokens
         self.documents_seen += 1
-        self.tokens_seen += sum(counts.values())
+        self.tokens_seen += tokens
 
     def merge(self, other: "LanguageModel") -> "LanguageModel":
         """Return a new model combining this one with ``other``.
@@ -95,6 +102,7 @@ class LanguageModel:
         duplicate = LanguageModel(name=name or self.name)
         duplicate._df = dict(self._df)
         duplicate._ctf = dict(self._ctf)
+        duplicate._total_ctf = self._total_ctf
         duplicate.documents_seen = self.documents_seen
         duplicate.tokens_seen = self.tokens_seen
         return duplicate
@@ -167,13 +175,16 @@ class LanguageModel:
 
     @property
     def total_ctf(self) -> int:
-        """Sum of ctf over the vocabulary."""
-        return sum(self._ctf.values())
+        """Sum of ctf over the vocabulary (cached running total, O(1))."""
+        return self._total_ctf
 
     def top_terms(self, k: int, key: str = "ctf") -> list[TermStats]:
         """The ``k`` highest-ranked terms by ``key`` (df, ctf, or avg_tf).
 
-        Ties break alphabetically so output is deterministic.
+        Ties break alphabetically so output is deterministic.  Selection
+        is a size-k heap over the vocabulary — O(V log k) rather than a
+        full O(V log V) sort — with the same ``(-score, term)`` key, so
+        results are identical to sorting.
         """
         keyed = {
             "df": lambda term: self._df[term],
@@ -183,7 +194,9 @@ class LanguageModel:
         if key not in keyed:
             raise ValueError(f"key must be one of df/ctf/avg_tf, got {key!r}")
         score = keyed[key]
-        ranked = sorted(self._df, key=lambda term: (-score(term), term))[:k]
+        if k <= 0:
+            return []
+        ranked = heapq.nsmallest(k, self._df, key=lambda term: (-score(term), term))
         return [self.stats(term) for term in ranked]
 
     def items(self) -> Iterator[TermStats]:

@@ -72,6 +72,20 @@ class Analyzer:
             terms.append(token)
         return terms
 
+    def analyze_token(self, token: str) -> str | None:
+        """Map one token already produced by this analyzer's tokenizer.
+
+        Exactly the per-token step of :meth:`analyze` (no case folding
+        — the tokenizer owns that); ``None`` if the token is stopped.
+        Lets batch consumers like the index builder analyze each
+        distinct token once instead of once per occurrence.
+        """
+        if token in self.stopwords:
+            return None
+        if self.stem:
+            return _cached_stem(token)
+        return token
+
     def project_term(self, term: str) -> str | None:
         """Map a single already-tokenized ``term`` through this pipeline.
 

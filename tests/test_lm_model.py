@@ -144,3 +144,67 @@ class TestTopTerms:
 
     def test_k_larger_than_vocabulary(self, model):
         assert len(model.top_terms(100)) == 4
+
+
+class TestCachedTotalCtf:
+    """total_ctf is a running total every mutator must maintain."""
+
+    def _check(self, model: LanguageModel) -> None:
+        assert model.total_ctf == sum(model.ctf(term) for term in model)
+
+    def test_after_add_term_and_add_document(self, model):
+        self._check(model)
+        model.add_term("elderberry", df=2, ctf=5)
+        model.add_term("apple", df=1, ctf=1)  # accumulate onto existing
+        self._check(model)
+        model.add_document(["fig", "fig", "apple"])
+        self._check(model)
+
+    def test_merge_and_copy_preserve_total(self, model):
+        other = LanguageModel(name="other")
+        other.add_document(["apple", "grape"])
+        merged = model.merge(other)
+        self._check(merged)
+        assert merged.total_ctf == model.total_ctf + other.total_ctf
+        self._check(model.copy())
+        assert model.copy().total_ctf == model.total_ctf
+
+    def test_project_and_restrict_recompute_totals(self, model):
+        projected = model.project(Analyzer.inquery_style())
+        self._check(projected)
+        restricted = model.restricted_to(["apple", "banana"])
+        self._check(restricted)
+        assert restricted.total_ctf == model.ctf("apple") + model.ctf("banana")
+
+    def test_empty_model(self):
+        assert LanguageModel().total_ctf == 0
+
+
+class TestTopTermsSelection:
+    """Heap-based top_terms must match a full deterministic sort."""
+
+    def _reference(self, model: LanguageModel, k: int, key: str):
+        score = {
+            "df": model.df,
+            "ctf": model.ctf,
+            "avg_tf": model.avg_tf,
+        }[key]
+        ranked = sorted(model, key=lambda term: (-score(term), term))
+        return ranked[:k]
+
+    def test_matches_sorted_reference_all_keys(self, model):
+        for key in ("df", "ctf", "avg_tf"):
+            for k in (1, 2, 3, 4, 100):
+                assert [
+                    s.term for s in model.top_terms(k, key=key)
+                ] == self._reference(model, k, key)
+
+    def test_ties_break_alphabetically(self):
+        model = LanguageModel()
+        for term in ("pear", "apple", "mango"):
+            model.add_term(term, df=1, ctf=3)
+        assert [s.term for s in model.top_terms(2, key="ctf")] == ["apple", "mango"]
+
+    def test_nonpositive_k_empty(self, model):
+        assert model.top_terms(0) == []
+        assert model.top_terms(-5) == []

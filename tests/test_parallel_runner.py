@@ -1,0 +1,103 @@
+"""Equivalence and behaviour tests for the parallel trial runner.
+
+The runner's contract: for any worker count, :func:`run_trials` returns
+the same results in the same order as in-process serial execution —
+every random decision derives from the spec's seed, and serial and
+worker paths share one :func:`run_trial` implementation.  These tests
+compare complete result objects (curves of floats included) with
+``==``, i.e. bit-identity, not closeness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure1_and_2_curves, figure3_strategy_curves
+from repro.experiments.parallel import (
+    TrialSpec,
+    make_strategy,
+    run_trial,
+    run_trials,
+)
+from repro.experiments.testbed import Testbed as ExperimentTestbed
+from repro.sampling.selection import (
+    FrequencyFromLearned,
+    RandomFromLearned,
+    RandomFromOther,
+)
+from repro.utils.rand import derive_seed
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return ExperimentTestbed(seed=1, scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [
+        TrialSpec(profile="cacm", strategy="random_llm", seed=derive_seed(0, "fig1", "cacm")),
+        TrialSpec(profile="cacm", strategy="df_llm", seed=11, max_documents=60),
+        TrialSpec(
+            profile="cacm",
+            strategy="ctf_llm",
+            seed=12,
+            docs_per_query=2,
+            max_documents=60,
+            measure_rdiff=True,
+        ),
+    ]
+
+
+class TestSerialParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def serial(self, testbed, specs):
+        return run_trials(specs, testbed, workers=1)
+
+    def test_two_workers_bit_identical(self, testbed, specs, serial):
+        assert run_trials(specs, testbed, workers=2) == serial
+
+    def test_more_workers_than_specs(self, testbed, specs, serial):
+        assert run_trials(specs, testbed, workers=8) == serial
+
+    def test_order_matches_spec_order(self, specs, serial):
+        assert [result.spec for result in serial] == specs
+
+    def test_results_carry_requested_measurements(self, serial):
+        assert serial[0].curve is not None and serial[0].rdiff == ()
+        assert serial[2].curve is not None and len(serial[2].rdiff) > 0
+
+    def test_trials_independent_of_batch_composition(self, testbed, specs, serial):
+        # Running a spec alone gives the same result as inside a batch.
+        assert run_trial(testbed, specs[1]) == serial[1]
+
+
+class TestFigureEquivalence:
+    def test_figure12_workers_bit_identical(self, testbed):
+        serial = figure1_and_2_curves(testbed, seeds=(0,))
+        parallel = figure1_and_2_curves(testbed, seeds=(0,), workers=4)
+        assert parallel == serial
+
+    def test_figure3_workers_bit_identical(self, testbed):
+        serial = figure3_strategy_curves(testbed, seeds=(0,))
+        parallel = figure3_strategy_curves(testbed, seeds=(0,), workers=3)
+        assert parallel == serial
+
+
+class TestTrialSpecResolution:
+    def test_default_budget_resolves_in_trial(self, testbed):
+        spec = TrialSpec(profile="cacm", strategy="random_llm", seed=0)
+        result = run_trial(testbed, spec)
+        assert result.documents_examined <= testbed.document_budget("cacm")
+
+    def test_unknown_strategy_rejected(self, testbed):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy(testbed, "zipf_llm")
+
+    def test_strategy_factory_types(self, testbed):
+        assert isinstance(make_strategy(testbed, "random_llm"), RandomFromLearned)
+        assert isinstance(make_strategy(testbed, "random_olm"), RandomFromOther)
+        for label, metric in (("df_llm", "df"), ("ctf_llm", "ctf"), ("avg_tf_llm", "avg_tf")):
+            strategy = make_strategy(testbed, label)
+            assert isinstance(strategy, FrequencyFromLearned)
+            assert strategy.metric == metric
