@@ -25,7 +25,9 @@ from benchmarks.baselines import measure_run_baseline
 from repro.experiments.runner import measure_run, measure_run_full, run_sampling
 from repro.index import DatabaseServer, InvertedIndex, SearchEngine
 from repro.lm import ctf_ratio, spearman_rank_correlation
+from repro.obs import TraceRecorder
 from repro.sampling import MaxDocuments, QueryBasedSampler, RandomFromOther
+from repro.sampling.transport import SimulatedClock
 from repro.synth import wsj88_like
 from repro.text import Analyzer
 
@@ -134,6 +136,40 @@ def test_perf_sampling_run(benchmark, server, perf_recorder):
     run = benchmark.pedantic(one_run, rounds=3, iterations=1)
     assert run.documents_examined == 100
     perf_recorder.record_benchmark("sampling_run_100_docs", benchmark)
+
+
+def test_perf_sampling_run_traced(benchmark, server, perf_recorder):
+    """The same sampling run with a *live* TraceRecorder attached.
+
+    ``sampling_run_100_docs`` above runs on the default no-op recorder,
+    so the pair documents what full tracing costs; the derived
+    ``sampling_run_noop_vs_traced`` ratio in ``BENCH_perf.json`` is the
+    observability layer's overhead budget.
+    """
+    actual = server.actual_language_model()
+
+    def one_run():
+        recorder = TraceRecorder(clock=SimulatedClock())
+        sampler = QueryBasedSampler(
+            server,
+            bootstrap=RandomFromOther(actual),
+            stopping=MaxDocuments(100),
+            seed=5,
+            recorder=recorder,
+        )
+        return sampler.run(), recorder
+
+    run, recorder = benchmark.pedantic(one_run, rounds=3, iterations=1)
+    assert run.documents_examined == 100
+    # One span per executed query, exactly.
+    assert sum(1 for s in recorder.spans if s.name == "query") == run.queries_run
+    perf_recorder.record_benchmark("sampling_run_100_docs_traced", benchmark)
+    if "sampling_run_100_docs" in perf_recorder.hot_paths:
+        perf_recorder.speedup(
+            "sampling_run_noop_vs_traced",
+            before="sampling_run_100_docs_traced",
+            after="sampling_run_100_docs",
+        )
 
 
 def test_perf_metric_computation(benchmark, server, perf_recorder):

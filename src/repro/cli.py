@@ -13,6 +13,11 @@ Exposes the library's main workflows as ``repro <subcommand>``:
     repro estimate-size corpus.jsonl --method sample_resample
     repro federate a.jsonl b.jsonl c.jsonl --query "market court" -n 5
     repro experiments --only fig1 fig3 --scale 0.1 --workers 4
+    repro trace run.trace.jsonl
+
+``sample`` and ``federate`` accept ``--trace PATH`` to record a
+structured JSONL trace of the run (:mod:`repro.obs`); ``repro trace``
+renders the per-database activity report from such a file.
 
 Corpora are JSONL files (``{"doc_id", "text", ...}`` per line); models
 use the library's text format (:mod:`repro.lm.io`).  Every stochastic
@@ -31,10 +36,17 @@ from repro.federation.service import FederatedSearchService
 from repro.index.server import DatabaseServer
 from repro.lm.compare import ctf_ratio, percentage_learned, spearman_rank_correlation
 from repro.lm.io import load_language_model, save_language_model
+from repro.obs import TraceRecorder, format_trace_report, read_trace
 from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
 from repro.sampling.selection import FrequencyFromLearned, ListBootstrap, RandomFromLearned
 from repro.sampling.stopping import MaxDocuments
-from repro.sampling.transport import ResilientDatabase, RetryPolicy, UnreliableServer
+from repro.obs.trace import NULL_RECORDER
+from repro.sampling.transport import (
+    ResilientDatabase,
+    RetryPolicy,
+    SimulatedClock,
+    UnreliableServer,
+)
 from repro.sizeest.orchestrate import estimate_database_size
 from repro.summarize.summary import format_summary_grid, summarize
 from repro.synth.profiles import PROFILES_BY_NAME
@@ -103,6 +115,12 @@ def _add_sample(subparsers) -> None:
         default=3,
         help="retries per query before abandoning it (with --fault-rate)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a structured JSONL trace of the run (see `repro trace`)",
+    )
 
 
 def _add_compare(subparsers) -> None:
@@ -149,6 +167,12 @@ def _add_federate(subparsers) -> None:
                         help="sampling budget per database")
     parser.add_argument("--databases-per-query", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a structured JSONL trace of the run (see `repro trace`)",
+    )
 
 
 def _add_experiments(subparsers) -> None:
@@ -186,6 +210,14 @@ def _add_experiments(subparsers) -> None:
     )
 
 
+def _add_trace(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "trace",
+        help="per-database activity report from a JSONL trace file",
+    )
+    parser.add_argument("trace_file", help="JSONL trace written with --trace")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -203,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_estimate_size(subparsers)
     _add_federate(subparsers)
     _add_experiments(subparsers)
+    _add_trace(subparsers)
     return parser
 
 
@@ -259,7 +292,14 @@ def _cmd_sample(args) -> int:
         ListBootstrap(args.bootstrap) if args.bootstrap else _default_bootstrap(server)
     )
     database = server
+    recorder = NULL_RECORDER
     if args.fault_rate > 0:
+        # The trace recorder (if any) must tick on the same simulated
+        # clock as the transport's backoff, so span timestamps line up
+        # with retry delays.
+        clock = SimulatedClock()
+        if args.trace:
+            recorder = TraceRecorder(clock=clock)
         database = ResilientDatabase(
             UnreliableServer(
                 server,
@@ -267,8 +307,12 @@ def _cmd_sample(args) -> int:
                 seed=derive_seed(args.seed, "faults"),
             ),
             policy=RetryPolicy(max_attempts=args.max_retries + 1),
+            clock=clock,
             seed=args.seed,
+            recorder=recorder,
         )
+    elif args.trace:
+        recorder = TraceRecorder()
     sampler = QueryBasedSampler(
         database,
         bootstrap=bootstrap,
@@ -276,6 +320,7 @@ def _cmd_sample(args) -> int:
         stopping=MaxDocuments(args.max_docs),
         config=SamplerConfig(docs_per_query=args.docs_per_query, keep_documents=False),
         seed=args.seed,
+        recorder=recorder,
     )
     run = sampler.run()
     save_language_model(run.model, args.output)
@@ -283,6 +328,9 @@ def _cmd_sample(args) -> int:
         f"sampled {run.documents_examined} documents with {run.queries_run} queries "
         f"({run.failed_queries} failed); learned {len(run.model):,} terms -> {args.output}"
     )
+    if args.trace:
+        lines = recorder.write_jsonl(args.trace)
+        print(f"trace: {lines} records -> {args.trace}")
     if args.fault_rate > 0:
         metrics = database.metrics
         print(
@@ -343,8 +391,11 @@ def _cmd_federate(args) -> int:
             print(f"duplicate corpus name {corpus.name!r}", file=sys.stderr)
             return 2
         servers[corpus.name] = DatabaseServer(corpus)
+    recorder = TraceRecorder() if args.trace else NULL_RECORDER
     service = FederatedSearchService(
-        servers, databases_per_query=min(args.databases_per_query, len(servers))
+        servers,
+        databases_per_query=min(args.databases_per_query, len(servers)),
+        recorder=recorder,
     )
     service.learn_models(
         lambda name: _default_bootstrap(servers[name]),
@@ -353,6 +404,9 @@ def _cmd_federate(args) -> int:
         seed=args.seed,
     )
     response = service.search(args.query, n=args.n)
+    if args.trace:
+        lines = recorder.write_jsonl(args.trace)
+        print(f"trace: {lines} records -> {args.trace}")
     ranking_rows = [
         {"rank": i, "database": entry.name, "score": round(entry.score, 4),
          "searched": entry.name in response.searched}
@@ -430,6 +484,19 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    try:
+        records = read_trace(args.trace_file)
+    except OSError as exc:
+        print(f"cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"invalid trace file: {exc}", file=sys.stderr)
+        return 2
+    print(format_trace_report(records))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -440,6 +507,7 @@ _COMMANDS = {
     "estimate-size": _cmd_estimate_size,
     "federate": _cmd_federate,
     "experiments": _cmd_experiments,
+    "trace": _cmd_trace,
 }
 
 

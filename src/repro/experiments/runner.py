@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.backend import SearchableDatabase
 from repro.experiments.incremental import IncrementalCurveMeasurer
-from repro.index.server import DatabaseServer
 from repro.lm.compare import ctf_ratio, percentage_learned, rdiff, spearman_rank_correlation
 from repro.lm.model import LanguageModel
+from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.sampling.result import SamplingRun
 from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
 from repro.sampling.selection import QueryTermSelector
@@ -71,7 +72,7 @@ class LearningCurve:
 
 
 def run_sampling(
-    server: DatabaseServer,
+    server: SearchableDatabase,
     bootstrap: QueryTermSelector,
     strategy: QueryTermSelector | None = None,
     max_documents: int = 300,
@@ -79,6 +80,7 @@ def run_sampling(
     seed: int = 0,
     snapshot_interval: int = 50,
     unique_documents: bool = True,
+    recorder: Recorder = NULL_RECORDER,
 ) -> SamplingRun:
     """Run one paper-style sampling experiment."""
     sampler = QueryBasedSampler(
@@ -93,6 +95,7 @@ def run_sampling(
             unique_documents=unique_documents,
         ),
         seed=seed,
+        recorder=recorder,
     )
     return sampler.run()
 

@@ -61,7 +61,14 @@ class Testbed:
         return factory()
 
     def server(self, name: str) -> DatabaseServer:
-        """The (cached) database server for profile ``name``."""
+        """The (cached) database server for profile ``name``.
+
+        The concrete type is deliberate: the testbed is the one place
+        that owns ground truth, satisfying every :mod:`repro.backend`
+        tier.  Experiment code passes the server onward typed as the
+        narrowest protocol it needs (``SearchableDatabase`` for
+        sampling, ``EvaluableDatabase`` for scoring).
+        """
         if name not in self._servers:
             corpus = self.profile(name).build(seed=self.seed, scale=self.scale)
             self._servers[name] = DatabaseServer(corpus)

@@ -5,6 +5,14 @@ merger; answers queries end to end.  The acquisition step is pluggable
 so the same service can run on sampled models (the paper's proposal),
 trusted STARTS exports (the cooperative baseline), or ground-truth
 models (the evaluation upper bound).
+
+Databases are held behind the :mod:`repro.backend` protocols: anything
+:class:`~repro.backend.SearchableDatabase` can be sampled, and the
+subset actually selected for retrieval must additionally be
+:class:`~repro.backend.RetrievableDatabase` (expose a ranked-retrieval
+engine).  Conformance to the sampling surface is validated at
+construction, so a misconfigured service fails with a clear
+``TypeError`` instead of deep inside a query.
 """
 
 from __future__ import annotations
@@ -12,12 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+from repro.backend import RetrievableDatabase, SearchableDatabase, require_searchable
 from repro.dbselect.base import DatabaseRanking, DatabaseSelector
 from repro.dbselect.cori import CoriSelector
 from repro.dbselect.merge import CoriMerger, MergedResult, ResultMerger
 from repro.index.search import SearchResult
-from repro.index.server import DatabaseServer
 from repro.lm.model import LanguageModel
+from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.sampling.pool import SamplingPool
 from repro.sampling.sampler import SamplerConfig
 from repro.sampling.selection import QueryTermSelector
@@ -39,32 +48,43 @@ class FederatedSearchService:
     Parameters
     ----------
     servers:
-        Name → :class:`~repro.index.server.DatabaseServer` (or anything
-        with ``run_query`` for sampling plus ``engine.search`` for
-        retrieval).
+        Name → database.  Every entry must satisfy
+        :class:`~repro.backend.SearchableDatabase` (validated here);
+        entries routed to retrieval by :meth:`search` must also satisfy
+        :class:`~repro.backend.RetrievableDatabase`.
     selector:
         Database selection algorithm (default CORI).
     merger:
         Result merging strategy (default the CORI merge).
     databases_per_query:
         How many top-ranked databases to actually search.
+    recorder:
+        Observability sink (:mod:`repro.obs`): spans over acquisition
+        (``pool_run`` and below) and per federated query
+        (``federated_search`` with a nested ``search`` span per
+        database retrieved from).
     """
 
     def __init__(
         self,
-        servers: Mapping[str, DatabaseServer],
+        servers: Mapping[str, SearchableDatabase],
         selector: DatabaseSelector | None = None,
         merger: ResultMerger | None = None,
         databases_per_query: int = 3,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         if not servers:
             raise ValueError("need at least one database server")
         if databases_per_query <= 0:
             raise ValueError("databases_per_query must be positive")
-        self.servers = dict(servers)
+        self.servers: dict[str, SearchableDatabase] = {
+            name: require_searchable(server, name)
+            for name, server in servers.items()
+        }
         self.selector = selector or CoriSelector()
         self.merger = merger or CoriMerger()
         self.databases_per_query = databases_per_query
+        self.recorder = recorder
         self.models: dict[str, LanguageModel] = {}
 
     # -- acquisition -------------------------------------------------------
@@ -84,6 +104,7 @@ class FederatedSearchService:
             scheduler=scheduler,
             config=config,
             seed=seed,
+            recorder=self.recorder,
         )
         result = pool.run(total_documents)
         self.models = {name: run.model for name, run in result.runs.items()}
@@ -107,14 +128,24 @@ class FederatedSearchService:
         """Answer ``query``: select databases, search them, merge results."""
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
-        ranking = self.select(query)
-        searched = tuple(ranking.top(self.databases_per_query))
-        per_database: dict[str, list[SearchResult]] = {}
-        for name in searched:
-            per_database[name] = self.servers[name].engine.search(
-                query, n=docs_per_database
-            )
-        merged = self.merger.merge(ranking, per_database, n=n)
+        with self.recorder.span("federated_search", query=query) as federated_span:
+            ranking = self.select(query)
+            searched = tuple(ranking.top(self.databases_per_query))
+            per_database: dict[str, list[SearchResult]] = {}
+            for name in searched:
+                server = self.servers[name]
+                if not isinstance(server, RetrievableDatabase):
+                    raise TypeError(
+                        f"database {name!r} ({type(server).__name__}) was selected "
+                        "for retrieval but does not satisfy RetrievableDatabase: "
+                        "missing engine"
+                    )
+                with self.recorder.span("search", database=name) as search_span:
+                    results = server.engine.search(query, n=docs_per_database)
+                    search_span.set(results=len(results))
+                per_database[name] = results
+            merged = self.merger.merge(ranking, per_database, n=n)
+            federated_span.set(searched=list(searched), results=len(merged))
         return FederatedResponse(
             query=query,
             ranking=ranking,

@@ -32,7 +32,15 @@ from repro.text.analyzer import Analyzer
 
 @dataclass
 class QueryCosts:
-    """Cumulative cost of interacting with one database."""
+    """Cumulative cost of interacting with one database.
+
+    The failure meters are disjoint: ``failed_queries`` counts queries
+    that *completed* but matched nothing (empty result list, the
+    paper's Section 5.2 notion of a failed query), while
+    ``errored_queries`` counts queries that *died mid-execution*
+    (transport or engine errors).  Reports that want the old combined
+    notion read the derived :attr:`unsuccessful_queries` total.
+    """
 
     queries_run: int = 0
     failed_queries: int = 0
@@ -40,6 +48,15 @@ class QueryCosts:
     documents_returned: int = 0
     bytes_returned: int = 0
     hit_count_queries: int = 0
+
+    @property
+    def unsuccessful_queries(self) -> int:
+        """Derived total of queries that yielded no documents.
+
+        Backward-compatible view: before the meters were split,
+        ``failed_queries`` folded errored queries in too.
+        """
+        return self.failed_queries + self.errored_queries
 
     def record(self, documents: list[Document]) -> None:
         """Account for one executed query and its results."""
@@ -55,10 +72,28 @@ class QueryCosts:
         An attempted query consumed server work even when it died
         mid-execution, so the meters must see it — otherwise retried
         queries look free and experiment accounting undercounts cost.
+        Errored queries are *not* folded into ``failed_queries``, so
+        empty-result and transport-errored queries stay distinguishable
+        in reports.
         """
         self.queries_run += 1
-        self.failed_queries += 1
         self.errored_queries += 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (stored meters plus the derived total).
+
+        Feed it to :meth:`repro.obs.metrics.MetricSet.update_from` to
+        fold server-side costs into a client-side metric set.
+        """
+        return {
+            "queries_run": self.queries_run,
+            "failed_queries": self.failed_queries,
+            "errored_queries": self.errored_queries,
+            "unsuccessful_queries": self.unsuccessful_queries,
+            "documents_returned": self.documents_returned,
+            "bytes_returned": self.bytes_returned,
+            "hit_count_queries": self.hit_count_queries,
+        }
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,52 @@
+"""Structured observability for the sampling/federation stack.
+
+Three small layers, all optional and all off by default:
+
+* :mod:`repro.obs.trace` — spans and events.  Every instrumented
+  layer (sampler, transport, acquisition, pool, federation) accepts a
+  :class:`Recorder`; the default :data:`NULL_RECORDER` is a shared
+  no-op so un-traced runs pay nothing, while a :class:`TraceRecorder`
+  captures one span per sampling run / query / acquisition plus
+  retry and circuit-breaker events, and writes JSON-lines traces.
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Timer` /
+  :class:`MetricSet` primitives generalizing the per-server
+  :class:`~repro.index.server.QueryCosts`; a trace recorder feeds its
+  metric set automatically from finished spans and events.
+* :mod:`repro.obs.report` — the ``repro trace`` report: reads a JSONL
+  trace and renders per-database query volume, failures, retries,
+  circuit-breaker activity, bytes moved, and latency quantiles.
+"""
+
+from repro.obs.metrics import Counter, MetricSet, Timer
+from repro.obs.report import (
+    DatabaseTraceSummary,
+    format_trace_report,
+    read_trace,
+    summarize_trace,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    Clock,
+    NullRecorder,
+    Recorder,
+    Span,
+    TraceRecorder,
+    WallClock,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "Clock",
+    "Counter",
+    "DatabaseTraceSummary",
+    "MetricSet",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "Timer",
+    "TraceRecorder",
+    "WallClock",
+    "format_trace_report",
+    "read_trace",
+    "summarize_trace",
+]

@@ -35,7 +35,7 @@ for experimenting on degraded transports.
 
 from repro.sampling.pool import PoolResult, SamplingPool
 from repro.sampling.result import QueryRecord, SamplingRun, Snapshot
-from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig, SearchableDatabase
 from repro.sampling.staleness import RefreshPolicy, StalenessReport, staleness_probe
 from repro.sampling.selection import (
     FrequencyFromLearned,
@@ -92,6 +92,7 @@ __all__ = [
     "SamplerConfig",
     "SamplingPool",
     "SamplingRun",
+    "SearchableDatabase",
     "ServerError",
     "ServerTimeout",
     "SimulatedClock",

@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+from repro.backend import SearchableDatabase
+from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.sampling.result import SamplingRun
-from repro.sampling.sampler import QueryBasedSampler, SamplerConfig, SearchableDatabase
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.stopping import MaxDocuments
 from repro.utils.rand import derive_seed
@@ -77,6 +79,10 @@ class SamplingPool:
     config, seed:
         Passed to each per-database sampler (seeds are derived per
         database, so runs are independent and reproducible).
+    recorder:
+        Observability sink (:mod:`repro.obs`), shared by every
+        per-database sampler; each :meth:`run` opens a ``pool_run``
+        span over the whole allocation.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class SamplingPool:
         increment: int = 50,
         config: SamplerConfig = SamplerConfig(),
         seed: int = 0,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         if not databases:
             raise ValueError("need at least one database")
@@ -96,6 +103,7 @@ class SamplingPool:
             raise ValueError("increment must be positive")
         self.scheduler = scheduler
         self.increment = increment
+        self.recorder = recorder
         self.samplers: dict[str, QueryBasedSampler] = {
             name: QueryBasedSampler(
                 database,
@@ -103,6 +111,7 @@ class SamplingPool:
                 config=config,
                 seed=derive_seed(seed, "pool", name),
                 name=name,
+                recorder=recorder,
             )
             for name, database in databases.items()
         }
@@ -111,11 +120,19 @@ class SamplingPool:
         """Distribute ``total_documents`` across the databases."""
         if total_documents <= 0:
             raise ValueError("total_documents must be positive")
-        if self.scheduler == "uniform":
-            runs = self._run_uniform(total_documents)
-        else:
-            runs = self._run_incremental(total_documents)
-        return PoolResult(runs=runs)
+        with self.recorder.span(
+            "pool_run", scheduler=self.scheduler, total_documents=total_documents
+        ) as pool_span:
+            if self.scheduler == "uniform":
+                runs = self._run_uniform(total_documents)
+            else:
+                runs = self._run_incremental(total_documents)
+            result = PoolResult(runs=runs)
+            pool_span.set(
+                documents_examined=result.total_documents,
+                queries_run=result.total_queries,
+            )
+        return result
 
     def _run_uniform(self, total_documents: int) -> dict[str, SamplingRun]:
         # Exact shares: base + one extra for the first ``remainder``

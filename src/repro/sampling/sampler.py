@@ -26,10 +26,11 @@ budgets.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Protocol
 
+from repro.backend import SearchableDatabase
 from repro.corpus.document import Document
 from repro.lm.model import LanguageModel
+from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.sampling.result import QueryRecord, SamplerState, SamplingRun, Snapshot
 from repro.sampling.selection import QueryTermSelector, RandomFromLearned
 from repro.sampling.stopping import MaxDocuments, StoppingCriterion
@@ -37,22 +38,7 @@ from repro.sampling.transport import CircuitOpenError, ServerError
 from repro.text.analyzer import Analyzer
 from repro.utils.rand import ensure_rng
 
-
-class SearchableDatabase(Protocol):
-    """The minimal database surface the paper assumes (Section 3).
-
-    ``run_query`` may raise any
-    :class:`~repro.sampling.transport.ServerError` — remote databases
-    fail.  The sampler records such queries as failed instead of
-    crashing, and stops with ``"database_unreachable"`` when the error
-    signals the database is gone for good (a
-    :class:`~repro.sampling.transport.CircuitOpenError`, or a wrapper
-    whose ``unreachable`` attribute is true).
-    """
-
-    def run_query(self, query: str, max_docs: int) -> list[Document]:
-        """Run a query; return up to ``max_docs`` full documents."""
-        ...  # pragma: no cover - protocol
+__all__ = ["QueryBasedSampler", "SamplerConfig", "SearchableDatabase"]
 
 
 @dataclass(frozen=True)
@@ -117,6 +103,10 @@ class QueryBasedSampler:
         See :class:`SamplerConfig`.
     seed:
         Seed for the strategy's random choices.
+    recorder:
+        Observability sink (:mod:`repro.obs`): one span per
+        :meth:`run` call and per query.  The default no-op recorder
+        keeps the sampling loop overhead-free.
     """
 
     def __init__(
@@ -129,8 +119,10 @@ class QueryBasedSampler:
         config: SamplerConfig = SamplerConfig(),
         seed: int = 0,
         name: str | None = None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.database = database
+        self.recorder = recorder
         self.bootstrap = bootstrap
         self.strategy = strategy or RandomFromLearned()
         self.stopping = stopping or MaxDocuments(300)
@@ -200,7 +192,18 @@ class QueryBasedSampler:
         is equivalent to a single 200-document run.
         """
         criterion = stopping or self.stopping
+        with self.recorder.span("sample_run", database=self.name) as run_span:
+            result = self._run(criterion)
+            run_span.set(
+                documents_examined=result.documents_examined,
+                queries_run=result.queries_run,
+                stop_reason=result.stop_reason,
+            )
+        return result
+
+    def _run(self, criterion: StoppingCriterion) -> SamplingRun:
         state = self._state
+        recorder = self.recorder
         stop_reason: str | None = None
 
         if criterion.should_stop(state):
@@ -232,19 +235,28 @@ class QueryBasedSampler:
             self._used_terms.add(term)
             error_name: str | None = None
             unreachable = False
-            try:
-                documents = self.database.run_query(
-                    term, max_docs=self.config.docs_per_query
-                )
-            except ServerError as error:
-                # An abandoned query costs its term and counts as failed,
-                # but never crashes the run (transport contract).
-                documents = []
-                error_name = type(error).__name__
-                unreachable = isinstance(error, CircuitOpenError) or bool(
-                    getattr(self.database, "unreachable", False)
-                )
-            new_documents, budget_hit, rest = self._absorb(documents, criterion)
+            with recorder.span("query", database=self.name, term=term) as query_span:
+                try:
+                    documents = self.database.run_query(
+                        term, max_docs=self.config.docs_per_query
+                    )
+                except ServerError as error:
+                    # An abandoned query costs its term and counts as failed,
+                    # but never crashes the run (transport contract).
+                    documents = []
+                    error_name = type(error).__name__
+                    unreachable = isinstance(error, CircuitOpenError) or bool(
+                        getattr(self.database, "unreachable", False)
+                    )
+                new_documents, budget_hit, rest = self._absorb(documents, criterion)
+                if recorder.enabled:
+                    query_span.set(
+                        documents_returned=len(documents),
+                        new_documents=new_documents,
+                        bytes_returned=sum(d.size_bytes for d in documents),
+                    )
+                    if error_name is not None:
+                        query_span.set(error=error_name)
             self._queries.append(
                 QueryRecord(
                     term=term,

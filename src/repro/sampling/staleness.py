@@ -19,9 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backend import SearchableDatabase
 from repro.lm.compare import rdiff, spearman_rank_correlation
 from repro.lm.model import LanguageModel
-from repro.sampling.sampler import QueryBasedSampler, SamplerConfig, SearchableDatabase
+from repro.obs.trace import NULL_RECORDER, Recorder
+from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.stopping import MaxDocuments
 from repro.text.analyzer import Analyzer
@@ -55,6 +57,7 @@ def staleness_probe(
     probe_documents: int = 50,
     analyzer: Analyzer | None = None,
     seed: int = 0,
+    recorder: Recorder = NULL_RECORDER,
 ) -> StalenessReport:
     """Draw a fresh mini-sample and compare it to ``stored_model``.
 
@@ -71,6 +74,7 @@ def staleness_probe(
         analyzer=analyzer or Analyzer.raw(),
         config=SamplerConfig(keep_documents=False),
         seed=derive_seed(seed, "staleness-probe"),
+        recorder=recorder,
     )
     probe = sampler.run()
     return StalenessReport(
@@ -107,13 +111,16 @@ class RefreshPolicy:
         stored_model: LanguageModel,
         bootstrap: QueryTermSelector,
         seed: int = 0,
+        recorder: Recorder = NULL_RECORDER,
     ) -> tuple[LanguageModel, StalenessReport, bool]:
         """Probe; re-sample only if stale.
 
         Returns ``(model, report, refreshed)`` where ``model`` is either
         the stored model (fresh enough) or a newly learned one.
         """
-        report = staleness_probe(database, stored_model, bootstrap, seed=seed)
+        report = staleness_probe(
+            database, stored_model, bootstrap, seed=seed, recorder=recorder
+        )
         if not report.is_stale(self.rdiff_threshold, self.spearman_floor):
             return stored_model, report, False
         sampler = QueryBasedSampler(
@@ -121,5 +128,6 @@ class RefreshPolicy:
             bootstrap=bootstrap,
             stopping=MaxDocuments(self.refresh_documents),
             seed=derive_seed(seed, "refresh"),
+            recorder=recorder,
         )
         return sampler.run().model, report, True

@@ -35,7 +35,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import SearchableDatabase
 from repro.corpus.document import Document
+from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.utils.rand import derive_rng
 
 __all__ = [
@@ -166,7 +168,7 @@ class UnreliableServer:
 
     def __init__(
         self,
-        inner,
+        inner: SearchableDatabase,
         *,
         timeout_rate: float = 0.0,
         transient_rate: float = 0.0,
@@ -385,15 +387,21 @@ class ResilientDatabase:
         Simulated clock for backoff (a fresh one if omitted).
     seed:
         Seed of the jitter stream.
+    recorder:
+        Observability sink (:mod:`repro.obs`): one ``retry`` event per
+        backoff and ``circuit_opened`` / ``circuit_closed`` /
+        ``circuit_rejected`` events on breaker activity.  The default
+        no-op recorder keeps the retry loop overhead-free.
     """
 
     def __init__(
         self,
-        inner,
+        inner: SearchableDatabase,
         policy: RetryPolicy = RetryPolicy(),
         breaker: CircuitBreaker | None = None,
         clock: SimulatedClock | None = None,
         seed: int = 0,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.inner = inner
         self.name = getattr(inner, "name", "database")
@@ -402,6 +410,7 @@ class ResilientDatabase:
         self.clock = clock or (breaker.clock if breaker is not None else SimulatedClock())
         self.breaker = breaker or CircuitBreaker(clock=self.clock)
         self.metrics = TransportMetrics()
+        self.recorder = recorder
         self._rng = derive_rng(seed, "transport", self.name)
 
     @property
@@ -414,6 +423,7 @@ class ResilientDatabase:
         self.metrics.queries += 1
         if not self.breaker.allow():
             self.metrics.circuit_rejections += 1
+            self.recorder.event("circuit_rejected", database=self.name)
             raise CircuitOpenError(f"{self.name}: circuit breaker open")
         last_error: ServerError | None = None
         for attempt in range(1, self.policy.max_attempts + 1):
@@ -422,7 +432,10 @@ class ResilientDatabase:
                 documents = self.inner.run_query(query, max_docs=max_docs)
             except PermanentServerError:
                 self.metrics.permanent_failures += 1
+                was_rejecting = self.breaker.rejecting
                 self.breaker.record_failure()
+                if self.breaker.rejecting and not was_rejecting:
+                    self.recorder.event("circuit_opened", database=self.name)
                 raise
             except RETRYABLE_ERRORS as error:
                 last_error = error
@@ -433,8 +446,17 @@ class ResilientDatabase:
                     delay = max(delay, error.retry_after)
                 self.metrics.retries += 1
                 self.metrics.total_backoff += delay
+                self.recorder.event(
+                    "retry",
+                    database=self.name,
+                    attempt=attempt,
+                    delay=delay,
+                    error=type(error).__name__,
+                )
                 self.clock.sleep(delay)
             else:
+                if self.breaker.state == CircuitBreaker.HALF_OPEN:
+                    self.recorder.event("circuit_closed", database=self.name)
                 self.breaker.record_success()
                 self.metrics.successes += 1
                 return documents

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.backend import HitCountingDatabase, SearchableDatabase
 from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.stopping import MaxDocuments
@@ -21,7 +22,7 @@ _CAPTURE_METHODS = {
 
 
 def estimate_database_size(
-    server,
+    server: HitCountingDatabase,
     bootstrap: QueryTermSelector,
     method: str = "sample_resample",
     sample_documents: int = 100,
@@ -65,7 +66,7 @@ def estimate_database_size(
 
 
 def capture_recapture_report(
-    server, bootstrap: QueryTermSelector, sample_documents: int = 100,
+    server: SearchableDatabase, bootstrap: QueryTermSelector, sample_documents: int = 100,
     num_capture_samples: int = 4, seed: int = 0,
 ) -> dict[str, CaptureRecaptureResult]:
     """Both multi-sample capture estimators from one set of episodes."""

@@ -24,13 +24,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backend import CooperativeDatabase, SearchableDatabase
 from repro.lm.model import LanguageModel
+from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.stopping import MaxDocuments, StoppingCriterion
 from repro.sampling.transport import ServerError
 from repro.starts.protocol import parse_starts, records_to_model
 from repro.starts.servers import CooperationRefused
+
+
+def _database_name(server: object) -> str:
+    return str(getattr(server, "name", None) or type(server).__name__)
 
 
 @dataclass(frozen=True)
@@ -49,16 +55,21 @@ class AcquisitionResult:
 class CooperativeSource:
     """Acquire via the STARTS protocol (trusting the export)."""
 
-    def acquire(self, server) -> AcquisitionResult:
+    def acquire(
+        self, server: CooperativeDatabase, recorder: Recorder = NULL_RECORDER
+    ) -> AcquisitionResult:
         """Request and parse the server's export.
 
         Raises :class:`CooperationRefused` (propagated from the server)
         when the database can't or won't export, and ``ValueError`` on a
         malformed export.
         """
-        export = server.starts_export()
-        metadata, records = parse_starts(export)
-        model = records_to_model(metadata, records, name=f"{server.name}-starts")
+        name = _database_name(server)
+        with recorder.span("acquisition", database=name, method="starts") as span:
+            export = server.starts_export()
+            metadata, records = parse_starts(export)
+            model = records_to_model(metadata, records, name=f"{name}-starts")
+            span.set(terms=len(model))
         return AcquisitionResult(model=model, method="starts")
 
 
@@ -80,29 +91,40 @@ class SamplingSource:
         self.config = config
         self.seed = seed
 
-    def acquire(self, server) -> AcquisitionResult:
+    def acquire(
+        self, server: SearchableDatabase, recorder: Recorder = NULL_RECORDER
+    ) -> AcquisitionResult:
         """Sample the database and return the learned model.
 
         If the database becomes unreachable mid-run (transport circuit
         breaker open), the partial model is returned with
         ``method="sampling_partial"`` and a warning instead of raising.
         """
-        sampler = QueryBasedSampler(
-            server,
-            bootstrap=self.bootstrap,
-            stopping=self.stopping,
-            config=self.config,
-            seed=self.seed,
-        )
-        run = sampler.run()
-        method = "sampling"
-        warning = None
-        if run.stop_reason == "database_unreachable":
-            method = "sampling_partial"
-            warning = (
-                f"database became unreachable after "
-                f"{run.documents_examined} documents / {run.queries_run} "
-                f"queries; the model is partial"
+        with recorder.span(
+            "acquisition", database=_database_name(server), method="sampling"
+        ) as span:
+            sampler = QueryBasedSampler(
+                server,
+                bootstrap=self.bootstrap,
+                stopping=self.stopping,
+                config=self.config,
+                seed=self.seed,
+                recorder=recorder,
+            )
+            run = sampler.run()
+            method = "sampling"
+            warning = None
+            if run.stop_reason == "database_unreachable":
+                method = "sampling_partial"
+                warning = (
+                    f"database became unreachable after "
+                    f"{run.documents_examined} documents / {run.queries_run} "
+                    f"queries; the model is partial"
+                )
+            span.set(
+                method=method,
+                documents_examined=run.documents_examined,
+                queries_run=run.queries_run,
             )
         return AcquisitionResult(
             model=run.model,
@@ -114,10 +136,11 @@ class SamplingSource:
 
 
 def acquire_language_model(
-    server,
+    server: SearchableDatabase,
     sampling: SamplingSource,
     cooperative: CooperativeSource | None = None,
     trust_exports: bool = True,
+    recorder: Recorder = NULL_RECORDER,
 ) -> AcquisitionResult:
     """Acquire a model for ``server``: protocol first, sampling fallback.
 
@@ -133,9 +156,13 @@ def acquire_language_model(
     unreachable database still yields its partial model, flagged via
     :attr:`AcquisitionResult.warning`.
     """
-    if trust_exports and cooperative is not None and hasattr(server, "starts_export"):
+    if (
+        trust_exports
+        and cooperative is not None
+        and isinstance(server, CooperativeDatabase)
+    ):
         try:
-            return cooperative.acquire(server)
+            return cooperative.acquire(server, recorder=recorder)
         except (CooperationRefused, ServerError, ValueError):
             pass
-    return sampling.acquire(server)
+    return sampling.acquire(server, recorder=recorder)

@@ -166,3 +166,57 @@ class TestEstimateSize:
         output = capsys.readouterr().out
         assert "estimated size" in output
         assert "actual size" in output
+
+
+class TestTrace:
+    def test_sample_writes_trace(self, corpus_path, tmp_path, capsys):
+        model = tmp_path / "m.lm"
+        trace = tmp_path / "t.jsonl"
+        code = main(["sample", str(corpus_path), "-o", str(model), "--max-docs", "30",
+                     "--trace", str(trace), "--seed", "2"])
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
+        from repro.obs import read_trace
+
+        records = read_trace(str(trace))
+        assert records[0]["type"] == "meta"
+        query_spans = [
+            r for r in records if r.get("type") == "span" and r.get("name") == "query"
+        ]
+        assert query_spans  # at least one span per executed query
+
+    def test_sample_trace_with_faults_uses_simulated_clock(
+        self, corpus_path, tmp_path, capsys
+    ):
+        model = tmp_path / "m.lm"
+        trace = tmp_path / "t.jsonl"
+        code = main(["sample", str(corpus_path), "-o", str(model), "--max-docs", "30",
+                     "--fault-rate", "0.3", "--trace", str(trace), "--seed", "2"])
+        assert code == 0
+        from repro.obs import read_trace
+
+        records = read_trace(str(trace))
+        assert records[0]["clock"] == "SimulatedClock"
+
+    def test_trace_report_renders(self, corpus_path, tmp_path, capsys):
+        model = tmp_path / "m.lm"
+        trace = tmp_path / "t.jsonl"
+        assert main(["sample", str(corpus_path), "-o", str(model), "--max-docs", "30",
+                     "--trace", str(trace), "--seed", "2"]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace:" in out
+        assert "Per-database activity" in out
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        code = main(["trace", str(bad)])
+        assert code == 2
+        assert "invalid trace file" in capsys.readouterr().err

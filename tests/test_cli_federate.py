@@ -63,3 +63,24 @@ class TestFederate:
         )
         assert code == 1
         assert "no results" in capsys.readouterr().out
+
+
+class TestFederateTrace:
+    def test_trace_covers_acquisition_and_search(self, corpora, tmp_path, capsys):
+        server = DatabaseServer(read_jsonl(corpora[0]))
+        term = server.actual_language_model().top_terms(1, "ctf")[0].term
+        trace = tmp_path / "federate.jsonl"
+        code = main(
+            ["federate", str(corpora[0]), str(corpora[1]), "--query", term,
+             "-n", "5", "--sample-docs", "40", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
+        from repro.obs import read_trace, summarize_trace
+
+        records = read_trace(str(trace))
+        names = {r.get("name") for r in records if r.get("type") == "span"}
+        assert {"pool_run", "sample_run", "query", "federated_search"} <= names
+        summaries = summarize_trace(records)
+        assert {"newsdb", "scidb"} <= set(summaries)
+        assert all(s.queries > 0 for s in summaries.values())

@@ -164,3 +164,46 @@ class TestFederatedService:
         )
         with pytest.raises(ValueError):
             service.search("x", n=0)
+
+
+class TestBackendValidation:
+    """Servers are validated against SearchableDatabase at construction."""
+
+    def test_non_database_rejected_by_name(self, parts):
+        servers = {part.name: DatabaseServer(part) for part in parts[:2]}
+        servers["broken"] = object()
+        with pytest.raises(TypeError) as excinfo:
+            FederatedSearchService(servers)
+        message = str(excinfo.value)
+        assert "'broken'" in message
+        assert "SearchableDatabase" in message
+        assert "run_query" in message
+
+    def test_query_only_server_accepted_for_sampling(self, parts):
+        class QueryOnly:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def run_query(self, query, max_docs=10):
+                return self._inner.run_query(query, max_docs=max_docs)
+
+        servers = {part.name: QueryOnly(DatabaseServer(part)) for part in parts[:2]}
+        service = FederatedSearchService(servers)
+        assert set(service.servers) == set(servers)
+
+    def test_retrieval_requires_engine(self, parts):
+        class QueryOnly:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def run_query(self, query, max_docs=10):
+                return self._inner.run_query(query, max_docs=max_docs)
+
+        full = {part.name: DatabaseServer(part) for part in parts[:2]}
+        servers = {name: QueryOnly(server) for name, server in full.items()}
+        service = FederatedSearchService(servers, databases_per_query=1)
+        service.use_models(
+            {name: server.actual_language_model() for name, server in full.items()}
+        )
+        with pytest.raises(TypeError, match="RetrievableDatabase.*missing engine"):
+            service.search("market report", n=3)

@@ -69,8 +69,26 @@ class TestCostAccounting:
         with pytest.raises(RuntimeError):
             server.run_query("honey", max_docs=2)
         assert server.costs.queries_run == 2
-        assert server.costs.failed_queries == 1
+        # Errored and empty-result queries are metered separately; the
+        # derived total preserves the old combined notion.
+        assert server.costs.failed_queries == 0
         assert server.costs.errored_queries == 1
+        assert server.costs.unsuccessful_queries == 1
+
+    def test_failed_and_errored_meters_disjoint(self, tiny_corpus, monkeypatch):
+        server = DatabaseServer(tiny_corpus)
+        server.run_query("zebra", max_docs=2)  # completes, matches nothing
+        assert (server.costs.failed_queries, server.costs.errored_queries) == (1, 0)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("scorer blew up")
+
+        monkeypatch.setattr(server.engine, "search", explode)
+        with pytest.raises(RuntimeError):
+            server.run_query("apple", max_docs=2)
+        assert (server.costs.failed_queries, server.costs.errored_queries) == (1, 1)
+        assert server.costs.unsuccessful_queries == 2
+        assert server.costs.as_dict()["unsuccessful_queries"] == 2
 
     def test_invalid_max_docs_not_metered(self, tiny_corpus):
         # Client-side misuse is rejected before the query is attempted.

@@ -107,3 +107,54 @@ class TestRefreshPolicy:
         assert report.is_stale()
         assert model is not stored_model
         assert model.documents_seen == 80
+
+
+class TestRefreshPolicyThresholds:
+    """Threshold-forced trigger / no-trigger paths, independent of the
+    statistical behaviour of any particular probe."""
+
+    def test_impossible_floor_forces_refresh(self, stable_server, stored_model):
+        # Spearman can never reach 1.1, so even a perfectly fresh
+        # database must take the refresh branch.
+        policy = RefreshPolicy(spearman_floor=1.1, refresh_documents=60)
+        model, report, refreshed = policy.maybe_refresh(
+            stable_server,
+            stored_model,
+            bootstrap=RandomFromOther(stable_server.actual_language_model()),
+            seed=5,
+        )
+        assert refreshed
+        assert model is not stored_model
+        assert model.documents_seen == 60
+        assert report.is_stale(policy.rdiff_threshold, policy.spearman_floor)
+
+    def test_lenient_thresholds_always_keep(self, drifted_server, stored_model):
+        # rdiff <= 1 and spearman >= -1 by construction, so these
+        # thresholds can never trip: even a replaced database is kept.
+        policy = RefreshPolicy(rdiff_threshold=2.0, spearman_floor=-2.0)
+        model, report, refreshed = policy.maybe_refresh(
+            drifted_server,
+            stored_model,
+            bootstrap=RandomFromOther(drifted_server.actual_language_model()),
+            seed=5,
+        )
+        assert not refreshed
+        assert model is stored_model
+        assert not report.is_stale(policy.rdiff_threshold, policy.spearman_floor)
+
+    def test_probe_and_refresh_are_traced(self, stable_server, stored_model):
+        from repro.obs import TraceRecorder
+        from repro.sampling.transport import SimulatedClock
+
+        recorder = TraceRecorder(clock=SimulatedClock())
+        policy = RefreshPolicy(spearman_floor=1.1, refresh_documents=40)
+        policy.maybe_refresh(
+            stable_server,
+            stored_model,
+            bootstrap=RandomFromOther(stable_server.actual_language_model()),
+            seed=5,
+            recorder=recorder,
+        )
+        # One sample_run span for the probe and one for the refresh.
+        run_spans = [s for s in recorder.spans if s.name == "sample_run"]
+        assert len(run_spans) == 2

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.lm import LanguageModel
-from repro.summarize import format_summary_grid, summarize
+from repro.summarize import DatabaseSummary, format_summary_grid, summarize
 
 
 @pytest.fixture
@@ -86,3 +86,22 @@ class TestFormatGrid:
     def test_invalid_columns(self, model):
         with pytest.raises(ValueError):
             format_summary_grid(summarize(model), columns=0)
+
+
+class TestEmptyGrid:
+    """format_summary_grid over a directly constructed empty summary."""
+
+    def test_empty_summary_renders_header_only(self):
+        summary = DatabaseSummary(database="void", rank_by="avg_tf", terms=())
+        grid = format_summary_grid(summary)
+        assert grid == "Top 0 terms of 'void' (ranked by avg_tf)"
+
+    def test_empty_summary_any_column_count(self):
+        summary = DatabaseSummary(database="void", rank_by="df", terms=())
+        for columns in (1, 3, 10):
+            assert format_summary_grid(summary, columns=columns).count("\n") == 0
+
+    def test_empty_summary_still_validates_columns(self):
+        summary = DatabaseSummary(database="void", rank_by="ctf", terms=())
+        with pytest.raises(ValueError):
+            format_summary_grid(summary, columns=0)
