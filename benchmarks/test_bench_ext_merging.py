@@ -21,6 +21,7 @@ from repro.dbselect.merge import CoriMerger, RawScoreMerger, RoundRobinMerger
 from repro.experiments.reporting import format_table
 from repro.federation import (
     FederatedSearchService,
+    SearchRequest,
     build_skewed_partition,
     topical_queries,
 )
@@ -76,7 +77,7 @@ def _experiment(testbed):
             service.merger = merger
             values = []
             for query in queries:
-                response = service.search(query.text, n=SEARCH_N)
+                response = service.search(SearchRequest(query=query.text, n=SEARCH_N))
                 values.append(_precision(response.results, parts_by_name, query.topic))
             mean_precision = sum(values) / len(values)
             precision[(source_label, merger_label)] = mean_precision

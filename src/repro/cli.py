@@ -12,6 +12,7 @@ Exposes the library's main workflows as ``repro <subcommand>``:
     repro summarize model.lm --rank-by avg_tf -k 20
     repro estimate-size corpus.jsonl --method sample_resample
     repro federate a.jsonl b.jsonl c.jsonl --query "market court" -n 5
+    repro serve-bench --synthetic 4 --scale 0.05 --budget 0.5
     repro experiments --only fig1 fig3 --scale 0.1 --workers 4
     repro trace run.trace.jsonl
 
@@ -32,7 +33,7 @@ from typing import Sequence
 
 from repro.corpus.readers import read_jsonl, write_jsonl
 from repro.experiments.reporting import format_table
-from repro.federation.service import FederatedSearchService
+from repro.federation.service import FederatedSearchService, SearchRequest
 from repro.index.server import DatabaseServer
 from repro.lm.compare import ctf_ratio, percentage_learned, spearman_rank_correlation
 from repro.lm.io import load_language_model, save_language_model
@@ -175,6 +176,49 @@ def _add_federate(subparsers) -> None:
     )
 
 
+def _add_serve_bench(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve-bench",
+        help="throughput of the serving path (vectorized CORI, caches, fan-out)",
+    )
+    parser.add_argument(
+        "corpora",
+        nargs="*",
+        help="corpus JSONL paths (omit to benchmark a synthetic federation)",
+    )
+    parser.add_argument(
+        "--synthetic",
+        type=int,
+        default=4,
+        metavar="K",
+        help="number of synthetic databases when no corpora are given",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05, help="synthetic corpus scale factor"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=12, help="distinct bench queries to cycle"
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.5,
+        help="wall-clock seconds per measured mode",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8, help="fan-out thread-pool bound"
+    )
+    parser.add_argument(
+        "--backend-latency",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="injected per-search backend latency for the fan-out modes",
+    )
+    parser.add_argument("--databases-per-query", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def _add_experiments(subparsers) -> None:
     parser = subparsers.add_parser(
         "experiments",
@@ -234,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_summarize(subparsers)
     _add_estimate_size(subparsers)
     _add_federate(subparsers)
+    _add_serve_bench(subparsers)
     _add_experiments(subparsers)
     _add_trace(subparsers)
     return parser
@@ -403,7 +448,7 @@ def _cmd_federate(args) -> int:
         scheduler="round_robin",
         seed=args.seed,
     )
-    response = service.search(args.query, n=args.n)
+    response = service.search(SearchRequest(query=args.query, n=args.n))
     if args.trace:
         lines = recorder.write_jsonl(args.trace)
         print(f"trace: {lines} records -> {args.trace}")
@@ -422,6 +467,51 @@ def _cmd_federate(args) -> int:
         for i, item in enumerate(response.results, start=1)
     ]
     print(format_table(result_rows, title="Merged results"))
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    # Imported lazily: serving pulls in the synthetic/testbed machinery
+    # only this subcommand needs.
+    from repro.serving.bench import (
+        build_synthetic_federation,
+        format_serve_bench,
+        run_serve_bench,
+    )
+
+    if args.budget <= 0:
+        print("--budget must be positive", file=sys.stderr)
+        return 2
+    if args.backend_latency < 0:
+        print("--backend-latency must be non-negative", file=sys.stderr)
+        return 2
+    if args.corpora:
+        if len(args.corpora) < 2:
+            print("serve-bench needs at least two corpora", file=sys.stderr)
+            return 2
+        servers = {}
+        for path in args.corpora:
+            corpus = read_jsonl(path)
+            if corpus.name in servers:
+                print(f"duplicate corpus name {corpus.name!r}", file=sys.stderr)
+                return 2
+            servers[corpus.name] = DatabaseServer(corpus)
+    else:
+        if args.synthetic < 2:
+            print("--synthetic must be >= 2", file=sys.stderr)
+            return 2
+        servers = build_synthetic_federation(
+            num_databases=args.synthetic, scale=args.scale, seed=args.seed
+        )
+    report = run_serve_bench(
+        servers,
+        num_queries=args.queries,
+        budget=args.budget,
+        workers=args.workers,
+        backend_latency=args.backend_latency,
+        databases_per_query=args.databases_per_query,
+    )
+    print(format_serve_bench(report))
     return 0
 
 
@@ -506,6 +596,7 @@ _COMMANDS = {
     "summarize": _cmd_summarize,
     "estimate-size": _cmd_estimate_size,
     "federate": _cmd_federate,
+    "serve-bench": _cmd_serve_bench,
     "experiments": _cmd_experiments,
     "trace": _cmd_trace,
 }

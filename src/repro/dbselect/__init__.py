@@ -9,7 +9,10 @@ claim the paper defers to follow-on work, reproduced here as extension
 experiment Ext-1):
 
 * :class:`CoriSelector` — the CORI inference-net ranking (Callan,
-  Lu & Croft, SIGIR 1995), the algorithm behind the paper's own group;
+  Lu & Croft, SIGIR 1995), the algorithm behind the paper's own group —
+  and :class:`CoriScorer`, the same formula compiled to numpy
+  term-statistics matrices for the serving hot path (both share one
+  :class:`CoriParameters`);
 * :class:`BGlossSelector` / :class:`VGlossSelector` — boolean and
   vector-space GlOSS (Gravano, García-Molina & Tomasic);
 * :class:`KlSelector` — Kullback-Leibler divergence ranking, a later
@@ -19,14 +22,17 @@ experiment Ext-1):
 """
 
 from repro.dbselect.base import DatabaseRanking, DatabaseSelector, RankedDatabase
-from repro.dbselect.cori import CoriSelector
+from repro.dbselect.cori import CoriParameters, CoriSelector
 from repro.dbselect.evaluate import SelectionEvaluation, evaluate_rankings, recall_at_n
 from repro.dbselect.gloss import BGlossSelector, VGlossSelector
 from repro.dbselect.kl import KlSelector
 from repro.dbselect.redde import ReddeSelector
+from repro.dbselect.vectorized import CoriScorer
 
 __all__ = [
     "BGlossSelector",
+    "CoriParameters",
+    "CoriScorer",
     "CoriSelector",
     "DatabaseRanking",
     "DatabaseSelector",

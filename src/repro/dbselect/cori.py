@@ -23,11 +23,19 @@ it.  When models are learned from samples of different sizes, the
 ``cw`` statistics are sample sizes rather than collection sizes; the
 paper (Section 3) argues the resulting scaling is comparable, and the
 Ext-1 experiment measures how well that holds.
+
+Two implementations share these formulas (and one
+:class:`CoriParameters`): the scalar :class:`CoriSelector` here, which
+walks the models term by term, and the vectorized
+:class:`~repro.dbselect.vectorized.CoriScorer`, which compiles the
+models into numpy term-statistics matrices once and scores every
+database in a handful of array operations — the serving hot path.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.dbselect.base import DatabaseRanking, analyze_query, finish_ranking
@@ -35,21 +43,61 @@ from repro.lm.model import LanguageModel
 from repro.text.analyzer import Analyzer
 
 
+@dataclass(frozen=True)
+class CoriParameters:
+    """The CORI belief-formula constants, shared by every implementation.
+
+    Parameters
+    ----------
+    default_belief:
+        ``b`` — the belief assigned to a term absent from a database's
+        model (and the floor every present term builds on).
+    df_base, df_scale:
+        The ``50`` and ``150`` of the T-component denominator
+        ``df + df_base + df_scale * cw / mean_cw``.
+    """
+
+    default_belief: float = 0.4
+    df_base: float = 50.0
+    df_scale: float = 150.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.default_belief < 1.0:
+            raise ValueError("default_belief must be in [0, 1)")
+        if self.df_base < 0 or self.df_scale < 0:
+            raise ValueError("df_base and df_scale must be non-negative")
+
+
+def mean_collection_weight(models: Mapping[str, LanguageModel]) -> float:
+    """Mean ``tokens_seen`` over the models (1.0 if degenerate).
+
+    Shared by the scalar and vectorized implementations so both derive
+    bit-identical ``mean_cw`` values from the same model set.
+    """
+    mean_cw = sum(model.tokens_seen for model in models.values()) / len(models)
+    if mean_cw <= 0:
+        return 1.0
+    return mean_cw
+
+
 class CoriSelector:
-    """CORI ranking over per-database language models."""
+    """CORI ranking over per-database language models (scalar reference).
+
+    Parameters
+    ----------
+    params:
+        The belief-formula constants (default :class:`CoriParameters`).
+    analyzer:
+        Query analysis pipeline (raw tokens if ``None``).
+    """
 
     def __init__(
         self,
-        default_belief: float = 0.4,
-        df_base: float = 50.0,
-        df_scale: float = 150.0,
+        params: CoriParameters | None = None,
+        *,
         analyzer: Analyzer | None = None,
     ) -> None:
-        if not 0.0 <= default_belief < 1.0:
-            raise ValueError("default_belief must be in [0, 1)")
-        self.default_belief = default_belief
-        self.df_base = df_base
-        self.df_scale = df_scale
+        self.params = params or CoriParameters()
         self.analyzer = analyzer
 
     def rank(self, query: str, models: Mapping[str, LanguageModel]) -> DatabaseRanking:
@@ -58,9 +106,7 @@ class CoriSelector:
             raise ValueError("no database models to rank")
         terms = analyze_query(query, self.analyzer)
         num_databases = len(models)
-        mean_cw = sum(model.tokens_seen for model in models.values()) / num_databases
-        if mean_cw <= 0:
-            mean_cw = 1.0
+        mean_cw = mean_collection_weight(models)
         scores: dict[str, float] = {}
         for name, model in models.items():
             if not terms:
@@ -82,9 +128,10 @@ class CoriSelector:
         mean_cw: float,
     ) -> float:
         df = model.df(term)
+        params = self.params
         if df == 0 or cf == 0:
-            return self.default_belief
+            return params.default_belief
         cw = model.tokens_seen or 1
-        t_component = df / (df + self.df_base + self.df_scale * cw / mean_cw)
+        t_component = df / (df + params.df_base + params.df_scale * cw / mean_cw)
         i_component = math.log((num_databases + 0.5) / cf) / math.log(num_databases + 1.0)
-        return self.default_belief + (1.0 - self.default_belief) * t_component * i_component
+        return params.default_belief + (1.0 - params.default_belief) * t_component * i_component

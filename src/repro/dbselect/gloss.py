@@ -30,7 +30,7 @@ from repro.text.analyzer import Analyzer
 class BGlossSelector:
     """bGlOSS: expected number of documents matching all query terms."""
 
-    def __init__(self, analyzer: Analyzer | None = None) -> None:
+    def __init__(self, *, analyzer: Analyzer | None = None) -> None:
         self.analyzer = analyzer
 
     def rank(self, query: str, models: Mapping[str, LanguageModel]) -> DatabaseRanking:
@@ -54,7 +54,7 @@ class BGlossSelector:
 class VGlossSelector:
     """vGlOSS Max(0): total expected similarity mass for the query."""
 
-    def __init__(self, analyzer: Analyzer | None = None) -> None:
+    def __init__(self, *, analyzer: Analyzer | None = None) -> None:
         self.analyzer = analyzer
 
     def rank(self, query: str, models: Mapping[str, LanguageModel]) -> DatabaseRanking:

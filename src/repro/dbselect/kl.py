@@ -28,7 +28,7 @@ from repro.text.analyzer import Analyzer
 class KlSelector:
     """Smoothed query-likelihood (negative-KL) ranking."""
 
-    def __init__(self, smoothing: float = 0.7, analyzer: Analyzer | None = None) -> None:
+    def __init__(self, *, smoothing: float = 0.7, analyzer: Analyzer | None = None) -> None:
         if not 0.0 < smoothing < 1.0:
             raise ValueError("smoothing must be in (0, 1)")
         self.smoothing = smoothing

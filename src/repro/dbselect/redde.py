@@ -57,6 +57,7 @@ class ReddeSelector:
     def __init__(
         self,
         samples: Mapping[str, list[Document]],
+        *,
         estimated_sizes: Mapping[str, float] | None = None,
         top_n: int = 50,
         analyzer: Analyzer | None = None,

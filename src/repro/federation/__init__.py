@@ -15,7 +15,11 @@ distinctive-term topical queries whose relevance oracle is the
 generating topic.
 """
 
-from repro.federation.service import FederatedSearchService, FederatedResponse
+from repro.federation.service import (
+    FederatedResponse,
+    FederatedSearchService,
+    SearchRequest,
+)
 from repro.federation.testbed import (
     TopicalQuery,
     build_skewed_partition,
@@ -26,6 +30,7 @@ from repro.federation.testbed import (
 __all__ = [
     "FederatedResponse",
     "FederatedSearchService",
+    "SearchRequest",
     "TopicalQuery",
     "build_skewed_partition",
     "relevance_counts",

@@ -13,11 +13,22 @@ subset actually selected for retrieval must additionally be
 engine).  Conformance to the sampling surface is validated at
 construction, so a misconfigured service fails with a clear
 ``TypeError`` instead of deep inside a query.
+
+The query-answering surface is a :class:`SearchRequest` →
+:class:`FederatedResponse` pair.  Installed model sets are versioned by
+:attr:`FederatedSearchService.model_epoch`, which moves whenever
+:meth:`~FederatedSearchService.learn_models`,
+:meth:`~FederatedSearchService.use_models`, or a staleness-driven
+:meth:`~FederatedSearchService.refresh_stale_models` installs new
+models — the serving layer (:mod:`repro.serving`) keys its compiled
+scorers and caches on that epoch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+import warnings
+from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.backend import RetrievableDatabase, SearchableDatabase, require_searchable
@@ -30,16 +41,68 @@ from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.sampling.pool import SamplingPool
 from repro.sampling.sampler import SamplerConfig
 from repro.sampling.selection import QueryTermSelector
+from repro.sampling.staleness import RefreshPolicy, StalenessReport
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One federated query, fully specified.
+
+    Parameters
+    ----------
+    query:
+        The user's query text.
+    n:
+        Size of the merged result list.
+    docs_per_database:
+        Results requested from each searched database before merging.
+    deadline:
+        Wall-clock budget in seconds for the retrieval fan-out, or
+        ``None`` for no limit.  Backends that miss the deadline are
+        *dropped* from the merge and reported in
+        :attr:`FederatedResponse.dropped`, never raised.
+    databases_per_query:
+        Override of the service's configured selection depth for this
+        request (``None`` keeps the service default).
+    """
+
+    query: str
+    n: int = 10
+    docs_per_database: int = 10
+    deadline: float | None = None
+    databases_per_query: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.docs_per_database <= 0:
+            raise ValueError(
+                f"docs_per_database must be positive, got {self.docs_per_database}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.databases_per_query is not None and self.databases_per_query <= 0:
+            raise ValueError(
+                f"databases_per_query must be positive, got {self.databases_per_query}"
+            )
 
 
 @dataclass(frozen=True)
 class FederatedResponse:
-    """Everything a federated query produced."""
+    """Everything a federated query produced.
+
+    ``searched`` lists the databases whose results made the merge;
+    ``dropped`` the selected databases that missed the request deadline
+    or failed (degradation, not an error); ``timings`` the per-database
+    retrieval wall time in seconds for every backend that completed.
+    """
 
     query: str
     ranking: DatabaseRanking
     searched: tuple[str, ...]
     results: tuple[MergedResult, ...]
+    dropped: tuple[str, ...] = ()
+    timings: Mapping[str, float] = field(default_factory=dict)
 
 
 class FederatedSearchService:
@@ -86,8 +149,23 @@ class FederatedSearchService:
         self.databases_per_query = databases_per_query
         self.recorder = recorder
         self.models: dict[str, LanguageModel] = {}
+        self._model_epoch = 0
 
     # -- acquisition -------------------------------------------------------
+
+    @property
+    def model_epoch(self) -> int:
+        """Version of the installed model set (0 = nothing installed).
+
+        Moves by one every time a full or partial model set is
+        installed; consumers that compile or cache anything derived
+        from the models (the serving frontend) invalidate on change.
+        """
+        return self._model_epoch
+
+    def _install_models(self, models: Mapping[str, LanguageModel]) -> None:
+        self.models = dict(models)
+        self._model_epoch += 1
 
     def learn_models(
         self,
@@ -107,14 +185,41 @@ class FederatedSearchService:
             recorder=self.recorder,
         )
         result = pool.run(total_documents)
-        self.models = {name: run.model for name, run in result.runs.items()}
+        self._install_models({name: run.model for name, run in result.runs.items()})
 
     def use_models(self, models: Mapping[str, LanguageModel]) -> None:
         """Install externally acquired models (STARTS, ground truth, …)."""
         missing = set(self.servers) - set(models)
         if missing:
             raise ValueError(f"missing models for databases: {sorted(missing)}")
-        self.models = dict(models)
+        self._install_models(models)
+
+    def refresh_stale_models(
+        self,
+        bootstrap_factory: Callable[[str], QueryTermSelector],
+        policy: RefreshPolicy | None = None,
+        seed: int = 0,
+    ) -> dict[str, StalenessReport]:
+        """Probe every model for staleness; re-sample only the drifted ones.
+
+        Delegates to :meth:`~repro.sampling.staleness.RefreshPolicy.refresh_all`;
+        if any model was actually refreshed the new set is installed and
+        :attr:`model_epoch` moves (so serving caches invalidate).
+        Returns the per-database staleness reports either way.
+        """
+        if not self.models:
+            raise RuntimeError("no language models acquired yet; call learn_models()")
+        policy = policy or RefreshPolicy()
+        models, reports, refreshed = policy.refresh_all(
+            self.servers,
+            self.models,
+            bootstrap_factory,
+            seed=seed,
+            recorder=self.recorder,
+        )
+        if refreshed:
+            self._install_models(models)
+        return reports
 
     # -- query answering ----------------------------------------------------
 
@@ -124,31 +229,79 @@ class FederatedSearchService:
             raise RuntimeError("no language models acquired yet; call learn_models()")
         return self.selector.rank(query, self.models)
 
-    def search(self, query: str, n: int = 10, docs_per_database: int = 10) -> FederatedResponse:
-        """Answer ``query``: select databases, search them, merge results."""
-        if n <= 0:
-            raise ValueError(f"n must be positive, got {n}")
-        with self.recorder.span("federated_search", query=query) as federated_span:
-            ranking = self.select(query)
-            searched = tuple(ranking.top(self.databases_per_query))
+    def require_retrievable(self, name: str) -> RetrievableDatabase:
+        """The named server, validated for ranked retrieval."""
+        server = self.servers[name]
+        if not isinstance(server, RetrievableDatabase):
+            raise TypeError(
+                f"database {name!r} ({type(server).__name__}) was selected "
+                "for retrieval but does not satisfy RetrievableDatabase: "
+                "missing engine"
+            )
+        return server
+
+    def search(
+        self,
+        request: SearchRequest | str,
+        n: int = 10,
+        docs_per_database: int = 10,
+    ) -> FederatedResponse:
+        """Answer a :class:`SearchRequest`: select, search, merge.
+
+        .. deprecated:: the positional ``search(query, n,
+           docs_per_database)`` form still works but warns; pass a
+           :class:`SearchRequest` instead.
+        """
+        if isinstance(request, str):
+            warnings.warn(
+                "FederatedSearchService.search(query, n, docs_per_database) is "
+                "deprecated; pass a SearchRequest instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            request = SearchRequest(
+                query=request, n=n, docs_per_database=docs_per_database
+            )
+        with self.recorder.span("federated_search", query=request.query) as federated_span:
+            ranking = self.select(request.query)
+            depth = request.databases_per_query or self.databases_per_query
+            selected = tuple(ranking.top(depth))
             per_database: dict[str, list[SearchResult]] = {}
-            for name in searched:
-                server = self.servers[name]
-                if not isinstance(server, RetrievableDatabase):
-                    raise TypeError(
-                        f"database {name!r} ({type(server).__name__}) was selected "
-                        "for retrieval but does not satisfy RetrievableDatabase: "
-                        "missing engine"
+            timings: dict[str, float] = {}
+            dropped: list[str] = []
+            started = time.perf_counter()
+            for name in selected:
+                # Serial retrieval can only honour the deadline *between*
+                # backends; the concurrent frontend (repro.serving)
+                # enforces it per backend.
+                if (
+                    request.deadline is not None
+                    and time.perf_counter() - started >= request.deadline
+                ):
+                    dropped.append(name)
+                    self.recorder.event(
+                        "backend_dropped", database=name, reason="deadline"
                     )
+                    continue
+                server = self.require_retrievable(name)
                 with self.recorder.span("search", database=name) as search_span:
-                    results = server.engine.search(query, n=docs_per_database)
+                    backend_started = time.perf_counter()
+                    results = server.engine.search(
+                        request.query, n=request.docs_per_database
+                    )
+                    timings[name] = time.perf_counter() - backend_started
                     search_span.set(results=len(results))
                 per_database[name] = results
-            merged = self.merger.merge(ranking, per_database, n=n)
-            federated_span.set(searched=list(searched), results=len(merged))
+            searched = tuple(name for name in selected if name in per_database)
+            merged = self.merger.merge(ranking, per_database, n=request.n)
+            federated_span.set(
+                searched=list(searched), results=len(merged), dropped=list(dropped)
+            )
         return FederatedResponse(
-            query=query,
+            query=request.query,
             ranking=ranking,
             searched=searched,
             results=tuple(merged),
+            dropped=tuple(dropped),
+            timings=timings,
         )

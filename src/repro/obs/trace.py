@@ -168,6 +168,15 @@ class Recorder:
         """Increment a named counter."""
         raise NotImplementedError
 
+    def observe(self, name: str, seconds: float) -> None:
+        """Feed one externally measured duration into the named timer.
+
+        The span API assumes single-threaded nesting; layers that time
+        work on other threads (the serving fan-out) measure locally and
+        report the duration here instead.
+        """
+        raise NotImplementedError
+
 
 class NullRecorder(Recorder):
     """Default recorder: constant-time no-ops, nothing retained."""
@@ -184,6 +193,9 @@ class NullRecorder(Recorder):
 
     def count(self, name: str, amount: float = 1) -> None:
         """Discard the increment."""
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Discard the observation."""
 
 
 #: The process-wide default recorder; hot paths share this instance.
@@ -254,6 +266,10 @@ class TraceRecorder(Recorder):
     def count(self, name: str, amount: float = 1) -> None:
         """Increment the named counter on the recorder's metric set."""
         self.metrics.count(name, amount)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into the named timer."""
+        self.metrics.timer(name).observe(seconds)
 
     # -- emission ----------------------------------------------------------
 

@@ -18,6 +18,7 @@ turns it into a decision and (optionally) performs the re-sample.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Mapping
 
 from repro.backend import SearchableDatabase
 from repro.lm.compare import rdiff, spearman_rank_correlation
@@ -131,3 +132,44 @@ class RefreshPolicy:
             recorder=recorder,
         )
         return sampler.run().model, report, True
+
+    def refresh_all(
+        self,
+        databases: Mapping[str, SearchableDatabase],
+        stored_models: Mapping[str, LanguageModel],
+        bootstrap_factory: Callable[[str], QueryTermSelector],
+        seed: int = 0,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> tuple[dict[str, LanguageModel], dict[str, StalenessReport], tuple[str, ...]]:
+        """Probe every database; re-sample only the stale ones.
+
+        The whole-federation form of :meth:`maybe_refresh`, used by the
+        federated service's staleness sweep.  Per-database seeds are
+        derived from ``seed`` and the database name, so adding a
+        database never perturbs the others' probes.  Returns
+        ``(models, reports, refreshed)`` where ``models`` maps every
+        database to its (possibly refreshed) model and ``refreshed``
+        names the databases that were actually re-sampled — empty means
+        the stored set is still fresh and nothing needs reinstalling.
+        """
+        missing = set(databases) - set(stored_models)
+        if missing:
+            raise ValueError(f"missing stored models for databases: {sorted(missing)}")
+        models: dict[str, LanguageModel] = {}
+        reports: dict[str, StalenessReport] = {}
+        refreshed: list[str] = []
+        for name, database in databases.items():
+            with recorder.span("staleness_check", database=name) as span:
+                model, report, did_refresh = self.maybe_refresh(
+                    database,
+                    stored_models[name],
+                    bootstrap_factory(name),
+                    seed=derive_seed(seed, "staleness", name),
+                    recorder=recorder,
+                )
+                span.set(stale=did_refresh, spearman=report.spearman)
+            models[name] = model
+            reports[name] = report
+            if did_refresh:
+                refreshed.append(name)
+        return models, reports, tuple(refreshed)

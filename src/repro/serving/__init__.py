@@ -1,0 +1,48 @@
+"""High-throughput federated query serving.
+
+The paper's end product is a *database selection service*: something
+that fields live queries against many text databases, fast.  This
+package is that serving layer, wrapped around the library's
+:class:`~repro.federation.service.FederatedSearchService`:
+
+* :class:`FederationFrontend` — vectorized CORI selection (a
+  :class:`~repro.dbselect.vectorized.CoriScorer` compiled once per
+  model epoch), LRU caches over query analysis and selection rankings
+  (invalidated on model installs), and concurrent backend fan-out with
+  per-backend deadlines that degrade — a slow or failing backend is
+  dropped and reported, never fatal.
+* :class:`LruCache` — the bounded cache primitive, instrumented through
+  :mod:`repro.obs`.
+* :func:`run_serve_bench` / ``repro serve-bench`` — throughput
+  measurement of the serving path against its serial/scalar baselines.
+
+Requests and responses are the service's own
+:class:`~repro.federation.service.SearchRequest` /
+:class:`~repro.federation.service.FederatedResponse` types, re-exported
+here so serving callers import one package.
+"""
+
+from repro.federation.service import FederatedResponse, SearchRequest
+from repro.serving.bench import (
+    LatencyInjected,
+    ServeBenchReport,
+    build_synthetic_federation,
+    format_serve_bench,
+    queries_from_models,
+    run_serve_bench,
+)
+from repro.serving.cache import LruCache
+from repro.serving.frontend import FederationFrontend
+
+__all__ = [
+    "FederatedResponse",
+    "FederationFrontend",
+    "LatencyInjected",
+    "LruCache",
+    "SearchRequest",
+    "ServeBenchReport",
+    "build_synthetic_federation",
+    "format_serve_bench",
+    "queries_from_models",
+    "run_serve_bench",
+]

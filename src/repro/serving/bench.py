@@ -1,0 +1,258 @@
+"""The ``repro serve-bench`` harness: throughput of the serving path.
+
+Measures the three layers the serving frontend adds — vectorized
+selection, selection caching, concurrent fan-out — against their
+baselines (scalar CORI, cold caches, the service's serial retrieval
+loop) on one federation, and reports ops/sec per mode plus the derived
+speedups.  The same functions back the CLI subcommand, the CI smoke
+run, and the ``benchmarks/test_bench_serving.py`` perf baselines.
+
+Backend latency can be injected (:class:`LatencyInjected`) to model
+remote databases: the serial loop pays the latency once per selected
+backend, the concurrent fan-out pays it roughly once per query — the
+gap *is* the point of the fan-out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.backend import EvaluableDatabase, SearchableDatabase
+from repro.corpus.document import Document
+from repro.federation.service import FederatedSearchService, SearchRequest
+from repro.federation.testbed import build_skewed_partition
+from repro.index.server import DatabaseServer
+from repro.lm.model import LanguageModel
+from repro.serving.frontend import FederationFrontend
+from repro.synth.profiles import PROFILES_BY_NAME
+
+__all__ = [
+    "LatencyInjected",
+    "ServeBenchReport",
+    "build_synthetic_federation",
+    "format_serve_bench",
+    "queries_from_models",
+    "run_serve_bench",
+]
+
+
+class _DelayedEngine:
+    """Engine proxy that sleeps before every search (simulated RTT)."""
+
+    def __init__(self, inner, delay: float) -> None:
+        self._inner = inner
+        self._delay = delay
+
+    def search(self, query: str, n: int = 10):
+        time.sleep(self._delay)
+        return self._inner.search(query, n=n)
+
+
+class LatencyInjected:
+    """A retrievable database whose every search pays a fixed latency.
+
+    Unlike the transport layer's fault injector (which perturbs
+    *sampling* queries), this wrapper targets the ranked-retrieval
+    engine the federated fan-out calls — the serving-side analogue of a
+    slow remote backend.
+    """
+
+    def __init__(self, inner: SearchableDatabase, delay: float) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.inner = inner
+        self.name = getattr(inner, "name", "database")
+        self.engine = _DelayedEngine(inner.engine, delay)  # type: ignore[attr-defined]
+
+    def run_query(self, query: str, max_docs: int = 10) -> list[Document]:
+        """Delegate sampling queries unchanged."""
+        return self.inner.run_query(query, max_docs=max_docs)
+
+
+def build_synthetic_federation(
+    num_databases: int = 4,
+    scale: float = 0.05,
+    seed: int = 0,
+    profile: str = "wsj88",
+) -> dict[str, DatabaseServer]:
+    """A topically skewed federation over one synthetic corpus."""
+    corpus = PROFILES_BY_NAME[profile]().build(seed=seed, scale=scale)
+    parts = build_skewed_partition(corpus, num_databases=num_databases, seed=seed)
+    return {part.name: DatabaseServer(part) for part in parts}
+
+
+def queries_from_models(
+    models: Mapping[str, LanguageModel], count: int, terms_per_query: int = 3
+) -> list[str]:
+    """Deterministic bench queries from the federation's own vocabulary.
+
+    Interleaves each database's frequent terms so queries discriminate
+    between databases instead of all hitting the global head.
+    """
+    if count <= 0 or terms_per_query <= 0:
+        raise ValueError("count and terms_per_query must be positive")
+    pool: list[str] = []
+    seen: set[str] = set()
+    per_model = max(2, (count * terms_per_query) // max(len(models), 1) + 1)
+    for model in models.values():
+        for stats in model.top_terms(per_model + 5, "ctf"):
+            if len(stats.term) >= 3 and stats.term not in seen:
+                seen.add(stats.term)
+                pool.append(stats.term)
+    if not pool:
+        raise ValueError("models have no usable vocabulary for bench queries")
+    return [
+        " ".join(
+            pool[(i * terms_per_query + j) % len(pool)] for j in range(terms_per_query)
+        )
+        for i in range(count)
+    ]
+
+
+def _throughput(operation: Callable[[], object], budget: float) -> tuple[float, int]:
+    """(seconds per op, ops) of ``operation`` within a time budget."""
+    operation()  # warm-up, uncounted
+    count = 0
+    started = time.perf_counter()
+    while True:
+        operation()
+        count += 1
+        elapsed = time.perf_counter() - started
+        if elapsed >= budget:
+            break
+    return elapsed / count, count
+
+
+@dataclass(frozen=True)
+class ServeBenchReport:
+    """Everything one serve-bench run measured."""
+
+    num_databases: int
+    num_queries: int
+    backend_latency: float
+    #: mode → (seconds per op, ops measured)
+    modes: Mapping[str, tuple[float, int]]
+    #: label → before/after ratio
+    speedups: Mapping[str, float]
+
+
+def run_serve_bench(
+    servers: Mapping[str, DatabaseServer],
+    queries: Sequence[str] | None = None,
+    *,
+    num_queries: int = 12,
+    budget: float = 0.5,
+    workers: int = 8,
+    backend_latency: float = 0.0,
+    databases_per_query: int = 3,
+) -> ServeBenchReport:
+    """Benchmark serial/scalar/cold baselines against the serving path.
+
+    ``budget`` is the wall-clock budget *per measured mode* (six
+    modes).  Models are the databases' actual language models — the
+    bench measures serving, not acquisition.
+    """
+    models = {
+        name: server.actual_language_model()
+        for name, server in servers.items()
+        if isinstance(server, EvaluableDatabase)
+    }
+    if set(models) != set(servers):
+        raise TypeError("serve-bench needs evaluable databases (actual models)")
+    if queries is None:
+        queries = queries_from_models(models, num_queries)
+    depth = min(databases_per_query, len(servers))
+
+    service = FederatedSearchService(servers, databases_per_query=depth)
+    service.use_models(models)
+
+    modes: dict[str, tuple[float, int]] = {}
+
+    def cycle(run_one: Callable[[str], object]) -> Callable[[], object]:
+        state = {"i": 0}
+
+        def step() -> object:
+            query = queries[state["i"] % len(queries)]
+            state["i"] += 1
+            return run_one(query)
+
+        return step
+
+    # Selection: scalar reference vs compiled scorer vs caches.
+    modes["select_scalar"] = _throughput(cycle(service.select), budget)
+    with FederationFrontend(service, max_workers=workers) as frontend:
+        frontend.select(queries[0])  # compile outside the timed region
+
+        def cold_select(query: str) -> object:
+            frontend.analyzed_queries.clear()
+            frontend.selections.clear()
+            return frontend.select(query)
+
+        modes["select_vectorized"] = _throughput(cycle(cold_select), budget)
+        modes["select_cold_cache"] = modes["select_vectorized"]
+        modes["select_warm_cache"] = _throughput(cycle(frontend.select), budget)
+
+    # End-to-end retrieval: serial service loop vs concurrent fan-out,
+    # optionally against latency-injected backends.
+    fanout_servers: Mapping[str, SearchableDatabase] = servers
+    if backend_latency > 0:
+        fanout_servers = {
+            name: LatencyInjected(server, backend_latency)
+            for name, server in servers.items()
+        }
+    fanout_service = FederatedSearchService(fanout_servers, databases_per_query=depth)
+    fanout_service.use_models(models)
+    modes["search_serial"] = _throughput(
+        cycle(lambda query: fanout_service.search(SearchRequest(query=query))), budget
+    )
+    with FederationFrontend(fanout_service, max_workers=workers) as frontend:
+        modes["search_concurrent"] = _throughput(
+            cycle(lambda query: frontend.search(SearchRequest(query=query))), budget
+        )
+
+    speedups = {
+        "vectorized_vs_scalar_select": modes["select_scalar"][0]
+        / modes["select_vectorized"][0],
+        "warm_vs_cold_cache_select": modes["select_cold_cache"][0]
+        / modes["select_warm_cache"][0],
+        "concurrent_vs_serial_fanout": modes["search_serial"][0]
+        / modes["search_concurrent"][0],
+    }
+    return ServeBenchReport(
+        num_databases=len(servers),
+        num_queries=len(queries),
+        backend_latency=backend_latency,
+        modes=modes,
+        speedups=speedups,
+    )
+
+
+def format_serve_bench(report: ServeBenchReport) -> str:
+    """Human-readable serve-bench tables (CLI output)."""
+    from repro.experiments.reporting import format_table
+
+    mode_rows = [
+        {
+            "mode": mode,
+            "ops_per_sec": round(1.0 / seconds, 1) if seconds > 0 else float("inf"),
+            "ms_per_op": round(seconds * 1000.0, 4),
+            "ops": ops,
+        }
+        for mode, (seconds, ops) in report.modes.items()
+    ]
+    speedup_rows = [
+        {"speedup": label, "x": round(value, 2)}
+        for label, value in report.speedups.items()
+    ]
+    title = (
+        f"serve-bench: {report.num_databases} databases, "
+        f"{report.num_queries} queries, "
+        f"{report.backend_latency * 1000:.0f}ms injected backend latency"
+    )
+    return (
+        format_table(mode_rows, title=title)
+        + "\n\n"
+        + format_table(speedup_rows, title="Derived speedups")
+    )

@@ -1,0 +1,111 @@
+"""Serving-side caches: analyzed queries and selection rankings.
+
+A selection service sees heavy query repetition (head queries, replayed
+experiment batches), and both stages of the selection hot path are pure
+functions of inputs the service controls:
+
+* query analysis depends only on the query text and the analyzer;
+* the database ranking depends only on the analyzed terms and the
+  installed model set — versioned by the service's *model epoch*.
+
+So the serving frontend puts a small LRU in front of each stage and
+invalidates whenever the model epoch moves (new models installed by
+``learn_models`` / ``use_models`` / a staleness refresh).  The cache
+keeps its own hit/miss/eviction counts and mirrors them into a
+:class:`~repro.obs.trace.Recorder` so ``repro trace`` reports and the
+metrics snapshot see cache behaviour without extra wiring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+from repro.obs.trace import NULL_RECORDER, Recorder
+
+__all__ = ["LruCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Distinguishes "key absent" from a cached falsy value.
+_MISSING = object()
+
+
+class LruCache(Generic[K, V]):
+    """A bounded mapping evicting the least recently used entry.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry budget; inserting beyond it evicts the least recently
+        *used* (looked-up or inserted) entry.
+    name:
+        Metric namespace — hits and misses are counted as
+        ``{name}.hit`` / ``{name}.miss`` on ``recorder``.
+    recorder:
+        Observability sink; the default no-op recorder keeps lookups
+        allocation-free.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        *,
+        name: str = "cache",
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.name = name
+        self.recorder = recorder
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[K, V] = OrderedDict()
+
+    def get(self, key: K) -> V | None:
+        """The cached value for ``key``, or ``None`` on a miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            self.recorder.count(f"{self.name}.miss")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self.recorder.count(f"{self.name}.hit")
+        return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self.evictions += 1
+            self.recorder.count(f"{self.name}.eviction")
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counts survive — they are history)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LruCache(name={self.name!r}, size={len(self)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,293 @@
+"""The federation frontend: fast, concurrent federated query serving.
+
+:class:`FederationFrontend` wraps a
+:class:`~repro.federation.service.FederatedSearchService` and makes its
+query path production-shaped without changing a single answer:
+
+1. **Vectorized selection** — when the service selects with CORI, the
+   frontend compiles the installed models into a
+   :class:`~repro.dbselect.vectorized.CoriScorer` once per *model
+   epoch* and scores every database per query in a handful of numpy
+   operations (equivalence-tested against the scalar selector).  Other
+   selectors fall back to the service's own ``rank`` — still cached.
+2. **Caching** — an LRU over analyzed queries and an LRU over selection
+   rankings, keyed by the analyzed terms and the model epoch.  Both are
+   invalidated whenever the service installs new models
+   (``learn_models`` / ``use_models`` / a staleness refresh), observed
+   through :attr:`~repro.federation.service.FederatedSearchService.model_epoch`.
+3. **Concurrent fan-out** — selected backends are searched on a bounded
+   :class:`~concurrent.futures.ThreadPoolExecutor` under the request's
+   deadline.  A backend that misses the deadline or raises from the
+   transport error taxonomy
+   (:class:`~repro.sampling.transport.ServerError`) is *dropped* from
+   the merge and reported in
+   :attr:`~repro.federation.service.FederatedResponse.dropped` — one
+   slow or failing database degrades the answer, never the service.
+
+Everything is instrumented through :mod:`repro.obs`: a
+``frontend_search`` span per query, ``serving.*`` cache hit/miss
+counters, a ``backend_search`` latency timer per backend, and
+``backend_dropped`` events for degradations.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from typing import Iterable, Sequence
+
+from repro.dbselect.base import DatabaseRanking, analyze_query
+from repro.dbselect.cori import CoriSelector
+from repro.dbselect.vectorized import CoriScorer
+from repro.federation.service import (
+    FederatedResponse,
+    FederatedSearchService,
+    SearchRequest,
+)
+from repro.index.search import SearchResult
+from repro.obs.trace import Recorder
+from repro.sampling.transport import ServerError
+from repro.serving.cache import LruCache
+
+__all__ = ["FederationFrontend"]
+
+#: One backend retrieval's outcome: (results, elapsed seconds, error name).
+_BackendOutcome = tuple[list[SearchResult] | None, float, str | None]
+
+
+class FederationFrontend:
+    """High-throughput query serving over a federated search service.
+
+    The frontend holds no model state of its own — it observes the
+    service's :attr:`~repro.federation.service.FederatedSearchService.model_epoch`
+    and recompiles its scorer / drops its caches whenever the epoch
+    moves, so it can never serve rankings from a superseded model set.
+
+    Parameters
+    ----------
+    service:
+        The wrapped service (owns servers, models, selector, merger).
+    max_workers:
+        Bound of the fan-out thread pool.
+    analyzed_cache_size, selection_cache_size:
+        LRU budgets for the two selection-path caches.
+    recorder:
+        Observability sink; defaults to the service's recorder.
+
+    The frontend is a context manager; leaving the ``with`` block (or
+    calling :meth:`close`) shuts the thread pool down.
+    """
+
+    def __init__(
+        self,
+        service: FederatedSearchService,
+        *,
+        max_workers: int = 8,
+        analyzed_cache_size: int = 4096,
+        selection_cache_size: int = 4096,
+        recorder: Recorder | None = None,
+    ) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.service = service
+        self.recorder = recorder if recorder is not None else service.recorder
+        self.max_workers = max_workers
+        self.analyzed_queries: LruCache[str, tuple[str, ...]] = LruCache(
+            analyzed_cache_size, name="serving.analyzed", recorder=self.recorder
+        )
+        self.selections: LruCache[tuple, DatabaseRanking] = LruCache(
+            selection_cache_size, name="serving.selection", recorder=self.recorder
+        )
+        self._scorer: CoriScorer | None = None
+        self._compiled_epoch = -1
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "FederationFrontend":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # -- model-epoch tracking ----------------------------------------------
+
+    @property
+    def compiled_epoch(self) -> int:
+        """Model epoch the current scorer/caches were built against."""
+        return self._compiled_epoch
+
+    def invalidate(self) -> None:
+        """Drop caches and force a scorer recompile on the next query."""
+        self.analyzed_queries.clear()
+        self.selections.clear()
+        self._scorer = None
+        self._compiled_epoch = -1
+
+    def _ensure_current(self) -> None:
+        """Recompile the scorer and drop caches if new models landed."""
+        service = self.service
+        if not service.models:
+            raise RuntimeError("no language models acquired yet; call learn_models()")
+        epoch = service.model_epoch
+        if epoch == self._compiled_epoch:
+            return
+        self.analyzed_queries.clear()
+        self.selections.clear()
+        if isinstance(service.selector, CoriSelector):
+            with self.recorder.span("compile_scorer", epoch=epoch) as span:
+                self._scorer = CoriScorer(
+                    service.models,
+                    service.selector.params,
+                    analyzer=service.selector.analyzer,
+                )
+                span.set(
+                    databases=self._scorer.num_databases,
+                    vocabulary=self._scorer.vocabulary_size,
+                )
+        else:
+            self._scorer = None
+        self._compiled_epoch = epoch
+
+    # -- selection ---------------------------------------------------------
+
+    def _analyzed(self, query: str) -> tuple[str, ...]:
+        terms = self.analyzed_queries.get(query)
+        if terms is None:
+            analyzer = (
+                self.service.selector.analyzer
+                if isinstance(self.service.selector, CoriSelector)
+                else None
+            )
+            terms = tuple(analyze_query(query, analyzer))
+            self.analyzed_queries.put(query, terms)
+        return terms
+
+    def select(self, query: str) -> DatabaseRanking:
+        """Rank the databases for ``query`` (cached, vectorized).
+
+        Produces the same ranking ``service.select`` would, via the
+        compiled scorer when the service selects with CORI.
+        """
+        self._ensure_current()
+        if self._scorer is None:
+            # Non-CORI selector: cache its rankings, keyed by raw query.
+            key = (query, self._compiled_epoch)
+            ranking = self.selections.get(key)
+            if ranking is None:
+                ranking = self.service.select(query)
+                self.selections.put(key, ranking)
+            return ranking
+        terms = self._analyzed(query)
+        key = (terms, self._compiled_epoch)
+        ranking = self.selections.get(key)
+        if ranking is None:
+            ranking = self._scorer.rank_terms(query, terms)
+            self.selections.put(key, ranking)
+            return ranking
+        if ranking.query == query:
+            return ranking
+        # Cache hit from a differently spelled query with the same
+        # analyzed terms: rankings are identical, relabel the query.
+        return DatabaseRanking(query=query, entries=ranking.entries)
+
+    # -- query answering ---------------------------------------------------
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="serving-fanout"
+            )
+        return self._executor
+
+    def _search_backend(self, name: str, request: SearchRequest) -> _BackendOutcome:
+        """Run one backend retrieval on a pool thread; never raises
+        transport errors (they become a drop, not a crash)."""
+        server = self.service.servers[name]
+        started = time.perf_counter()
+        try:
+            results = server.engine.search(  # type: ignore[attr-defined]
+                request.query, n=request.docs_per_database
+            )
+        except ServerError as error:
+            return None, time.perf_counter() - started, type(error).__name__
+        return results, time.perf_counter() - started, None
+
+    def search(self, request: SearchRequest) -> FederatedResponse:
+        """Answer ``request`` with cached selection and concurrent fan-out.
+
+        Selected backends run concurrently, each holding the full
+        ``request.deadline`` budget; a backend that misses it (or raises
+        a :class:`~repro.sampling.transport.ServerError`) is dropped
+        from the merge and listed in ``response.dropped``.
+        """
+        recorder = self.recorder
+        with recorder.span("frontend_search", query=request.query) as span:
+            ranking = self.select(request.query)
+            depth = request.databases_per_query or self.service.databases_per_query
+            selected = tuple(ranking.top(depth))
+            # Misconfiguration (a selected backend with no retrieval
+            # engine) stays a hard error; only runtime failures degrade.
+            for name in selected:
+                self.service.require_retrievable(name)
+            futures: dict[Future[_BackendOutcome], str] = {
+                self._pool().submit(self._search_backend, name, request): name
+                for name in selected
+            }
+            done, pending = wait(futures, timeout=request.deadline)
+            per_database: dict[str, list[SearchResult]] = {}
+            timings: dict[str, float] = {}
+            failures: dict[str, str] = {}
+            for future in done:
+                name = futures[future]
+                results, elapsed, error = future.result()
+                timings[name] = elapsed
+                recorder.observe("backend_search", elapsed)
+                if error is not None or results is None:
+                    failures[name] = error or "unknown"
+                    recorder.event(
+                        "backend_dropped", database=name, reason=error or "unknown"
+                    )
+                else:
+                    per_database[name] = results
+            timed_out = {futures[future] for future in pending}
+            for future in pending:
+                future.cancel()
+            for name in sorted(timed_out):
+                recorder.event("backend_dropped", database=name, reason="deadline")
+            searched = tuple(name for name in selected if name in per_database)
+            dropped = tuple(
+                name for name in selected if name in failures or name in timed_out
+            )
+            merged = self.service.merger.merge(ranking, per_database, n=request.n)
+            recorder.count("serving.queries")
+            if dropped:
+                recorder.count("serving.degraded_queries")
+            span.set(searched=list(searched), dropped=list(dropped), results=len(merged))
+        return FederatedResponse(
+            query=request.query,
+            ranking=ranking,
+            searched=searched,
+            results=tuple(merged),
+            dropped=dropped,
+            timings=timings,
+        )
+
+    def search_many(
+        self, requests: Iterable[SearchRequest]
+    ) -> list[FederatedResponse]:
+        """Answer a batch of requests (experiment replay).
+
+        Requests are answered in order — each one's fan-out is already
+        concurrent — so responses align with the input sequence and
+        warm the caches for later duplicates.
+        """
+        batch: Sequence[SearchRequest] = list(requests)
+        with self.recorder.span("search_many", requests=len(batch)):
+            return [self.search(request) for request in batch]

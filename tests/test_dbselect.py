@@ -6,6 +6,7 @@ import pytest
 
 from repro.dbselect import (
     BGlossSelector,
+    CoriParameters,
     CoriSelector,
     KlSelector,
     SelectionEvaluation,
@@ -80,7 +81,7 @@ class TestAllSelectors:
 
 class TestCoriSpecifics:
     def test_belief_floor(self, models):
-        selector = CoriSelector(default_belief=0.4)
+        selector = CoriSelector(CoriParameters(default_belief=0.4))
         ranking = selector.rank("xylophone", models)
         # No database contains the term: all scores equal the default belief.
         assert all(entry.score == pytest.approx(0.4) for entry in ranking.entries)
@@ -98,7 +99,20 @@ class TestCoriSpecifics:
 
     def test_invalid_default_belief(self):
         with pytest.raises(ValueError):
-            CoriSelector(default_belief=1.0)
+            CoriParameters(default_belief=1.0)
+
+    def test_invalid_df_parameters(self):
+        with pytest.raises(ValueError):
+            CoriParameters(df_base=-1.0)
+        with pytest.raises(ValueError):
+            CoriParameters(df_scale=-0.5)
+
+    def test_shared_parameters_dataclass(self, models):
+        params = CoriParameters(default_belief=0.1)
+        selector = CoriSelector(params)
+        assert selector.params is params
+        ranking = selector.rank("xylophone", models)
+        assert all(entry.score == pytest.approx(0.1) for entry in ranking.entries)
 
 
 class TestBGlossSpecifics:

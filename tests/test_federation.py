@@ -8,6 +8,7 @@ from repro.corpus import Corpus, Document
 from repro.dbselect.merge import RoundRobinMerger
 from repro.federation import (
     FederatedSearchService,
+    SearchRequest,
     build_skewed_partition,
     relevance_counts,
     topical_queries,
@@ -123,11 +124,32 @@ class TestFederatedService:
 
     def test_search_end_to_end(self, service, parts):
         queries = topical_queries(parts, max_topics=2)
-        response = service.search(queries[0].text, n=5)
+        response = service.search(SearchRequest(query=queries[0].text, n=5))
         assert response.query == queries[0].text
         assert len(response.searched) == 2
         assert 0 < len(response.results) <= 5
         assert all(item.database in response.searched for item in response.results)
+
+    def test_response_reports_timings_and_no_drops(self, service, parts):
+        queries = topical_queries(parts, max_topics=1)
+        response = service.search(SearchRequest(query=queries[0].text, n=5))
+        assert response.dropped == ()
+        assert set(response.timings) == set(response.searched)
+        assert all(seconds >= 0 for seconds in response.timings.values())
+
+    def test_databases_per_query_override(self, service):
+        response = service.search(
+            SearchRequest(query="the market report", databases_per_query=1)
+        )
+        assert len(response.searched) == 1
+
+    def test_positional_search_warns_but_works(self, service, parts):
+        queries = topical_queries(parts, max_topics=1)
+        with pytest.warns(DeprecationWarning, match="SearchRequest"):
+            legacy = service.search(queries[0].text, n=5)
+        modern = service.search(SearchRequest(query=queries[0].text, n=5))
+        assert legacy.searched == modern.searched
+        assert legacy.results == modern.results
 
     def test_routing_finds_topical_database(self, service, parts):
         queries = topical_queries(parts, max_topics=4)
@@ -149,7 +171,7 @@ class TestFederatedService:
         service.use_models(
             {name: server.actual_language_model() for name, server in servers.items()}
         )
-        response = service.search("the market report", n=3)
+        response = service.search(SearchRequest(query="the market report", n=3))
         assert response.results is not None
 
     def test_validation(self, parts):
@@ -163,7 +185,13 @@ class TestFederatedService:
             {name: server.actual_language_model() for name, server in servers.items()}
         )
         with pytest.raises(ValueError):
-            service.search("x", n=0)
+            SearchRequest(query="x", n=0)
+        with pytest.raises(ValueError):
+            SearchRequest(query="x", docs_per_database=-1)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                # The deprecated positional form validates identically.
+                service.search("x", n=0)
 
 
 class TestBackendValidation:
@@ -206,4 +234,4 @@ class TestBackendValidation:
             {name: server.actual_language_model() for name, server in full.items()}
         )
         with pytest.raises(TypeError, match="RetrievableDatabase.*missing engine"):
-            service.search("market report", n=3)
+            service.search(SearchRequest(query="market report", n=3))

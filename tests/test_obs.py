@@ -120,6 +120,9 @@ class TestNullRecorder:
         NULL_RECORDER.event("retry", attempt=1)
         NULL_RECORDER.count("queries")
 
+    def test_observe_is_a_noop(self):
+        NULL_RECORDER.observe("backend_search", 0.25)
+
 
 class TestTraceRecorder:
     def test_span_records_timing_on_simulated_clock(self):
@@ -163,6 +166,14 @@ class TestTraceRecorder:
         event = recorder.events[0]
         assert event["name"] == "retry"
         assert event["parent_id"] == recorder.spans[0].span_id
+
+    def test_observe_feeds_named_timer(self):
+        recorder = TraceRecorder(clock=SimulatedClock())
+        recorder.observe("backend_search", 0.25)
+        recorder.observe("backend_search", 0.35)
+        timer = recorder.metrics.timer("backend_search")
+        assert timer.count == 2
+        assert timer.total == pytest.approx(0.6)
 
     def test_records_interleave_in_seq_order(self):
         recorder = TraceRecorder(clock=SimulatedClock())

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.index",
     "repro.lm",
     "repro.sampling",
+    "repro.serving",
     "repro.sizeest",
     "repro.starts",
     "repro.summarize",

@@ -1,0 +1,458 @@
+"""Unit tests for repro.serving (frontend, caches, fan-out, bench)."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.corpus import Document
+from repro.dbselect import KlSelector
+from repro.federation import (
+    FederatedSearchService,
+    SearchRequest,
+    build_skewed_partition,
+)
+from repro.index import DatabaseServer
+from repro.obs import TraceRecorder
+from repro.sampling import RandomFromOther, RefreshPolicy
+from repro.sampling.transport import SimulatedClock, TransientServerError
+from repro.serving import (
+    FederationFrontend,
+    LatencyInjected,
+    LruCache,
+    build_synthetic_federation,
+    format_serve_bench,
+    queries_from_models,
+    run_serve_bench,
+)
+from repro.synth import wsj88_like
+
+
+@pytest.fixture(scope="module")
+def servers() -> dict[str, DatabaseServer]:
+    corpus = wsj88_like().build(seed=23, scale=0.06)
+    parts = build_skewed_partition(corpus, num_databases=3, seed=5)
+    return {part.name: DatabaseServer(part) for part in parts}
+
+
+@pytest.fixture(scope="module")
+def models(servers):
+    return {name: server.actual_language_model() for name, server in servers.items()}
+
+
+@pytest.fixture
+def service(servers, models) -> FederatedSearchService:
+    service = FederatedSearchService(servers, databases_per_query=2)
+    service.use_models(models)
+    return service
+
+
+@pytest.fixture(scope="module")
+def queries(models) -> list[str]:
+    return queries_from_models(models, 6)
+
+
+class TestSearchRequest:
+    def test_defaults(self):
+        request = SearchRequest(query="market")
+        assert request.n == 10
+        assert request.docs_per_database == 10
+        assert request.deadline is None
+        assert request.databases_per_query is None
+
+    def test_frozen(self):
+        request = SearchRequest(query="market")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.n = 5  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"n": -1},
+            {"docs_per_database": 0},
+            {"docs_per_database": -3},
+            {"deadline": 0.0},
+            {"deadline": -1.0},
+            {"databases_per_query": 0},
+        ],
+    )
+    def test_non_positive_rejected(self, kwargs):
+        with pytest.raises(ValueError, match="must be positive"):
+            SearchRequest(query="market", **kwargs)
+
+
+class TestLruCache:
+    def test_basic_hit_miss_counters(self):
+        cache: LruCache[str, int] = LruCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_evicts_least_recently_used(self):
+        cache: LruCache[str, int] = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache: LruCache[str, int] = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: no eviction
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_clear_keeps_history(self):
+        cache: LruCache[str, int] = LruCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_cached_falsy_values_are_hits(self):
+        cache: LruCache[str, int] = LruCache(4)
+        cache.put("zero", 0)
+        assert cache.get("zero") == 0
+        assert cache.hits == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    def test_counts_flow_to_recorder(self):
+        recorder = TraceRecorder(clock=SimulatedClock())
+        cache: LruCache[str, int] = LruCache(4, name="test", recorder=recorder)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        assert recorder.metrics.counter("test.miss").value == 1
+        assert recorder.metrics.counter("test.hit").value == 1
+
+
+class TestFrontendSelection:
+    def test_matches_scalar_service_select(self, service, queries):
+        with FederationFrontend(service) as frontend:
+            for query in queries:
+                scalar = service.select(query)
+                fast = frontend.select(query)
+                assert scalar.names == fast.names
+                for left, right in zip(scalar.entries, fast.entries):
+                    assert left.score == pytest.approx(right.score, abs=1e-9)
+
+    def test_repeat_queries_hit_the_cache(self, service, queries):
+        with FederationFrontend(service) as frontend:
+            first = frontend.select(queries[0])
+            hits_before = frontend.selections.hits
+            second = frontend.select(queries[0])
+            assert frontend.selections.hits == hits_before + 1
+            assert second == first
+
+    def test_same_terms_different_spelling_share_entry(self, service):
+        with FederationFrontend(service) as frontend:
+            original = frontend.select("market  report")
+            assert len(frontend.selections) == 1
+            respelled = frontend.select("market report")
+            # One cached ranking serves both spellings; the response
+            # still carries the caller's query text.
+            assert len(frontend.selections) == 1
+            assert respelled.query == "market report"
+            assert respelled.entries == original.entries
+
+    def test_non_cori_selector_falls_back_to_service(self, servers, models, queries):
+        service = FederatedSearchService(
+            servers, selector=KlSelector(), databases_per_query=2
+        )
+        service.use_models(models)
+        with FederationFrontend(service) as frontend:
+            assert frontend.select(queries[0]) == service.select(queries[0])
+            hits_before = frontend.selections.hits
+            frontend.select(queries[0])
+            assert frontend.selections.hits == hits_before + 1
+
+    def test_select_without_models_raises(self, servers):
+        service = FederatedSearchService(servers)
+        with FederationFrontend(service) as frontend:
+            with pytest.raises(RuntimeError, match="learn_models"):
+                frontend.select("anything")
+
+    def test_max_workers_validated(self, service):
+        with pytest.raises(ValueError):
+            FederationFrontend(service, max_workers=0)
+
+
+class TestEpochInvalidation:
+    def test_use_models_moves_the_epoch(self, servers, models):
+        service = FederatedSearchService(servers)
+        assert service.model_epoch == 0
+        service.use_models(models)
+        assert service.model_epoch == 1
+        service.use_models(models)
+        assert service.model_epoch == 2
+
+    def test_learn_models_moves_the_epoch(self, servers):
+        service = FederatedSearchService(servers)
+        service.learn_models(
+            lambda name: RandomFromOther(servers[name].actual_language_model()),
+            total_documents=90,
+            seed=3,
+        )
+        assert service.model_epoch == 1
+
+    def test_new_models_invalidate_frontend_caches(self, servers, models, queries):
+        service = FederatedSearchService(servers, databases_per_query=2)
+        service.use_models(models)
+        with FederationFrontend(service) as frontend:
+            frontend.select(queries[0])
+            assert frontend.compiled_epoch == 1
+            assert len(frontend.selections) == 1
+            service.use_models(models)
+            ranking = frontend.select(queries[0])
+            assert frontend.compiled_epoch == 2
+            # The old epoch's entry is gone; only the recomputed one remains.
+            assert len(frontend.selections) == 1
+            assert ranking.names == service.select(queries[0]).names
+
+    def test_manual_invalidate_forces_recompile(self, service, queries):
+        with FederationFrontend(service) as frontend:
+            frontend.select(queries[0])
+            frontend.invalidate()
+            assert frontend.compiled_epoch == -1
+            assert len(frontend.selections) == 0
+            frontend.select(queries[0])
+            assert frontend.compiled_epoch == service.model_epoch
+
+    def test_forced_staleness_refresh_moves_the_epoch(self, servers, models):
+        service = FederatedSearchService(servers)
+        service.use_models(models)
+        bootstrap = lambda name: RandomFromOther(models[name])  # noqa: E731
+        # Impossible spearman floor: every probe looks stale, every
+        # model is re-sampled, so a new set must be installed.
+        reports = service.refresh_stale_models(
+            bootstrap,
+            policy=RefreshPolicy(spearman_floor=1.1, refresh_documents=30),
+            seed=11,
+        )
+        assert set(reports) == set(servers)
+        assert service.model_epoch == 2
+
+    def test_fresh_models_keep_the_epoch(self, servers, models):
+        service = FederatedSearchService(servers)
+        service.use_models(models)
+        bootstrap = lambda name: RandomFromOther(models[name])  # noqa: E731
+        # Thresholds that can never trip: nothing refreshed, epoch parked.
+        reports = service.refresh_stale_models(
+            bootstrap,
+            policy=RefreshPolicy(rdiff_threshold=2.0, spearman_floor=-2.0),
+            seed=11,
+        )
+        assert set(reports) == set(servers)
+        assert service.model_epoch == 1
+
+
+class _FailingEngine:
+    def search(self, query: str, n: int = 10):
+        raise TransientServerError("injected backend failure")
+
+
+class FailingServer:
+    """A retrievable database whose engine always fails."""
+
+    def __init__(self, inner: DatabaseServer) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.engine = _FailingEngine()
+
+    def run_query(self, query: str, max_docs: int = 10) -> list[Document]:
+        return self.inner.run_query(query, max_docs=max_docs)
+
+
+class TestConcurrentFanout:
+    def test_matches_serial_service_search(self, service, queries):
+        request = SearchRequest(query=queries[0], n=5)
+        serial = service.search(request)
+        with FederationFrontend(service) as frontend:
+            concurrent = frontend.search(request)
+        assert concurrent.searched == serial.searched
+        assert concurrent.results == serial.results
+        assert concurrent.dropped == ()
+        assert set(concurrent.timings) == set(concurrent.searched)
+
+    def test_slow_backend_dropped_not_fatal(self, servers, models, queries):
+        slowed = dict(servers)
+        slow_name = sorted(servers)[0]
+        slowed[slow_name] = LatencyInjected(servers[slow_name], delay=0.75)
+        service = FederatedSearchService(slowed, databases_per_query=len(slowed))
+        service.use_models(models)
+        with FederationFrontend(service) as frontend:
+            started = time.perf_counter()
+            response = frontend.search(SearchRequest(query=queries[0], deadline=0.2))
+            elapsed = time.perf_counter() - started
+        assert slow_name in response.dropped
+        assert slow_name not in response.searched
+        assert len(response.searched) == len(servers) - 1
+        assert response.results  # degraded answer, not an empty one
+        assert elapsed < 0.7  # did not wait out the slow backend
+
+    def test_failing_backend_dropped_not_fatal(self, servers, models, queries):
+        broken = dict(servers)
+        broken_name = sorted(servers)[-1]
+        broken[broken_name] = FailingServer(servers[broken_name])
+        service = FederatedSearchService(broken, databases_per_query=len(broken))
+        service.use_models(models)
+        with FederationFrontend(service) as frontend:
+            response = frontend.search(SearchRequest(query=queries[0]))
+        assert response.dropped == (broken_name,)
+        assert broken_name not in response.searched
+        assert broken_name in response.timings  # it completed (with an error)
+        assert response.results
+
+    def test_degradations_are_observable(self, servers, models, queries):
+        slowed = dict(servers)
+        slow_name = sorted(servers)[0]
+        slowed[slow_name] = LatencyInjected(servers[slow_name], delay=0.75)
+        recorder = TraceRecorder()
+        service = FederatedSearchService(
+            slowed, databases_per_query=len(slowed), recorder=recorder
+        )
+        service.use_models(models)
+        with FederationFrontend(service) as frontend:
+            frontend.search(SearchRequest(query=queries[0], deadline=0.2))
+        drops = [e for e in recorder.events if e["name"] == "backend_dropped"]
+        assert len(drops) == 1
+        assert drops[0]["attributes"]["database"] == slow_name
+        assert drops[0]["attributes"]["reason"] == "deadline"
+        assert recorder.metrics.counter("serving.degraded_queries").value == 1
+        spans = [s for s in recorder.spans if s.name == "frontend_search"]
+        assert len(spans) == 1
+        assert spans[0].attributes["dropped"] == [slow_name]
+
+    def test_missing_engine_stays_a_hard_error(self, servers, models, queries):
+        class QueryOnly:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def run_query(self, query, max_docs=10):
+                return self._inner.run_query(query, max_docs=max_docs)
+
+        partial = dict(servers)
+        name = sorted(servers)[0]
+        partial[name] = QueryOnly(servers[name])
+        service = FederatedSearchService(partial, databases_per_query=len(partial))
+        service.use_models(models)
+        with FederationFrontend(service) as frontend:
+            with pytest.raises(TypeError, match="RetrievableDatabase"):
+                frontend.search(SearchRequest(query=queries[0]))
+
+    def test_databases_per_query_override(self, service, queries):
+        with FederationFrontend(service) as frontend:
+            response = frontend.search(
+                SearchRequest(query=queries[0], databases_per_query=1)
+            )
+        assert len(response.searched) == 1
+
+    def test_search_many_aligns_and_warms_cache(self, service, queries):
+        requests = [
+            SearchRequest(query=queries[0], n=5),
+            SearchRequest(query=queries[1], n=5),
+            SearchRequest(query=queries[0], n=5),
+        ]
+        with FederationFrontend(service) as frontend:
+            responses = frontend.search_many(requests)
+            assert [r.query for r in responses] == [r.query for r in requests]
+            assert responses[0].results == responses[2].results
+            assert frontend.selections.hits >= 1
+
+    def test_close_is_idempotent(self, service, queries):
+        frontend = FederationFrontend(service)
+        frontend.search(SearchRequest(query=queries[0]))
+        frontend.close()
+        frontend.close()
+
+
+class TestServeBench:
+    def test_report_shape_and_speedups(self, servers):
+        report = run_serve_bench(servers, budget=0.03, num_queries=4)
+        assert report.num_databases == len(servers)
+        assert set(report.modes) == {
+            "select_scalar",
+            "select_vectorized",
+            "select_cold_cache",
+            "select_warm_cache",
+            "search_serial",
+            "search_concurrent",
+        }
+        assert all(seconds > 0 and ops > 0 for seconds, ops in report.modes.values())
+        assert set(report.speedups) == {
+            "vectorized_vs_scalar_select",
+            "warm_vs_cold_cache_select",
+            "concurrent_vs_serial_fanout",
+        }
+        assert all(value > 0 for value in report.speedups.values())
+        rendered = format_serve_bench(report)
+        assert "serve-bench" in rendered
+        assert "Derived speedups" in rendered
+
+    def test_synthetic_federation_builds(self):
+        servers = build_synthetic_federation(num_databases=2, scale=0.03, seed=1)
+        assert len(servers) == 2
+
+    def test_latency_injection_validated(self, servers):
+        name = sorted(servers)[0]
+        with pytest.raises(ValueError):
+            LatencyInjected(servers[name], delay=-0.1)
+
+    def test_queries_from_models_validated(self, models):
+        with pytest.raises(ValueError):
+            queries_from_models(models, 0)
+
+    def test_non_evaluable_servers_rejected(self, servers):
+        class QueryOnly:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def run_query(self, query, max_docs=10):
+                return self._inner.run_query(query, max_docs=max_docs)
+
+        wrapped = {name: QueryOnly(server) for name, server in servers.items()}
+        with pytest.raises(TypeError, match="evaluable"):
+            run_serve_bench(wrapped, budget=0.01)
+
+
+class TestServeBenchCli:
+    def test_synthetic_smoke_run(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["serve-bench", "--synthetic", "2", "--scale", "0.03",
+             "--queries", "4", "--budget", "0.05", "--backend-latency", "0"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "serve-bench: 2 databases" in output
+        assert "warm_vs_cold_cache_select" in output
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["serve-bench", "--budget", "0"], "--budget"),
+            (["serve-bench", "--backend-latency", "-1"], "--backend-latency"),
+            (["serve-bench", "--synthetic", "1"], "--synthetic"),
+            (["serve-bench", "one.jsonl"], "at least two"),
+        ],
+    )
+    def test_bad_arguments_rejected(self, argv, message, capsys):
+        from repro.cli import main
+
+        assert main(argv) == 2
+        assert message in capsys.readouterr().err
