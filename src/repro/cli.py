@@ -15,10 +15,18 @@ Exposes the library's main workflows as ``repro <subcommand>``:
     repro serve-bench --synthetic 4 --scale 0.05 --budget 0.5
     repro experiments --only fig1 fig3 --scale 0.1 --workers 4
     repro trace run.trace.jsonl
+    repro store models-dir --verify
 
 ``sample`` and ``federate`` accept ``--trace PATH`` to record a
 structured JSONL trace of the run (:mod:`repro.obs`); ``repro trace``
 renders the per-database activity report from such a file.
+
+Persistence (:mod:`repro.store`): ``sample --checkpoint DIR`` makes the
+run crash-safe — kill it at any point and the same command resumes
+from the last checkpoint, producing a model bit-identical to an
+uninterrupted run.  ``federate --save-models DIR`` persists the learned
+model set to a durable store; ``federate --models DIR`` warm-starts
+from one instead of re-sampling; ``repro store DIR`` inspects one.
 
 Corpora are JSONL files (``{"doc_id", "text", ...}`` per line); models
 use the library's text format (:mod:`repro.lm.io`).  Every stochastic
@@ -49,6 +57,7 @@ from repro.sampling.transport import (
     UnreliableServer,
 )
 from repro.sizeest.orchestrate import estimate_database_size
+from repro.store import ModelStore, SamplerCheckpointer, StoreIntegrityError
 from repro.summarize.summary import format_summary_grid, summarize
 from repro.synth.profiles import PROFILES_BY_NAME
 from repro.text.analyzer import Analyzer
@@ -122,6 +131,28 @@ def _add_sample(subparsers) -> None:
         metavar="PATH",
         help="record a structured JSONL trace of the run (see `repro trace`)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist a resumable checkpoint in DIR; rerunning the same "
+        "command resumes from it (crash-safe, bit-identical)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="K",
+        help="checkpoint every K queries (with --checkpoint)",
+    )
+    parser.add_argument(
+        # Deterministic crash injection for the interrupt-and-resume
+        # smoke test; simulates a hard kill (no cleanup) after N queries.
+        "--crash-after-queries",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,
+    )
 
 
 def _add_compare(subparsers) -> None:
@@ -173,6 +204,32 @@ def _add_federate(subparsers) -> None:
         default=None,
         metavar="PATH",
         help="record a structured JSONL trace of the run (see `repro trace`)",
+    )
+    parser.add_argument(
+        "--models",
+        default=None,
+        metavar="DIR",
+        help="warm-start from a durable model store instead of sampling "
+        "(see `repro store`)",
+    )
+    parser.add_argument(
+        "--save-models",
+        default=None,
+        metavar="DIR",
+        help="persist the learned model set to a durable store directory",
+    )
+
+
+def _add_store(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "store",
+        help="inspect a durable model store directory",
+    )
+    parser.add_argument("directory", help="model store directory (see `repro federate --save-models`)")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-read every model and check its manifest checksum",
     )
 
 
@@ -278,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_summarize(subparsers)
     _add_estimate_size(subparsers)
     _add_federate(subparsers)
+    _add_store(subparsers)
     _add_serve_bench(subparsers)
     _add_experiments(subparsers)
     _add_trace(subparsers)
@@ -293,6 +351,36 @@ def _make_strategy(name: str):
     if name == "random":
         return RandomFromLearned()
     return FrequencyFromLearned(name)
+
+
+class _CrashAfterQueries:
+    """Checkpoint wrapper simulating a hard kill after N queries.
+
+    Drives the interrupt-and-resume smoke test deterministically:
+    checkpoints pass through to the real checkpointer, and once the
+    sampler has run ``queries`` queries the process dies via
+    ``os._exit`` — no cleanup, no final save, exactly like a SIGKILL
+    at a query boundary.
+    """
+
+    def __init__(self, inner: SamplerCheckpointer, queries: int) -> None:
+        self.inner = inner
+        self.queries = queries
+
+    def maybe_save(self, sampler) -> None:
+        self.inner.maybe_save(sampler)
+        if sampler.queries_run >= self.queries:
+            import os
+
+            print(
+                f"simulated crash after {sampler.queries_run} queries",
+                file=sys.stderr,
+                flush=True,
+            )
+            os._exit(3)
+
+    def save(self, sampler) -> None:
+        self.inner.save(sampler)
 
 
 def _cmd_generate(args) -> int:
@@ -367,7 +455,27 @@ def _cmd_sample(args) -> int:
         seed=args.seed,
         recorder=recorder,
     )
-    run = sampler.run()
+    checkpointer = None
+    if args.checkpoint:
+        if args.checkpoint_every <= 0:
+            print("--checkpoint-every must be positive", file=sys.stderr)
+            return 2
+        checkpointer = SamplerCheckpointer(
+            args.checkpoint, every_queries=args.checkpoint_every, recorder=recorder
+        )
+        try:
+            resumed = checkpointer.resume(sampler)
+        except ValueError as exc:
+            print(f"cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
+            return 2
+        if resumed:
+            print(
+                f"resumed from checkpoint: {sampler.documents_examined} documents, "
+                f"{sampler.queries_run} queries already done"
+            )
+        if args.crash_after_queries is not None:
+            checkpointer = _CrashAfterQueries(checkpointer, args.crash_after_queries)
+    run = sampler.run(checkpoint=checkpointer)
     save_language_model(run.model, args.output)
     print(
         f"sampled {run.documents_examined} documents with {run.queries_run} queries "
@@ -442,12 +550,26 @@ def _cmd_federate(args) -> int:
         databases_per_query=min(args.databases_per_query, len(servers)),
         recorder=recorder,
     )
-    service.learn_models(
-        lambda name: _default_bootstrap(servers[name]),
-        total_documents=args.sample_docs * len(servers),
-        scheduler="round_robin",
-        seed=args.seed,
-    )
+    if args.models:
+        try:
+            service.load_models(ModelStore(args.models, recorder=recorder))
+        except (FileNotFoundError, StoreIntegrityError, ValueError) as exc:
+            print(f"cannot load models from {args.models}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"warm-started {len(service.models)} models from {args.models} "
+            f"(epoch {service.model_epoch})"
+        )
+    else:
+        service.learn_models(
+            lambda name: _default_bootstrap(servers[name]),
+            total_documents=args.sample_docs * len(servers),
+            scheduler="round_robin",
+            seed=args.seed,
+        )
+        if args.save_models:
+            service.save_models(ModelStore(args.save_models, recorder=recorder))
+            print(f"saved {len(service.models)} models to {args.save_models}")
     response = service.search(SearchRequest(query=args.query, n=args.n))
     if args.trace:
         lines = recorder.write_jsonl(args.trace)
@@ -467,6 +589,47 @@ def _cmd_federate(args) -> int:
         for i, item in enumerate(response.results, start=1)
     ]
     print(format_table(result_rows, title="Merged results"))
+    return 0
+
+
+def _cmd_store(args) -> int:
+    store = ModelStore(args.directory)
+    if not store.exists():
+        print(f"no model store at {args.directory}", file=sys.stderr)
+        return 2
+    try:
+        manifest = store.read_manifest()
+    except StoreIntegrityError as exc:
+        print(f"corrupt store manifest: {exc}", file=sys.stderr)
+        return 1
+    rows = [
+        {
+            "name": name,
+            "file": entry.file,
+            "terms": entry.terms,
+            "documents_seen": entry.documents_seen,
+            "tokens_seen": entry.tokens_seen,
+            "sha256": entry.sha256[:12],
+        }
+        for name, entry in sorted(manifest.models.items())
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"Model store {args.directory} (epoch {manifest.model_epoch}, "
+            f"{len(rows)} models)",
+        )
+    )
+    orphans = store.orphans()
+    if orphans:
+        print(f"orphan files (unreferenced, safe to delete): {', '.join(orphans)}")
+    if args.verify:
+        problems = store.verify()
+        if problems:
+            for problem in problems:
+                print(f"INTEGRITY: {problem}", file=sys.stderr)
+            return 1
+        print("store ok: every model matches its manifest checksum")
     return 0
 
 
@@ -596,6 +759,7 @@ _COMMANDS = {
     "summarize": _cmd_summarize,
     "estimate-size": _cmd_estimate_size,
     "federate": _cmd_federate,
+    "store": _cmd_store,
     "serve-bench": _cmd_serve_bench,
     "experiments": _cmd_experiments,
     "trace": _cmd_trace,

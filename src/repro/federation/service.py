@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping
 
 from repro.backend import RetrievableDatabase, SearchableDatabase, require_searchable
@@ -42,6 +43,7 @@ from repro.sampling.pool import SamplingPool
 from repro.sampling.sampler import SamplerConfig
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.staleness import RefreshPolicy, StalenessReport
+from repro.store.model_store import ModelStore
 
 
 @dataclass(frozen=True)
@@ -193,6 +195,48 @@ class FederatedSearchService:
         if missing:
             raise ValueError(f"missing models for databases: {sorted(missing)}")
         self._install_models(models)
+
+    # -- durable persistence -----------------------------------------------
+
+    @staticmethod
+    def _as_store(store: "ModelStore | str | Path") -> ModelStore:
+        if isinstance(store, ModelStore):
+            return store
+        return ModelStore(store)
+
+    def save_models(self, store: "ModelStore | str | Path") -> None:
+        """Persist the installed model set (with its epoch) durably.
+
+        The store directory is written crash-safely as one unit (see
+        :class:`~repro.store.ModelStore`); a killed save never corrupts
+        a previously saved set.
+        """
+        if not self.models:
+            raise RuntimeError("no language models acquired yet; call learn_models()")
+        self._as_store(store).save(self.models, model_epoch=self._model_epoch)
+
+    def load_models(self, store: "ModelStore | str | Path") -> None:
+        """Warm-start from a durable store instead of re-sampling.
+
+        Every server must have a model in the store (extra models are
+        ignored).  :attr:`model_epoch` always moves *forward*:
+        it becomes the stored epoch or the current epoch plus one,
+        whichever is larger, so serving caches keyed on the epoch
+        (:class:`~repro.serving.frontend.FederationFrontend`) can never
+        confuse warm-started models with a superseded in-memory set.
+        """
+        resolved = self._as_store(store)
+        models = resolved.load()
+        missing = set(self.servers) - set(models)
+        if missing:
+            raise ValueError(
+                f"store at {resolved.root} is missing models for databases: "
+                f"{sorted(missing)}"
+            )
+        self.models = {name: models[name] for name in self.servers}
+        self._model_epoch = max(
+            self._model_epoch + 1, resolved.read_manifest().model_epoch
+        )
 
     def refresh_stale_models(
         self,

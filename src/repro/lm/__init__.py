@@ -23,7 +23,12 @@ from repro.lm.compare import (
     rdiff,
     spearman_rank_correlation,
 )
-from repro.lm.io import load_language_model, save_language_model
+from repro.lm.io import (
+    dumps_language_model,
+    load_language_model,
+    loads_language_model,
+    save_language_model,
+)
 from repro.lm.ngrams import bigram_model_from_documents, bigrams, split_bigram
 from repro.lm.shrinkage import shrink, shrink_all
 from repro.lm.model import LanguageModel, TermStats
@@ -34,7 +39,9 @@ __all__ = [
     "bigram_model_from_documents",
     "bigrams",
     "ctf_ratio",
+    "dumps_language_model",
     "load_language_model",
+    "loads_language_model",
     "percentage_learned",
     "rank_terms",
     "rdiff",

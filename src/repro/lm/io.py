@@ -10,59 +10,102 @@ collection-statistics files:
     bear 3 3
 
 One header line, then one ``term df ctf`` line per term, sorted by term
-for determinism.
+for determinism.  Header fields are whitespace-separated, so the model
+name is percent-escaped on write (a name containing a space or ``=``
+would otherwise corrupt the header) and unescaped on read.
+
+Writes are **crash-safe**: the entire model is serialized and validated
+in memory first (:func:`dumps_language_model`), then published with an
+atomic temp-file + :func:`os.replace` (:mod:`repro.utils.atomic`).  A
+validation error or a crash mid-write never leaves a corrupt or partial
+file at the target path.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from urllib.parse import quote, unquote
 
 from repro.lm.model import LanguageModel
+from repro.utils.atomic import atomic_write_text
+
+__all__ = [
+    "dumps_language_model",
+    "load_language_model",
+    "loads_language_model",
+    "save_language_model",
+]
 
 _HEADER_PREFIX = "#language-model"
 
 
-def save_language_model(model: LanguageModel, path: str | Path) -> None:
-    """Write ``model`` to ``path`` in the text format above.
+def dumps_language_model(model: LanguageModel) -> str:
+    """Serialize ``model`` to the text format above, validating first.
 
-    Terms containing whitespace would corrupt the line format and are
-    rejected (no analyzer in this library produces them; bigram terms
-    use a non-whitespace separator precisely so they serialize).
+    Every term is checked *before* any output is produced, so a model
+    that cannot be serialized fails without side effects.  Terms
+    containing whitespace are rejected (no analyzer in this library
+    produces them; bigram terms use a non-whitespace separator
+    precisely so they serialize).  The model name is percent-escaped,
+    so any name — spaces, ``=``, newlines — round-trips intact.
     """
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
-        handle.write(
-            f"{_HEADER_PREFIX} name={model.name} "
-            f"documents_seen={model.documents_seen} tokens_seen={model.tokens_seen}\n"
-        )
-        for term in sorted(model.vocabulary):
-            if not term or any(ch.isspace() for ch in term):
-                raise ValueError(
-                    f"term {term!r} contains whitespace and cannot be serialized"
-                )
-            handle.write(f"{term} {model.df(term)} {model.ctf(term)}\n")
+    terms = sorted(model.vocabulary)
+    for term in terms:
+        if not term or any(ch.isspace() for ch in term):
+            raise ValueError(
+                f"term {term!r} is empty or contains whitespace and cannot be serialized"
+            )
+    lines = [
+        f"{_HEADER_PREFIX} name={quote(model.name, safe='')} "
+        f"documents_seen={model.documents_seen} tokens_seen={model.tokens_seen}"
+    ]
+    lines.extend(f"{term} {model.df(term)} {model.ctf(term)}" for term in terms)
+    return "\n".join(lines) + "\n"
+
+
+def save_language_model(model: LanguageModel, path: str | Path) -> None:
+    """Write ``model`` to ``path`` atomically (temp file + rename).
+
+    The serialization is fully built and validated in memory before the
+    filesystem is touched; see :func:`dumps_language_model`.
+    """
+    atomic_write_text(path, dumps_language_model(model))
+
+
+def loads_language_model(
+    text: str, default_name: str = "lm", source: str = "<string>"
+) -> LanguageModel:
+    """Parse a model from serialized ``text`` (see :func:`dumps_language_model`).
+
+    ``source`` labels error messages (a file path when called from
+    :func:`load_language_model`); ``default_name`` is used when the
+    header carries no ``name=`` field.
+    """
+    lines = text.splitlines()
+    header = lines[0] if lines else ""
+    if not header.startswith(_HEADER_PREFIX):
+        raise ValueError(f"{source}: missing language-model header")
+    fields = dict(
+        part.split("=", 1) for part in header[len(_HEADER_PREFIX) :].split() if "=" in part
+    )
+    name = unquote(fields["name"]) if "name" in fields else default_name
+    model = LanguageModel(name=name)
+    for line_number, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"{source}:{line_number}: expected 'term df ctf', got {line!r}")
+        term, df_text, ctf_text = parts
+        model.add_term(term, df=int(df_text), ctf=int(ctf_text))
+    model.documents_seen = int(fields.get("documents_seen", 0))
+    model.tokens_seen = int(fields.get("tokens_seen", 0))
+    return model
 
 
 def load_language_model(path: str | Path) -> LanguageModel:
     """Read a language model written by :func:`save_language_model`."""
     path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        header = handle.readline().rstrip("\n")
-        if not header.startswith(_HEADER_PREFIX):
-            raise ValueError(f"{path}: missing language-model header")
-        fields = dict(
-            part.split("=", 1) for part in header[len(_HEADER_PREFIX) :].split() if "=" in part
-        )
-        model = LanguageModel(name=fields.get("name", path.stem))
-        for line_number, line in enumerate(handle, start=2):
-            line = line.strip()
-            if not line:
-                continue
-            parts = line.split()
-            if len(parts) != 3:
-                raise ValueError(f"{path}:{line_number}: expected 'term df ctf', got {line!r}")
-            term, df_text, ctf_text = parts
-            model.add_term(term, df=int(df_text), ctf=int(ctf_text))
-        model.documents_seen = int(fields.get("documents_seen", 0))
-        model.tokens_seen = int(fields.get("tokens_seen", 0))
-    return model
+    text = path.read_text(encoding="utf-8")
+    return loads_language_model(text, default_name=path.stem, source=str(path))

@@ -21,7 +21,7 @@ a scheduling policy:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping, Protocol
 
 from repro.backend import SearchableDatabase
 from repro.obs.trace import NULL_RECORDER, Recorder
@@ -30,6 +30,29 @@ from repro.sampling.sampler import QueryBasedSampler, SamplerConfig
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.stopping import MaxDocuments
 from repro.utils.rand import derive_seed
+
+
+class PoolCheckpointSink(Protocol):
+    """Receives pool run state at grant boundaries for persistence.
+
+    Implemented by :class:`repro.store.PoolCheckpointer`.  The pool
+    calls :meth:`resume` once at the start of :meth:`SamplingPool.run`
+    (returning the saved scheduling cursor, or ``None`` for a fresh
+    run), :meth:`maybe_save` after every completed grant, and
+    :meth:`save` when the allocation finishes.
+    """
+
+    def resume(self, pool: "SamplingPool", total_documents: int) -> dict[str, Any] | None:
+        """Restore sampler states; return the saved cursor, if any."""
+        ...  # pragma: no cover - protocol
+
+    def maybe_save(self, pool: "SamplingPool", cursor: dict[str, Any]) -> None:
+        """Persist if the sink's cadence says it is time."""
+        ...  # pragma: no cover - protocol
+
+    def save(self, pool: "SamplingPool", cursor: dict[str, Any]) -> None:
+        """Persist unconditionally."""
+        ...  # pragma: no cover - protocol
 
 _SCHEDULERS = ("uniform", "round_robin", "convergence")
 
@@ -116,17 +139,32 @@ class SamplingPool:
             for name, database in databases.items()
         }
 
-    def run(self, total_documents: int) -> PoolResult:
-        """Distribute ``total_documents`` across the databases."""
+    def run(
+        self,
+        total_documents: int,
+        *,
+        checkpoint: PoolCheckpointSink | None = None,
+    ) -> PoolResult:
+        """Distribute ``total_documents`` across the databases.
+
+        With a ``checkpoint`` sink, the pool persists every sampler's
+        resumable state plus its own scheduling cursor after each
+        grant; re-running with the same construction and the same sink
+        resumes from the last persisted grant boundary and produces
+        models bit-identical to an uninterrupted run.
+        """
         if total_documents <= 0:
             raise ValueError("total_documents must be positive")
+        cursor: dict[str, Any] = {}
+        if checkpoint is not None:
+            cursor = checkpoint.resume(self, total_documents) or {}
         with self.recorder.span(
             "pool_run", scheduler=self.scheduler, total_documents=total_documents
         ) as pool_span:
             if self.scheduler == "uniform":
-                runs = self._run_uniform(total_documents)
+                runs = self._run_uniform(total_documents, checkpoint, cursor)
             else:
-                runs = self._run_incremental(total_documents)
+                runs = self._run_incremental(total_documents, checkpoint, cursor)
             result = PoolResult(runs=runs)
             pool_span.set(
                 documents_examined=result.total_documents,
@@ -134,7 +172,53 @@ class SamplingPool:
             )
         return result
 
-    def _run_uniform(self, total_documents: int) -> dict[str, SamplingRun]:
+    # -- checkpoint plumbing ------------------------------------------------
+
+    def _cursor(
+        self, total_documents: int, runs: dict[str, SamplingRun], **fields: Any
+    ) -> dict[str, Any]:
+        """The scheduling cursor: loop position + per-run stop reasons.
+
+        Together with each sampler's own state this fully determines
+        the rest of the allocation, so a resumed run replays the exact
+        grant sequence an uninterrupted run would have made.
+        """
+        return {
+            "total_documents": total_documents,
+            "runs": {name: {"stop_reason": run.stop_reason} for name, run in runs.items()},
+            **fields,
+        }
+
+    def _reconstruct_runs(self, cursor: dict[str, Any]) -> dict[str, SamplingRun]:
+        """Rebuild the runs-so-far table from a saved cursor."""
+        runs: dict[str, SamplingRun] = {}
+        for name, meta in cursor.get("runs", {}).items():
+            stop_reason = meta["stop_reason"]
+            if stop_reason == "not_scheduled":
+                runs[name] = self._idle_run(name)
+            else:
+                runs[name] = self.samplers[name].current_run(stop_reason)
+        return runs
+
+    def _record(
+        self,
+        checkpoint: PoolCheckpointSink | None,
+        cursor: dict[str, Any],
+        final: bool = False,
+    ) -> None:
+        if checkpoint is None:
+            return
+        if final:
+            checkpoint.save(self, cursor)
+        else:
+            checkpoint.maybe_save(self, cursor)
+
+    def _run_uniform(
+        self,
+        total_documents: int,
+        checkpoint: PoolCheckpointSink | None,
+        cursor: dict[str, Any],
+    ) -> dict[str, SamplingRun]:
         # Exact shares: base + one extra for the first ``remainder``
         # databases, so the pool samples precisely ``total_documents`` —
         # never the remainder-truncated count (100 over 3 must be
@@ -143,32 +227,89 @@ class SamplingPool:
         # single-document shares, not ten).
         names = list(self.samplers)
         base, remainder = divmod(total_documents, len(names))
-        runs: dict[str, SamplingRun] = {}
-        dead: set[str] = set()
-        shortfall = 0
-        for position, name in enumerate(names):
-            share = base + (1 if position < remainder else 0)
-            if share == 0:
-                runs[name] = self._idle_run(name)
-                continue
-            shortfall += share - self._grow(runs, name, share)
+        stage = cursor.get("stage", "initial")
+        position = int(cursor.get("position", 0))
+        shortfall = int(cursor.get("shortfall", 0))
+        dead = set(cursor.get("dead", []))
+        round_alive: list[str] | None = cursor.get("round_alive")
+        round_position = int(cursor.get("round_position", 0))
+        round_shortfall = int(cursor.get("round_shortfall", 0))
+        runs = self._reconstruct_runs(cursor)
+        if stage == "initial":
+            while position < len(names):
+                name = names[position]
+                share = base + (1 if position < remainder else 0)
+                position += 1
+                if share == 0:
+                    runs[name] = self._idle_run(name)
+                    continue
+                shortfall += share - self._grow(runs, name, share)
+                self._record(
+                    checkpoint,
+                    self._cursor(
+                        total_documents,
+                        runs,
+                        stage="initial",
+                        position=position,
+                        shortfall=shortfall,
+                        dead=sorted(dead),
+                    ),
+                )
         # Budget a dead (exhausted / unreachable) database could not
         # spend flows to the databases that can still yield documents.
-        while shortfall > 0:
-            dead.update(n for n, run in runs.items() if run.stop_reason in _TERMINAL_STOPS)
-            alive = [name for name in names if name not in dead]
-            if not alive:
-                break
-            extra_base, extra_remainder = divmod(shortfall, len(alive))
-            shortfall = 0
-            for position, name in enumerate(alive):
-                extra = extra_base + (1 if position < extra_remainder else 0)
+        while True:
+            if round_alive is None:
+                if shortfall <= 0:
+                    break
+                dead.update(
+                    n for n, run in runs.items() if run.stop_reason in _TERMINAL_STOPS
+                )
+                round_alive = [name for name in names if name not in dead]
+                if not round_alive:
+                    round_alive = None
+                    break
+                round_shortfall = shortfall
+                round_position = 0
+                shortfall = 0
+            extra_base, extra_remainder = divmod(round_shortfall, len(round_alive))
+            while round_position < len(round_alive):
+                slot = round_position
+                name = round_alive[slot]
+                round_position += 1
+                extra = extra_base + (1 if slot < extra_remainder else 0)
                 if extra == 0:
                     continue
                 gained = self._grow(runs, name, extra)
                 shortfall += extra - gained
                 if gained < extra:
                     dead.add(name)
+                self._record(
+                    checkpoint,
+                    self._cursor(
+                        total_documents,
+                        runs,
+                        stage="redistribute",
+                        position=position,
+                        shortfall=shortfall,
+                        dead=sorted(dead),
+                        round_alive=round_alive,
+                        round_position=round_position,
+                        round_shortfall=round_shortfall,
+                    ),
+                )
+            round_alive = None
+        self._record(
+            checkpoint,
+            self._cursor(
+                total_documents,
+                runs,
+                stage="redistribute",
+                position=position,
+                shortfall=0,
+                dead=sorted(dead),
+            ),
+            final=True,
+        )
         return runs
 
     def _grow(self, runs: dict[str, SamplingRun], name: str, grant: int) -> int:
@@ -189,12 +330,17 @@ class SamplingPool:
             documents=[],
         )
 
-    def _run_incremental(self, total_documents: int) -> dict[str, SamplingRun]:
-        remaining = total_documents
-        runs: dict[str, SamplingRun] = {}
-        exhausted: set[str] = set()
+    def _run_incremental(
+        self,
+        total_documents: int,
+        checkpoint: PoolCheckpointSink | None,
+        cursor: dict[str, Any],
+    ) -> dict[str, SamplingRun]:
+        remaining = int(cursor.get("remaining", total_documents))
+        runs = self._reconstruct_runs(cursor)
+        exhausted = set(cursor.get("exhausted", []))
         order = list(self.samplers)
-        turn = 0
+        turn = int(cursor.get("turn", 0))
         while remaining > 0 and len(exhausted) < len(self.samplers):
             name = self._pick_next(order, turn, exhausted)
             grant = min(self.increment, remaining)
@@ -205,11 +351,32 @@ class SamplingPool:
                 # unreachable); its budget flows to the others.
                 exhausted.add(name)
             turn += 1
+            self._record(
+                checkpoint,
+                self._cursor(
+                    total_documents,
+                    runs,
+                    remaining=remaining,
+                    turn=turn,
+                    exhausted=sorted(exhausted),
+                ),
+            )
         # Databases never scheduled still contribute their (empty) state
         # without consuming any budget.
         for name in self.samplers:
             if name not in runs:
                 runs[name] = self._idle_run(name)
+        self._record(
+            checkpoint,
+            self._cursor(
+                total_documents,
+                runs,
+                remaining=remaining,
+                turn=turn,
+                exhausted=sorted(exhausted),
+            ),
+            final=True,
+        )
         return runs
 
     def _pick_next(self, order: list[str], turn: int, exhausted: set[str]) -> str:

@@ -25,10 +25,12 @@ budgets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping, Protocol
 
 from repro.backend import SearchableDatabase
 from repro.corpus.document import Document
+from repro.lm.io import dumps_language_model, loads_language_model
 from repro.lm.model import LanguageModel
 from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.sampling.result import QueryRecord, SamplerState, SamplingRun, Snapshot
@@ -38,7 +40,50 @@ from repro.sampling.transport import CircuitOpenError, ServerError
 from repro.text.analyzer import Analyzer
 from repro.utils.rand import ensure_rng
 
-__all__ = ["QueryBasedSampler", "SamplerConfig", "SearchableDatabase"]
+__all__ = [
+    "CheckpointSink",
+    "QueryBasedSampler",
+    "SamplerConfig",
+    "SearchableDatabase",
+]
+
+
+class CheckpointSink(Protocol):
+    """Receives run state at safe boundaries for durable persistence.
+
+    Implemented by :class:`repro.store.SamplerCheckpointer`; the
+    sampler calls :meth:`maybe_save` after every completed query and
+    :meth:`save` when a run ends, always at a consistent state
+    boundary (never mid-query).
+    """
+
+    def maybe_save(self, sampler: "QueryBasedSampler") -> None:
+        """Persist if the sink's cadence says it is time."""
+        ...  # pragma: no cover - protocol
+
+    def save(self, sampler: "QueryBasedSampler") -> None:
+        """Persist unconditionally."""
+        ...  # pragma: no cover - protocol
+
+
+def _document_to_dict(document: Document) -> dict[str, Any]:
+    return {
+        "doc_id": document.doc_id,
+        "text": document.text,
+        "title": document.title,
+        "topic": document.topic,
+        "metadata": dict(document.metadata),
+    }
+
+
+def _document_from_dict(data: Mapping[str, Any]) -> Document:
+    return Document(
+        doc_id=data["doc_id"],
+        text=data["text"],
+        title=data.get("title", ""),
+        topic=data.get("topic"),
+        metadata=dict(data.get("metadata") or {}),
+    )
 
 
 @dataclass(frozen=True)
@@ -184,16 +229,27 @@ class QueryBasedSampler:
 
     # -- the sampling loop ---------------------------------------------------
 
-    def run(self, stopping: StoppingCriterion | None = None) -> SamplingRun:
+    def run(
+        self,
+        stopping: StoppingCriterion | None = None,
+        *,
+        checkpoint: CheckpointSink | None = None,
+    ) -> SamplingRun:
         """Sample until ``stopping`` (or the default criterion) fires.
 
         Resumable: a second call continues from the current state, so
         ``run(MaxDocuments(100))`` followed by ``run(MaxDocuments(200))``
         is equivalent to a single 200-document run.
+
+        ``checkpoint`` (a :class:`CheckpointSink`, e.g.
+        :class:`repro.store.SamplerCheckpointer`) is offered the run
+        state after every completed query and once when the run ends;
+        a process killed mid-run resumes bit-identically from the last
+        persisted boundary via :meth:`load_state_dict`.
         """
         criterion = stopping or self.stopping
         with self.recorder.span("sample_run", database=self.name) as run_span:
-            result = self._run(criterion)
+            result = self._run(criterion, checkpoint)
             run_span.set(
                 documents_examined=result.documents_examined,
                 queries_run=result.queries_run,
@@ -201,7 +257,9 @@ class QueryBasedSampler:
             )
         return result
 
-    def _run(self, criterion: StoppingCriterion) -> SamplingRun:
+    def _run(
+        self, criterion: StoppingCriterion, checkpoint: CheckpointSink | None = None
+    ) -> SamplingRun:
         state = self._state
         recorder = self.recorder
         stop_reason: str | None = None
@@ -278,6 +336,8 @@ class QueryBasedSampler:
                 stop_reason = criterion.describe()
             elif state.queries_run >= self.config.max_total_queries:
                 stop_reason = "query_budget_guard"
+            if checkpoint is not None:
+                checkpoint.maybe_save(self)
 
         # Final snapshot so curves always include the endpoint.
         if (
@@ -285,9 +345,20 @@ class QueryBasedSampler:
             or state.snapshots[-1].documents_examined != state.documents_examined
         ):
             self._take_snapshot(in_flight_query=False)
+        if checkpoint is not None:
+            checkpoint.save(self)
+        return self.current_run(stop_reason)
+
+    def current_run(self, stop_reason: str) -> SamplingRun:
+        """The sampler's accumulated state packaged as a run result.
+
+        Exactly what :meth:`run` would return had it just stopped with
+        ``stop_reason``; used by checkpoint resume to reconstruct the
+        result of a run that completed before a crash.
+        """
         return SamplingRun(
             model=self._model,
-            snapshots=list(state.snapshots),
+            snapshots=list(self._state.snapshots),
             queries=list(self._queries),
             stop_reason=stop_reason,
             documents=list(self._kept_documents),
@@ -345,3 +416,115 @@ class QueryBasedSampler:
             if term is not None:
                 return term
         return self.bootstrap.select(self._model, self._used_terms, self._rng)
+
+    # -- checkpoint / resume ----------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the complete resumable state.
+
+        Captures everything a future process needs to continue this
+        run bit-identically: the learned model, counters, snapshots,
+        query history, the used-term and seen-document sets, any
+        pending mid-query document tail, and the exact RNG state (the
+        library's default PCG64 generator state serializes to plain
+        integers).  Selector objects are *not* captured — they are
+        deterministic functions of this state, so reconstructing the
+        sampler with the same configuration and calling
+        :meth:`load_state_dict` resumes the identical trajectory.
+        """
+        state = self._state
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "config": asdict(self.config),
+            "strategy": getattr(self.strategy, "name", type(self.strategy).__name__),
+            "bootstrap": getattr(self.bootstrap, "name", type(self.bootstrap).__name__),
+            "rng": self._rng.bit_generator.state,
+            "model": dumps_language_model(self._model),
+            "documents_examined": state.documents_examined,
+            "queries_run": state.queries_run,
+            "failed_queries": state.failed_queries,
+            "snapshots": [
+                {
+                    "documents_examined": snapshot.documents_examined,
+                    "queries_run": snapshot.queries_run,
+                    "model": dumps_language_model(snapshot.model),
+                }
+                for snapshot in state.snapshots
+            ],
+            "queries": [
+                {
+                    "term": record.term,
+                    "documents_returned": record.documents_returned,
+                    "new_documents": record.new_documents,
+                    "error": record.error,
+                }
+                for record in self._queries
+            ],
+            "used_terms": sorted(self._used_terms),
+            "seen_doc_ids": sorted(self._seen_doc_ids),
+            "kept_documents": [_document_to_dict(d) for d in self._kept_documents],
+            "pending": [_document_to_dict(d) for d in self._pending],
+            "pending_query_index": self._pending_query_index,
+            "next_snapshot": self._next_snapshot,
+            "exhausted": self._exhausted,
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this sampler.
+
+        The sampler must have been constructed with the same name,
+        seed, configuration, and selector types as the one that was
+        checkpointed — resuming under different parameters would
+        silently diverge, so any mismatch raises ``ValueError``
+        instead.
+        """
+        mismatches = []
+        for field_name, current in (
+            ("name", self.name),
+            ("seed", self.seed),
+            ("config", asdict(self.config)),
+            ("strategy", getattr(self.strategy, "name", type(self.strategy).__name__)),
+            ("bootstrap", getattr(self.bootstrap, "name", type(self.bootstrap).__name__)),
+        ):
+            saved = state.get(field_name)
+            if saved != current:
+                mismatches.append(f"{field_name}: checkpoint {saved!r} != sampler {current!r}")
+        if mismatches:
+            raise ValueError(
+                "checkpoint does not match this sampler's construction: "
+                + "; ".join(mismatches)
+            )
+        self._rng = ensure_rng(self.seed)
+        self._rng.bit_generator.state = state["rng"]
+        self._model = loads_language_model(state["model"])
+        self._state = SamplerState(
+            model=self._model,
+            documents_examined=int(state["documents_examined"]),
+            queries_run=int(state["queries_run"]),
+            failed_queries=int(state["failed_queries"]),
+            snapshots=[
+                Snapshot(
+                    documents_examined=int(snapshot["documents_examined"]),
+                    queries_run=int(snapshot["queries_run"]),
+                    model=loads_language_model(snapshot["model"]),
+                )
+                for snapshot in state["snapshots"]
+            ],
+        )
+        self._queries = [
+            QueryRecord(
+                term=record["term"],
+                documents_returned=int(record["documents_returned"]),
+                new_documents=int(record["new_documents"]),
+                error=record.get("error"),
+            )
+            for record in state["queries"]
+        ]
+        self._used_terms = set(state["used_terms"])
+        self._seen_doc_ids = set(state["seen_doc_ids"])
+        self._kept_documents = [_document_from_dict(d) for d in state["kept_documents"]]
+        self._pending = [_document_from_dict(d) for d in state["pending"]]
+        self._pending_query_index = int(state["pending_query_index"])
+        self._next_snapshot = int(state["next_snapshot"])
+        self._exhausted = bool(state["exhausted"])

@@ -18,6 +18,7 @@ metrics snapshot see cache behaviour without extra wiring.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, TypeVar
 
@@ -34,6 +35,13 @@ _MISSING = object()
 
 class LruCache(Generic[K, V]):
     """A bounded mapping evicting the least recently used entry.
+
+    Thread-safe: the cache sits behind
+    :class:`~repro.serving.frontend.FederationFrontend`'s concurrent
+    fan-out and batch entry points, so every operation — including the
+    hit/miss/eviction counters and the recency reordering — runs under
+    one internal lock.  Operations are O(1) dictionary moves, so the
+    critical sections are tiny.
 
     Parameters
     ----------
@@ -64,39 +72,45 @@ class LruCache(Generic[K, V]):
         self.misses = 0
         self.evictions = 0
         self._entries: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: K) -> V | None:
         """The cached value for ``key``, or ``None`` on a miss."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            self.recorder.count(f"{self.name}.miss")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        self.recorder.count(f"{self.name}.hit")
-        return value  # type: ignore[return-value]
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                self.recorder.count(f"{self.name}.miss")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.recorder.count(f"{self.name}.hit")
+            return value  # type: ignore[return-value]
 
     def put(self, key: K, value: V) -> None:
         """Insert (or refresh) ``key``, evicting the LRU entry if full."""
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
-        entries[key] = value
-        if len(entries) > self.maxsize:
-            entries.popitem(last=False)
-            self.evictions += 1
-            self.recorder.count(f"{self.name}.eviction")
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = value
+            if len(entries) > self.maxsize:
+                entries.popitem(last=False)
+                self.evictions += 1
+                self.recorder.count(f"{self.name}.eviction")
 
     def clear(self) -> None:
         """Drop every entry (hit/miss counts survive — they are history)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: K) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def hit_rate(self) -> float:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Future, ThreadPoolExecutor, wait
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.dbselect.base import DatabaseRanking, analyze_query
@@ -48,6 +49,7 @@ from repro.index.search import SearchResult
 from repro.obs.trace import Recorder
 from repro.sampling.transport import ServerError
 from repro.serving.cache import LruCache
+from repro.store.model_store import ModelStore
 
 __all__ = ["FederationFrontend"]
 
@@ -103,6 +105,37 @@ class FederationFrontend:
         self._executor: ThreadPoolExecutor | None = None
 
     # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def from_store(
+        cls,
+        service: FederatedSearchService,
+        store: ModelStore | str | Path,
+        *,
+        max_workers: int = 8,
+        analyzed_cache_size: int = 4096,
+        selection_cache_size: int = 4096,
+        recorder: Recorder | None = None,
+    ) -> "FederationFrontend":
+        """Boot a frontend warm-started from a durable model store.
+
+        Loads the store's model set into ``service`` (bumping its
+        model epoch — see
+        :meth:`~repro.federation.service.FederatedSearchService.load_models`)
+        and eagerly compiles the vectorized scorer, so the first query
+        after a restart pays no cold-start cost and no stale cache
+        entry can survive the restart.
+        """
+        service.load_models(store)
+        frontend = cls(
+            service,
+            max_workers=max_workers,
+            analyzed_cache_size=analyzed_cache_size,
+            selection_cache_size=selection_cache_size,
+            recorder=recorder,
+        )
+        frontend._ensure_current()
+        return frontend
 
     def close(self) -> None:
         """Shut the fan-out pool down (idempotent)."""

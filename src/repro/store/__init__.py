@@ -1,0 +1,44 @@
+"""Durable, crash-safe persistence for learned language models.
+
+The paper's premise is that a learned language model is *accumulated
+state* — hundreds of sampling queries per database — so this package
+makes that state durable:
+
+* :mod:`repro.utils.atomic` (re-exported here) — the write primitive:
+  temp file + fsync + :func:`os.replace`, so every artifact on disk is
+  either the old version or the new one, never a torn mixture;
+* :class:`ModelStore` — a versioned directory holding a federation's
+  full model set behind a checksummed ``manifest.json``, saved and
+  loaded as one unit (warm-start for
+  :class:`~repro.federation.service.FederatedSearchService` and the
+  serving frontend);
+* :class:`SamplerCheckpointer` / :class:`PoolCheckpointer` —
+  checkpoint/resume for single-database and pooled sampling runs,
+  bit-identical to an uninterrupted run.
+"""
+
+from repro.store.checkpoint import (
+    CheckpointMismatchError,
+    PoolCheckpointer,
+    SamplerCheckpointer,
+)
+from repro.store.model_store import (
+    ModelEntry,
+    ModelStore,
+    StoreIntegrityError,
+    StoreManifest,
+)
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text, fsync_directory
+
+__all__ = [
+    "CheckpointMismatchError",
+    "ModelEntry",
+    "ModelStore",
+    "PoolCheckpointer",
+    "SamplerCheckpointer",
+    "StoreIntegrityError",
+    "StoreManifest",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+]

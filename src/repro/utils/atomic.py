@@ -1,0 +1,73 @@
+"""Crash-safe file writes.
+
+The durability primitive under every on-disk artifact the library
+produces (language models, store manifests, sampler checkpoints):
+write the full content to a temporary file in the *same directory*,
+``fsync`` it, then atomically :func:`os.replace` it over the target.
+A crash at any instant leaves either the old file or the new file —
+never a torn mixture — and a failed write never clobbers the target.
+
+These functions are re-exported by :mod:`repro.store`, which owns the
+public persistence API; they live here (the dependency-free bottom
+layer) so :mod:`repro.lm.io` can use them without a package cycle.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_directory"]
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Flush a directory entry to disk (best effort).
+
+    After :func:`os.replace`, the *rename itself* lives in the
+    directory; fsyncing it makes the publish durable across power
+    loss.  Platforms that cannot fsync a directory are silently
+    skipped — atomicity (old-or-new, never torn) holds regardless.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically publish ``data`` at ``path`` (temp file + rename).
+
+    The temporary file is created next to the target so the final
+    :func:`os.replace` stays within one filesystem (a cross-device
+    rename is not atomic).  On any failure the temporary file is
+    removed and the target is left exactly as it was.
+    """
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    fsync_directory(directory)
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Atomically publish ``text`` at ``path`` (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -1,0 +1,252 @@
+"""Checkpoint/resume tests: killed runs resume bit-identically.
+
+The acceptance bar for the persistence layer: interrupting a
+checkpointed sampling run at an arbitrary query boundary and resuming
+in a *fresh process* (modelled by a freshly constructed sampler/pool)
+produces a language model bit-identical — same serialized bytes — to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus import partition_round_robin
+from repro.index import DatabaseServer
+from repro.lm import dumps_language_model
+from repro.sampling import (
+    MaxDocuments,
+    QueryBasedSampler,
+    RandomFromOther,
+    SamplerConfig,
+    SamplingPool,
+)
+from repro.store import CheckpointMismatchError, PoolCheckpointer, SamplerCheckpointer
+from repro.synth import cacm_like
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by the crashing checkpointers to model a killed process."""
+
+
+class CrashingSamplerCheckpointer(SamplerCheckpointer):
+    """Dies on the Nth save attempt — the last N-1 checkpoints are durable."""
+
+    def __init__(self, directory, every_queries, crash_on_save):
+        super().__init__(directory, every_queries=every_queries)
+        self.crash_on_save = crash_on_save
+        self.saves_attempted = 0
+
+    def save(self, sampler):
+        self.saves_attempted += 1
+        if self.saves_attempted >= self.crash_on_save:
+            raise SimulatedCrash(f"killed at save #{self.saves_attempted}")
+        super().save(sampler)
+
+
+class CrashingPoolCheckpointer(PoolCheckpointer):
+    """Dies on the Nth save attempt — the last N-1 checkpoints are durable."""
+
+    def __init__(self, directory, crash_on_save):
+        super().__init__(directory)
+        self.crash_on_save = crash_on_save
+        self.saves_attempted = 0
+
+    def save(self, pool, cursor):
+        self.saves_attempted += 1
+        if self.saves_attempted >= self.crash_on_save:
+            raise SimulatedCrash(f"killed at save #{self.saves_attempted}")
+        super().save(pool, cursor)
+
+
+def make_sampler(server, seed: int = 7) -> QueryBasedSampler:
+    return QueryBasedSampler(
+        server,
+        bootstrap=RandomFromOther(server.actual_language_model()),
+        config=SamplerConfig(snapshot_interval=25),
+        seed=seed,
+    )
+
+
+class TestSamplerCheckpointer:
+    def test_fresh_directory_resumes_nothing(self, tmp_path, small_synthetic_server):
+        checkpointer = SamplerCheckpointer(tmp_path / "ckpt")
+        assert not checkpointer.has_checkpoint()
+        assert checkpointer.resume(make_sampler(small_synthetic_server)) is False
+
+    def test_cadence(self, tmp_path, small_synthetic_server):
+        saves = []
+
+        class CountingCheckpointer(SamplerCheckpointer):
+            def save(self, sampler):
+                saves.append(sampler.queries_run)
+                super().save(sampler)
+
+        checkpointer = CountingCheckpointer(tmp_path / "ckpt", every_queries=5)
+        sampler = make_sampler(small_synthetic_server)
+        sampler.run(MaxDocuments(80), checkpoint=checkpointer)
+        # Periodic saves land every >= 5 queries; the final save is
+        # unconditional (and may repeat the last periodic count).
+        assert saves[-1] == sampler.queries_run
+        periodic = saves[:-1]
+        assert periodic, "an 80-document run must checkpoint at least once"
+        assert all(b - a >= 5 for a, b in zip(periodic, periodic[1:]))
+
+    @pytest.mark.parametrize("crash_on_save", [1, 2, 3])
+    def test_killed_run_resumes_bit_identical(
+        self, tmp_path, small_synthetic_server, crash_on_save
+    ):
+        budget = MaxDocuments(120)
+        reference = make_sampler(small_synthetic_server)
+        reference.run(budget)
+        reference_bytes = dumps_language_model(reference.model)
+
+        crashing = CrashingSamplerCheckpointer(
+            tmp_path / "ckpt", every_queries=4, crash_on_save=crash_on_save
+        )
+        victim = make_sampler(small_synthetic_server)
+        with pytest.raises(SimulatedCrash):
+            victim.run(budget, checkpoint=crashing)
+
+        # A fresh process: new sampler, new checkpointer, same directory.
+        survivor = make_sampler(small_synthetic_server)
+        checkpointer = SamplerCheckpointer(tmp_path / "ckpt", every_queries=4)
+        resumed = checkpointer.resume(survivor)
+        # crash_on_save=1 kills the first write: nothing durable, the
+        # rerun starts from scratch — and must still match.
+        assert resumed == (crash_on_save > 1)
+        if resumed:
+            assert 0 < survivor.documents_examined < 120
+        survivor.run(budget, checkpoint=checkpointer)
+
+        assert dumps_language_model(survivor.model) == reference_bytes
+        assert survivor.queries_run == reference.queries_run
+        assert survivor.documents_examined == reference.documents_examined == 120
+        # The entire resumable state matches, not just the model.
+        assert survivor.state_dict() == reference.state_dict()
+
+    def test_checkpointing_does_not_perturb_the_run(
+        self, tmp_path, small_synthetic_server
+    ):
+        plain = make_sampler(small_synthetic_server)
+        plain.run(MaxDocuments(90))
+        observed = make_sampler(small_synthetic_server)
+        observed.run(
+            MaxDocuments(90),
+            checkpoint=SamplerCheckpointer(tmp_path / "ckpt", every_queries=3),
+        )
+        assert dumps_language_model(observed.model) == dumps_language_model(plain.model)
+
+    def test_resume_rejects_mismatched_construction(
+        self, tmp_path, small_synthetic_server
+    ):
+        checkpointer = SamplerCheckpointer(tmp_path / "ckpt")
+        sampler = make_sampler(small_synthetic_server, seed=7)
+        sampler.run(MaxDocuments(40), checkpoint=checkpointer)
+        other = make_sampler(small_synthetic_server, seed=8)
+        with pytest.raises(ValueError, match="seed"):
+            SamplerCheckpointer(tmp_path / "ckpt").resume(other)
+
+    def test_resume_rejects_foreign_file(self, tmp_path, small_synthetic_server):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / SamplerCheckpointer.FILENAME).write_text(
+            json.dumps({"schema": "something-else/1"})
+        )
+        with pytest.raises(CheckpointMismatchError, match="schema"):
+            SamplerCheckpointer(directory).resume(make_sampler(small_synthetic_server))
+
+    def test_rejects_bad_cadence(self, tmp_path):
+        with pytest.raises(ValueError, match="every_queries"):
+            SamplerCheckpointer(tmp_path, every_queries=0)
+
+
+@pytest.fixture(scope="module")
+def pool_servers() -> dict[str, DatabaseServer]:
+    corpus = cacm_like().build(seed=31, scale=0.3)
+    parts = partition_round_robin(corpus, 3)
+    return {part.name: DatabaseServer(part) for part in parts}
+
+
+def make_pool(servers, scheduler: str) -> SamplingPool:
+    return SamplingPool(
+        servers,
+        lambda name: RandomFromOther(servers[name].actual_language_model()),
+        scheduler=scheduler,
+        increment=20,
+        config=SamplerConfig(snapshot_interval=20, keep_documents=False),
+        seed=3,
+    )
+
+
+class TestPoolCheckpointer:
+    @pytest.mark.parametrize("scheduler", ["uniform", "round_robin", "convergence"])
+    @pytest.mark.parametrize("crash_on_save", [2, 4])
+    def test_killed_pool_run_resumes_bit_identical(
+        self, tmp_path, pool_servers, scheduler, crash_on_save
+    ):
+        total = 120
+        reference = make_pool(pool_servers, scheduler).run(total)
+        reference_bytes = {
+            name: dumps_language_model(run.model)
+            for name, run in reference.runs.items()
+        }
+
+        directory = tmp_path / "ckpt"
+        victim = make_pool(pool_servers, scheduler)
+        with pytest.raises(SimulatedCrash):
+            victim.run(total, checkpoint=CrashingPoolCheckpointer(directory, crash_on_save))
+
+        survivor = make_pool(pool_servers, scheduler)
+        result = survivor.run(total, checkpoint=PoolCheckpointer(directory))
+
+        assert {
+            name: dumps_language_model(run.model) for name, run in result.runs.items()
+        } == reference_bytes
+        assert result.total_documents == reference.total_documents == total
+        assert result.total_queries == reference.total_queries
+        assert {name: run.stop_reason for name, run in result.runs.items()} == {
+            name: run.stop_reason for name, run in reference.runs.items()
+        }
+
+    def test_completed_run_resumes_as_noop(self, tmp_path, pool_servers):
+        directory = tmp_path / "ckpt"
+        first = make_pool(pool_servers, "round_robin")
+        first.run(100, checkpoint=PoolCheckpointer(directory))
+        queries_after_first = {
+            name: sampler.queries_run for name, sampler in first.samplers.items()
+        }
+
+        again = make_pool(pool_servers, "round_robin")
+        result = again.run(100, checkpoint=PoolCheckpointer(directory))
+        # No budget is respent: the resumed run replays to the same
+        # final state without issuing a single new query.
+        assert {
+            name: sampler.queries_run for name, sampler in again.samplers.items()
+        } == queries_after_first
+        assert result.total_documents == 100
+
+    def test_resume_rejects_different_budget(self, tmp_path, pool_servers):
+        directory = tmp_path / "ckpt"
+        make_pool(pool_servers, "uniform").run(90, checkpoint=PoolCheckpointer(directory))
+        with pytest.raises(CheckpointMismatchError, match="total_documents"):
+            make_pool(pool_servers, "uniform").run(
+                120, checkpoint=PoolCheckpointer(directory)
+            )
+
+    def test_resume_rejects_different_scheduler(self, tmp_path, pool_servers):
+        directory = tmp_path / "ckpt"
+        make_pool(pool_servers, "uniform").run(90, checkpoint=PoolCheckpointer(directory))
+        with pytest.raises(CheckpointMismatchError, match="scheduler"):
+            make_pool(pool_servers, "round_robin").run(
+                90, checkpoint=PoolCheckpointer(directory)
+            )
+
+    def test_resume_rejects_different_databases(self, tmp_path, pool_servers):
+        directory = tmp_path / "ckpt"
+        make_pool(pool_servers, "uniform").run(90, checkpoint=PoolCheckpointer(directory))
+        subset = dict(list(pool_servers.items())[:2])
+        with pytest.raises(CheckpointMismatchError, match="databases"):
+            make_pool(subset, "uniform").run(90, checkpoint=PoolCheckpointer(directory))

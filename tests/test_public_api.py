@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.serving",
     "repro.sizeest",
     "repro.starts",
+    "repro.store",
     "repro.summarize",
     "repro.synth",
     "repro.text",

@@ -139,6 +139,38 @@ class TestLruCache:
         assert recorder.metrics.counter("test.miss").value == 1
         assert recorder.metrics.counter("test.hit").value == 1
 
+    def test_concurrent_hammer(self):
+        """8 threads × 400 mixed operations against a 32-entry cache.
+
+        The cache sits behind the frontend's thread-pool fan-out, so
+        every operation (including the OrderedDict recency moves, which
+        are not atomic) must hold up under contention: no lost entries,
+        no corrupted counters, no exceptions.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache: LruCache[int, int] = LruCache(32)
+        threads, rounds = 8, 400
+
+        def worker(thread_id: int) -> None:
+            for i in range(rounds):
+                key = (thread_id * 131 + i) % 100
+                cache.put(key, key)
+                value = cache.get(key)
+                assert value is None or value == key
+                if i % 7 == 0:
+                    len(cache)
+                    key in cache
+                if i % 97 == 0:
+                    cache.clear()
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            for future in [pool.submit(worker, t) for t in range(threads)]:
+                future.result()  # re-raises any worker assertion/corruption
+
+        assert len(cache) <= 32
+        assert cache.hits + cache.misses == threads * rounds
+
 
 class TestFrontendSelection:
     def test_matches_scalar_service_select(self, service, queries):
@@ -378,6 +410,38 @@ class TestConcurrentFanout:
         frontend.search(SearchRequest(query=queries[0]))
         frontend.close()
         frontend.close()
+
+
+class TestFromStore:
+    def test_warm_start_matches_in_memory_service(
+        self, servers, models, service, queries, tmp_path
+    ):
+        service.save_models(tmp_path / "store")
+
+        cold = FederatedSearchService(servers, databases_per_query=2)
+        with FederationFrontend.from_store(cold, tmp_path / "store") as warm:
+            # The scorer is compiled eagerly at the warm-started epoch.
+            assert warm.compiled_epoch == cold.model_epoch > 0
+            with FederationFrontend(service) as reference:
+                for query in queries:
+                    request = SearchRequest(query=query, n=5)
+                    warm_response = warm.search(request)
+                    reference_response = reference.search(request)
+                    assert (
+                        warm_response.ranking.entries
+                        == reference_response.ranking.entries
+                    )
+                    assert warm_response.results == reference_response.results
+
+    def test_warm_start_requires_complete_store(self, servers, models, tmp_path):
+        some_name = next(iter(servers))
+        partial = {some_name: models[some_name]}
+        from repro.store import ModelStore
+
+        ModelStore(tmp_path / "store").save(partial)
+        cold = FederatedSearchService(servers, databases_per_query=2)
+        with pytest.raises(ValueError, match="missing models"):
+            FederationFrontend.from_store(cold, tmp_path / "store")
 
 
 class TestServeBench:
