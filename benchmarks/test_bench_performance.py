@@ -23,8 +23,15 @@ import pytest
 
 from benchmarks.baselines import measure_run_baseline
 from repro.experiments.runner import measure_run, measure_run_full, run_sampling
-from repro.index import DatabaseServer, InvertedIndex, SearchEngine
-from repro.lm import ctf_ratio, spearman_rank_correlation
+from repro.index import (
+    DatabaseServer,
+    InvertedIndex,
+    SearchEngine,
+    add_documents_scalar,
+    build_index_scalar,
+    search_scalar,
+)
+from repro.lm import LanguageModel, ctf_ratio, spearman_rank_correlation
 from repro.obs import TraceRecorder
 from repro.sampling import MaxDocuments, QueryBasedSampler, RandomFromOther
 from repro.sampling.transport import SimulatedClock
@@ -93,6 +100,27 @@ def test_perf_index_build(benchmark, corpus, perf_recorder):
     perf_recorder.record_benchmark("index_build", benchmark)
 
 
+def test_perf_index_build_scalar_reference(benchmark, corpus, perf_recorder):
+    """The pre-array scalar build (:func:`build_index_scalar`).
+
+    Benchmarked so the derived ``index_build_array_vs_scalar`` ratio in
+    ``BENCH_perf.json`` documents what the CSR refactor bought on this
+    machine; the property tests in ``tests/test_array_equivalence.py``
+    guarantee the two builds produce bit-identical statistics.
+    """
+    stats = benchmark.pedantic(
+        lambda: build_index_scalar(corpus), rounds=3, iterations=1
+    )
+    assert len(stats.doc_lengths) == len(corpus)
+    perf_recorder.record_benchmark("index_build_scalar_reference", benchmark)
+    if "index_build" in perf_recorder.hot_paths:
+        perf_recorder.speedup(
+            "index_build_array_vs_scalar",
+            before="index_build_scalar_reference",
+            after="index_build",
+        )
+
+
 def test_perf_single_term_query(benchmark, server, frequent_terms, perf_recorder):
     engine = server.engine
 
@@ -119,6 +147,68 @@ def test_perf_multi_term_query(benchmark, server, frequent_terms, perf_recorder)
     hits = benchmark(query_round)
     assert hits > 0
     perf_recorder.record_benchmark("query_10_multi_term", benchmark)
+
+
+def test_perf_multi_term_query_scalar(benchmark, server, frequent_terms, perf_recorder):
+    """The pre-batching per-term search loop (:func:`search_scalar`).
+
+    Paired with ``query_10_multi_term`` to derive the
+    ``multi_term_query_batched_vs_scalar`` speedup; the equivalence
+    tests pin that both produce identical rankings.
+    """
+    index = server.index
+    scorer = server.engine.scorer
+    queries = [
+        " ".join(frequent_terms[i : i + 3]) for i in range(0, 30, 3)
+    ]
+
+    def query_round():
+        return sum(len(search_scalar(index, scorer, query, n=10)) for query in queries)
+
+    hits = benchmark(query_round)
+    assert hits > 0
+    perf_recorder.record_benchmark("query_10_multi_term_scalar", benchmark)
+    if "query_10_multi_term" in perf_recorder.hot_paths:
+        perf_recorder.speedup(
+            "multi_term_query_batched_vs_scalar",
+            before="query_10_multi_term_scalar",
+            after="query_10_multi_term",
+        )
+
+
+def test_perf_lm_ingest_batched(benchmark, corpus, perf_recorder):
+    analyzer = Analyzer.inquery_style()
+    documents = [analyzer.analyze(document.text) for document in corpus]
+
+    def ingest():
+        model = LanguageModel("bench")
+        model.add_documents(documents)
+        return model
+
+    model = benchmark(ingest)
+    assert model.documents_seen == len(corpus)
+    perf_recorder.record_benchmark("lm_ingest_600_docs_batched", benchmark)
+
+
+def test_perf_lm_ingest_scalar(benchmark, corpus, perf_recorder):
+    """One-document-at-a-time ingestion (:func:`add_documents_scalar`)."""
+    analyzer = Analyzer.inquery_style()
+    documents = [analyzer.analyze(document.text) for document in corpus]
+
+    def ingest():
+        model = LanguageModel("bench")
+        add_documents_scalar(model, documents)
+        return model
+
+    model = benchmark(ingest)
+    assert model.documents_seen == len(corpus)
+    perf_recorder.record_benchmark("lm_ingest_600_docs_scalar", benchmark)
+    if "lm_ingest_600_docs_batched" in perf_recorder.hot_paths:
+        perf_recorder.speedup(
+            "lm_ingest_batched_vs_scalar",
+            before="lm_ingest_600_docs_scalar",
+            after="lm_ingest_600_docs_batched",
+        )
 
 
 def test_perf_sampling_run(benchmark, server, perf_recorder):

@@ -1,10 +1,23 @@
-"""The inverted index.
+"""The inverted index, on contiguous array storage.
 
-Built in one pass over a corpus under a given analyzer.  Stores, per
-term, a frozen :class:`PostingList` (parallel arrays of document index
-and within-document term frequency) plus the aggregate statistics every
-other part of the system consumes: document frequency (df), collection
-term frequency (ctf), document lengths, and totals.
+Built in one pass over a corpus under a given analyzer.  Terms are
+interned into a dense integer vocabulary (string ↔ term-id, ids
+assigned in first-occurrence order), and postings live in CSR-style
+flat arrays: one document-index array, one parallel term-frequency
+array, and a per-term offsets array slicing both.  Document frequency
+(df), collection term frequency (ctf), and document lengths are dense
+vectors computed in the same pass, so every aggregate the rest of the
+system consumes is a single array lookup.
+
+:meth:`InvertedIndex.postings` still hands out a frozen
+:class:`PostingList` per term — a zero-copy view into the CSR arrays —
+so per-term consumers are unchanged; batch consumers (the search
+engine's multi-term scorer) read the flat arrays directly via
+:meth:`InvertedIndex.gather_postings`.
+
+The scalar dict-of-lists construction this replaced survives as
+:func:`repro.index.reference.build_index_scalar`, the equivalence
+reference the property tests compare against.
 
 The index is the database's *actual language model* in the paper's
 sense; :meth:`InvertedIndex.language_model` exports it as a
@@ -13,15 +26,79 @@ sense; :meth:`InvertedIndex.language_model` exports it as a
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable
+from itertools import chain
+from typing import Any, Iterable, Sequence
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
 from repro.corpus.collection import Corpus
 from repro.lm.model import LanguageModel
 from repro.text.analyzer import Analyzer
+from repro.text.tokenizer import Tokenizer
+
+#: Sentinel distinguishing "never analyzed" from a memoized ``None``.
+_UNSEEN: Any = object()
+
+#: Shared token → analyzed-term memos, one per analyzer *value*, with a
+#: companion token → -1 map of every token the analyzer drops.
+#: Normalization, stopping, and stemming depend only on the token and
+#: the analyzer configuration (a pure function), so the mapping is
+#: memoized across index builds — the same trade the global
+#: :func:`repro.text.stemmer.stem` cache already makes one level down.
+#: The dropped map is corpus-independent (a stopword never gets a term
+#: id anywhere), so fresh interners preseed from it wholesale.
+_SHARED_TERM_MEMOS: dict[Analyzer, tuple[dict[bytes, str | None], dict[bytes, int]]] = {}
+
+
+class _TermInterner(dict):
+    """Maps byte tokens to dense term ids while building one index.
+
+    A ``dict`` subclass whose ``__missing__`` analyzes a token on first
+    sight: consult the analyzer's shared token → term memo (filling it
+    on a miss), then assign the term the next dense id — so ids come
+    out in first-occurrence order, matching the scalar reference build.
+    Dropped tokens (stopped, too short, numeric) map to -1 and are
+    preseeded from the analyzer's shared dropped map.  Every repeat
+    occurrence is a single C-level dict probe inside ``np.fromiter``,
+    with no per-token python frames.
+    """
+
+    __slots__ = ("terms", "_shared", "_dropped", "_normalize", "_analyze_token")
+
+    def __init__(self, analyzer: Analyzer) -> None:
+        shared, dropped = _SHARED_TERM_MEMOS.setdefault(analyzer, ({}, {}))
+        super().__init__(dropped)
+        self.terms: dict[str, int] = {}
+        self._shared = shared
+        self._dropped = dropped
+        self._normalize = analyzer.tokenizer.normalize
+        self._analyze_token = analyzer.analyze_token
+
+    def __missing__(self, token: bytes) -> int:
+        shared = self._shared
+        term = shared.get(token, _UNSEEN)
+        if term is _UNSEEN:
+            # token_bytes already case-folded, so normalize's lowercase
+            # step is a no-op; its length/numeric filters still apply.
+            term = self._normalize(token.decode("ascii"))
+            if term is not None:
+                term = self._analyze_token(term)
+            shared[token] = term
+            if term is None:
+                self._dropped[token] = -1
+        if term is None:
+            term_id = -1
+        else:
+            terms = self.terms
+            maybe_id = terms.get(term)
+            if maybe_id is None:
+                terms[term] = term_id = len(terms)
+            else:
+                term_id = maybe_id
+        self[token] = term_id
+        return term_id
 
 
 @dataclass(frozen=True)
@@ -49,6 +126,40 @@ class PostingList:
         return int(self.doc_indices.size)
 
 
+def _read_only(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+#: Per-corpus memo of the tokenized byte stream, one entry per
+#: tokenizer configuration.  A :class:`Corpus` is append-only (``add``
+#: is its only mutator and rejects duplicate ids) and documents are
+#: frozen, so a document's token list never changes once computed; the
+#: memo extends incrementally when a corpus has grown.  Keyed weakly so
+#: the cache dies with the corpus.  This is what lets the same corpus
+#: be indexed repeatedly (servers, scalar-reference comparisons,
+#: experiment reruns) without re-tokenizing gigabytes of text.
+_TOKENIZED: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def _tokenized(corpus: Corpus, tokenizer: Tokenizer) -> list[list[bytes]]:
+    """The per-document token byte lists of ``corpus`` under ``tokenizer``.
+
+    Returns a shared memoized list — callers must not mutate it or the
+    lists inside.
+    """
+    per_corpus: dict[Tokenizer, list[list[bytes]]] = _TOKENIZED.setdefault(corpus, {})
+    lists = per_corpus.get(tokenizer)
+    if lists is None:
+        lists = per_corpus[tokenizer] = []
+    if len(lists) < len(corpus):
+        token_bytes = tokenizer.token_bytes
+        lists.extend(
+            token_bytes(corpus[i].text) for i in range(len(lists), len(corpus))
+        )
+    return lists
+
+
 class InvertedIndex:
     """Term → postings over a corpus, under one analyzer.
 
@@ -65,75 +176,194 @@ class InvertedIndex:
     def __init__(self, corpus: Corpus, analyzer: Analyzer | None = None) -> None:
         self.corpus = corpus
         self.analyzer = analyzer or Analyzer.inquery_style()
-        self._postings: dict[str, PostingList] = {}
-        self._df: dict[str, int] = {}
-        self._ctf: dict[str, int] = {}
-        self._doc_lengths = np.zeros(len(corpus), dtype=np.int64)
+        self._term_to_id: dict[str, int] = {}
+        self._id_to_term: list[str] = []
+        empty = np.empty(0, dtype=np.int64)
+        self._post_docs: np.ndarray = empty
+        self._post_tfs: np.ndarray = empty
+        self._offsets: np.ndarray = np.zeros(1, dtype=np.int64)
+        self._df: np.ndarray = empty
+        self._ctf: np.ndarray = empty
+        self._doc_lengths: np.ndarray = np.zeros(len(corpus), dtype=np.int64)
         self._build()
 
-    _MISS = object()
-
     def _build(self) -> None:
-        # Stopping and stemming depend only on the token, so the
-        # analyzer runs once per distinct raw token per build; every
-        # other occurrence is a single dict probe (None: stopword).
-        # The analyzed term stream — and with it every downstream
-        # ordering — is exactly what analyze() would produce.
-        token_to_term: dict[str, str | None] = {}
-        cache_get = token_to_term.get
-        miss = self._MISS
-        analyze_token = self.analyzer.analyze_token
-        iter_tokens = self.analyzer.tokenizer.iter_tokens
-        accumulator: dict[str, tuple[list[int], list[int]]] = {}
-        for doc_index, document in enumerate(self.corpus):
-            terms = []
-            for token in iter_tokens(document.text):
-                term = cache_get(token, miss)
-                if term is miss:
-                    term = token_to_term[token] = analyze_token(token)
-                if term is not None:
-                    terms.append(term)
-            self._doc_lengths[doc_index] = len(terms)
-            for term, tf in Counter(terms).items():
-                if term not in accumulator:
-                    accumulator[term] = ([], [])
-                docs, tfs = accumulator[term]
-                docs.append(doc_index)
-                tfs.append(tf)
-        for term, (docs, tfs) in accumulator.items():
-            self._postings[term] = PostingList(
-                doc_indices=np.asarray(docs, dtype=np.int64),
-                term_frequencies=np.asarray(tfs, dtype=np.int64),
+        # Phase 1 (python, unavoidable): intern the token stream.  Each
+        # document is tokenized by one C-level translate/split pass
+        # (:meth:`Tokenizer.token_bytes`), and the whole stream is
+        # mapped to dense term ids by one ``np.fromiter`` over a
+        # :class:`_TermInterner` — each *distinct* token is analyzed
+        # once (memoized across builds), every other occurrence is a
+        # C-level dict probe.  Term ids come out in first-occurrence
+        # order, keeping vocabulary iteration identical to the scalar
+        # reference build.
+        corpus = self.corpus
+        num_docs = len(corpus)
+        if num_docs == 0:
+            return
+        raw_lists = _tokenized(corpus, self.analyzer.tokenizer)
+        raw_lengths = np.fromiter(map(len, raw_lists), dtype=np.int64, count=num_docs)
+        interner = _TermInterner(self.analyzer)
+        # int32 is ample: term ids are bounded by the token count, and a
+        # corpus with 2**31 tokens does not fit this in-memory index.
+        token_ids = np.fromiter(
+            map(interner.__getitem__, chain.from_iterable(raw_lists)),
+            dtype=np.int32,
+            count=int(raw_lengths.sum()),
+        )
+        self._term_to_id = interner.terms
+        self._id_to_term = list(interner.terms)
+
+        # Phase 2 (numpy): all statistics in bulk.  The stream is
+        # document-major, so a *stable* sort by term id alone yields
+        # postings directly in CSR order — term-major, document
+        # ascending within each term — and run-length encoding the
+        # sorted (term, doc) keys aggregates per-posting frequencies.
+        token_docs = np.repeat(np.arange(num_docs, dtype=np.int32), raw_lengths)
+        kept = token_ids >= 0
+        token_ids = token_ids[kept]
+        token_docs = token_docs[kept]
+        vocabulary_size = len(self._id_to_term)
+        self._doc_lengths = np.bincount(token_docs, minlength=num_docs).astype(
+            np.int64, copy=False
+        )
+        self._ctf = _read_only(
+            np.bincount(token_ids, minlength=vocabulary_size).astype(np.int64, copy=False)
+        )
+        # numpy's stable sort is a radix sort for small integer dtypes;
+        # term ids are dense, so narrow when the vocabulary allows.
+        if vocabulary_size <= np.iinfo(np.int16).max:
+            order = np.argsort(token_ids.astype(np.int16), kind="stable")
+        else:
+            order = np.argsort(token_ids, kind="stable")
+        stream_terms = token_ids[order]
+        stream_docs = token_docs[order]
+        total = stream_terms.size
+        if total:
+            keys = stream_terms.astype(np.int64) * num_docs + stream_docs
+            boundary = np.empty(total, dtype=bool)
+            boundary[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+            starts = np.flatnonzero(boundary)
+            self._post_docs = _read_only(stream_docs[starts].astype(np.int64))
+            self._post_tfs = _read_only(np.diff(np.append(starts, total)))
+            self._df = _read_only(
+                np.bincount(stream_terms[starts], minlength=vocabulary_size).astype(
+                    np.int64, copy=False
+                )
             )
-            self._df[term] = len(docs)
-            self._ctf[term] = sum(tfs)
+        else:
+            self._df = _read_only(np.zeros(vocabulary_size, dtype=np.int64))
+        offsets = np.zeros(vocabulary_size + 1, dtype=np.int64)
+        np.cumsum(self._df, out=offsets[1:])
+        self._offsets = _read_only(offsets)
 
     # -- lookups --------------------------------------------------------------
 
     def postings(self, term: str) -> PostingList | None:
-        """Postings for ``term`` (as analyzed), or ``None`` if absent."""
-        return self._postings.get(term)
+        """Postings for ``term`` (as analyzed), or ``None`` if absent.
+
+        The returned arrays are zero-copy read-only views into the
+        index's flat CSR storage.
+        """
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            return None
+        start = self._offsets[term_id]
+        end = self._offsets[term_id + 1]
+        return PostingList(
+            doc_indices=self._post_docs[start:end],
+            term_frequencies=self._post_tfs[start:end],
+        )
 
     def df(self, term: str) -> int:
         """Document frequency of ``term`` (0 if absent; cached at build)."""
-        return self._df.get(term, 0)
+        term_id = self._term_to_id.get(term)
+        return 0 if term_id is None else int(self._df[term_id])
 
     def ctf(self, term: str) -> int:
         """Collection term frequency of ``term`` (0 if absent; cached at build)."""
-        return self._ctf.get(term, 0)
+        term_id = self._term_to_id.get(term)
+        return 0 if term_id is None else int(self._ctf[term_id])
+
+    def term_id(self, term: str) -> int:
+        """Dense id of an analyzed ``term``, or -1 if unindexed."""
+        term_id = self._term_to_id.get(term)
+        return -1 if term_id is None else term_id
+
+    def term_ids(self, terms: Sequence[str]) -> np.ndarray:
+        """Dense ids for the indexed members of ``terms`` (order kept).
+
+        Unindexed terms are dropped — exactly the terms that contribute
+        nothing to a query.
+        """
+        lookup = self._term_to_id.get
+        ids = [i for i in map(lookup, terms) if i is not None]
+        return np.asarray(ids, dtype=np.int64)
 
     def __contains__(self, term: str) -> bool:
-        return term in self._postings
+        return term in self._term_to_id
+
+    # -- flat-array access (batch consumers) -----------------------------------
+
+    @property
+    def postings_doc_indices(self) -> np.ndarray:
+        """Flat CSR document-index array (read-only)."""
+        return self._post_docs
+
+    @property
+    def postings_term_frequencies(self) -> np.ndarray:
+        """Flat CSR term-frequency array (read-only)."""
+        return self._post_tfs
+
+    @property
+    def postings_offsets(self) -> np.ndarray:
+        """Per-term ``[start, end)`` offsets into the flat arrays (read-only)."""
+        return self._offsets
+
+    @property
+    def document_frequencies(self) -> np.ndarray:
+        """df per term id (read-only)."""
+        return self._df
+
+    @property
+    def collection_frequencies(self) -> np.ndarray:
+        """ctf per term id (read-only)."""
+        return self._ctf
+
+    def gather_postings(
+        self, term_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated postings for ``term_ids``, in the given order.
+
+        Returns ``(doc_indices, term_frequencies, document_frequencies)``
+        — three parallel arrays, one element per (term, document)
+        posting, with each term's df broadcast across its postings.
+        This is the scatter-gather feeding batched multi-term scoring.
+        """
+        starts = self._offsets[term_ids]
+        counts = self._offsets[term_ids + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        out_starts = np.cumsum(counts) - counts
+        gather = np.repeat(starts - out_starts, counts) + np.arange(total, dtype=np.int64)
+        return (
+            self._post_docs[gather],
+            self._post_tfs[gather],
+            np.repeat(self._df[term_ids], counts),
+        )
 
     @property
     def vocabulary(self) -> Iterable[str]:
-        """All indexed terms (iteration order is arbitrary)."""
-        return self._postings.keys()
+        """All indexed terms, in term-id (first-occurrence) order."""
+        return self._term_to_id.keys()
 
     @property
     def vocabulary_size(self) -> int:
         """Number of distinct indexed terms."""
-        return len(self._postings)
+        return len(self._term_to_id)
 
     @property
     def num_documents(self) -> int:
@@ -161,9 +391,12 @@ class InvertedIndex:
 
     def language_model(self) -> LanguageModel:
         """Export the index as the database's *actual* language model."""
-        model = LanguageModel(name=f"{self.corpus.name}-actual")
-        for term in self._postings:
-            model.add_term(term, df=self._df[term], ctf=self._ctf[term])
+        model = LanguageModel.from_statistics(
+            name=f"{self.corpus.name}-actual",
+            terms=self._id_to_term,
+            dfs=self._df,
+            ctfs=self._ctf,
+        )
         model.documents_seen = self.num_documents
         model.tokens_seen = self.total_terms
         return model

@@ -1,0 +1,152 @@
+"""Scalar reference implementations of the array-backed hot paths.
+
+The array index core (:mod:`repro.index.inverted`), the batched
+multi-term scorer (:mod:`repro.index.search`), and batched language
+model ingestion (:meth:`repro.lm.model.LanguageModel.add_documents`)
+all replaced straightforward pure-python loops.  Following the
+``measure_run_full`` pattern from the experiment runner, those loops
+are kept here — readable, obviously-correct, and *slow* — as the
+ground truth the property tests and performance benchmarks compare
+against:
+
+* statistics (df, ctf, doc lengths, vocabulary) must match the array
+  build **bit-identically**;
+* scores and rankings must match the batched scorer to 1e-9 / exactly;
+* a model built by :func:`add_documents_scalar` must equal one built by
+  the batched ``add_documents``.
+
+Nothing in the serving or sampling path imports this module; it exists
+so every speedup stays falsifiable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.corpus.collection import Corpus
+from repro.index.inverted import InvertedIndex
+from repro.index.scoring import CollectionContext, Scorer
+from repro.index.search import SearchResult
+from repro.lm.model import LanguageModel
+from repro.text.analyzer import Analyzer
+
+__all__ = [
+    "ScalarIndexStatistics",
+    "add_documents_scalar",
+    "build_index_scalar",
+    "search_scalar",
+]
+
+
+@dataclass(frozen=True)
+class ScalarIndexStatistics:
+    """Everything the scalar one-pass build produces, in plain dicts."""
+
+    df: dict[str, int]
+    ctf: dict[str, int]
+    postings: dict[str, tuple[tuple[int, ...], tuple[int, ...]]]
+    doc_lengths: np.ndarray
+
+    @property
+    def vocabulary(self) -> list[str]:
+        """Terms in accumulation (first-occurrence) order."""
+        return list(self.postings)
+
+
+def build_index_scalar(
+    corpus: Corpus, analyzer: Analyzer | None = None
+) -> ScalarIndexStatistics:
+    """The pre-array index build: per-document Counter + dict-of-lists.
+
+    This is the loop :class:`~repro.index.inverted.InvertedIndex`
+    used before the CSR refactor, verbatim; term order (dict insertion
+    order) and per-term document order (ascending) are exactly what the
+    array build must reproduce.
+    """
+    analyzer = analyzer or Analyzer.inquery_style()
+    _MISS = object()
+    token_to_term: dict[str, str | None] = {}
+    cache_get = token_to_term.get
+    analyze_token = analyzer.analyze_token
+    iter_tokens = analyzer.tokenizer.iter_tokens
+    doc_lengths = np.zeros(len(corpus), dtype=np.int64)
+    accumulator: dict[str, tuple[list[int], list[int]]] = {}
+    for doc_index, document in enumerate(corpus):
+        terms = []
+        for token in iter_tokens(document.text):
+            term = cache_get(token, _MISS)
+            if term is _MISS:
+                term = token_to_term[token] = analyze_token(token)
+            if term is not None:
+                terms.append(term)
+        doc_lengths[doc_index] = len(terms)
+        for term, tf in Counter(terms).items():
+            if term not in accumulator:
+                accumulator[term] = ([], [])
+            docs, tfs = accumulator[term]
+            docs.append(doc_index)
+            tfs.append(tf)
+    return ScalarIndexStatistics(
+        df={term: len(docs) for term, (docs, _) in accumulator.items()},
+        ctf={term: sum(tfs) for term, (_, tfs) in accumulator.items()},
+        postings={
+            term: (tuple(docs), tuple(tfs)) for term, (docs, tfs) in accumulator.items()
+        },
+        doc_lengths=doc_lengths,
+    )
+
+
+def search_scalar(
+    index: InvertedIndex,
+    scorer: Scorer,
+    query: str,
+    n: int = 10,
+) -> list[SearchResult]:
+    """The pre-batching multi-term search: per-term scoring into a dict.
+
+    Implements the engine's pinned semantics (duplicate query terms
+    deduplicated, first occurrence kept) with the original scalar
+    accumulation loop: one ``score_term`` call per query term, python
+    dict scatter-add, full sort with ``(-score, doc_index)``
+    tie-breaking.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    context = CollectionContext(
+        num_documents=index.num_documents,
+        average_doc_length=index.average_doc_length,
+    )
+    terms = list(dict.fromkeys(index.analyzer.analyze(query)))
+    scores: dict[int, float] = {}
+    for term in terms:
+        posting = index.postings(term)
+        if posting is None:
+            continue
+        doc_lengths = index.doc_lengths[posting.doc_indices]
+        term_scores = scorer.score_term(
+            posting.term_frequencies.astype(np.float64),
+            doc_lengths.astype(np.float64),
+            posting.document_frequency,
+            context,
+        )
+        for doc_index, score in zip(posting.doc_indices, term_scores):
+            key = int(doc_index)
+            scores[key] = scores.get(key, 0.0) + float(score)
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:n]
+    doc_ids = index.corpus.doc_ids
+    return [
+        SearchResult(doc_id=doc_ids[doc_index], score=score, doc_index=doc_index)
+        for doc_index, score in ranked
+    ]
+
+
+def add_documents_scalar(
+    model: LanguageModel, documents: Iterable[Sequence[str]]
+) -> None:
+    """Fold documents one at a time — the batched ingestion's reference."""
+    for terms in documents:
+        model.add_document(terms)

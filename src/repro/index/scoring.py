@@ -7,6 +7,21 @@ multi-term machinery exists because the library's search engine is a
 general substrate (the query-expansion experiments issue multi-term
 queries).
 
+Each scorer implements two entry points:
+
+* :meth:`Scorer.score_term` — one query term's postings, with a scalar
+  document frequency (the single-term fast path); and
+* :meth:`Scorer.score_terms` — a *batch* of postings elements spanning
+  several query terms, with a per-element document-frequency array, so
+  the search engine can score an entire multi-term query in one
+  vectorised pass and scatter-add the results per document.
+
+All scorers return zeros for an empty collection
+(``num_documents == 0``): the idf normalisations divide by
+``log(num_documents + 1)``, which is 0 for an empty collection, and a
+scorer constructed against an empty database is legal public API — it
+must degrade to "nothing matches", not raise ``ZeroDivisionError``.
+
 * :class:`TfIdfScorer` — INQUERY/CORI-style tf.idf: a saturating,
   length-normalised tf component times a scaled idf.
 * :class:`Bm25Scorer` — Okapi BM25 with the usual k1/b parameters.
@@ -32,7 +47,7 @@ class CollectionContext:
 
 
 class Scorer(Protocol):
-    """Scores every document in one term's posting list."""
+    """Scores documents from posting-list arrays."""
 
     def score_term(
         self,
@@ -42,6 +57,20 @@ class Scorer(Protocol):
         context: CollectionContext,
     ) -> np.ndarray:
         """Return per-document scores for one query term."""
+        ...  # pragma: no cover - protocol
+
+    def score_terms(
+        self,
+        term_frequencies: np.ndarray,
+        doc_lengths: np.ndarray,
+        document_frequencies: np.ndarray,
+        context: CollectionContext,
+    ) -> np.ndarray:
+        """Return per-element scores for a multi-term postings batch.
+
+        ``document_frequencies`` carries each element's term's df, so
+        elements of different query terms can be scored in one pass.
+        """
         ...  # pragma: no cover - protocol
 
 
@@ -56,6 +85,24 @@ def _robertson_tf(
     )
 
 
+def _scaled_idf(document_frequency: int, num_documents: int) -> float:
+    """INQUERY's idf, scaled to [0, 1] by ``log(N + 1)`` and floored at 0."""
+    idf = math.log((num_documents + 0.5) / max(document_frequency, 1)) / math.log(
+        num_documents + 1.0
+    )
+    return max(idf, 0.0)
+
+
+def _scaled_idf_array(
+    document_frequencies: np.ndarray, num_documents: int
+) -> np.ndarray:
+    """Vectorised :func:`_scaled_idf` over a per-element df array."""
+    idf = np.log(
+        (num_documents + 0.5) / np.maximum(document_frequencies, 1.0)
+    ) / math.log(num_documents + 1.0)
+    return np.maximum(idf, 0.0)
+
+
 @dataclass(frozen=True)
 class TfIdfScorer:
     """Robertson tf times scaled idf."""
@@ -68,11 +115,23 @@ class TfIdfScorer:
         context: CollectionContext,
     ) -> np.ndarray:
         """Score one term's postings: Robertson tf x scaled idf."""
+        if context.num_documents == 0:
+            return np.zeros_like(term_frequencies, dtype=np.float64)
         tf = _robertson_tf(term_frequencies, doc_lengths, context.average_doc_length)
-        idf = math.log((context.num_documents + 0.5) / max(document_frequency, 1)) / math.log(
-            context.num_documents + 1.0
-        )
-        return tf * max(idf, 0.0)
+        return tf * _scaled_idf(document_frequency, context.num_documents)
+
+    def score_terms(
+        self,
+        term_frequencies: np.ndarray,
+        doc_lengths: np.ndarray,
+        document_frequencies: np.ndarray,
+        context: CollectionContext,
+    ) -> np.ndarray:
+        """Score a multi-term postings batch in one vectorised pass."""
+        if context.num_documents == 0:
+            return np.zeros_like(term_frequencies, dtype=np.float64)
+        tf = _robertson_tf(term_frequencies, doc_lengths, context.average_doc_length)
+        return tf * _scaled_idf_array(document_frequencies, context.num_documents)
 
 
 @dataclass(frozen=True)
@@ -94,12 +153,35 @@ class Bm25Scorer:
         context: CollectionContext,
     ) -> np.ndarray:
         """Score one term's postings with Okapi BM25."""
-        average = context.average_doc_length or 1.0
+        if context.num_documents == 0:
+            return np.zeros_like(term_frequencies, dtype=np.float64)
         idf = math.log(
             1.0
             + (context.num_documents - document_frequency + 0.5)
             / (document_frequency + 0.5)
         )
+        average = context.average_doc_length or 1.0
+        denominator = term_frequencies + self.k1 * (
+            1.0 - self.b + self.b * doc_lengths / average
+        )
+        return idf * term_frequencies * (self.k1 + 1.0) / denominator
+
+    def score_terms(
+        self,
+        term_frequencies: np.ndarray,
+        doc_lengths: np.ndarray,
+        document_frequencies: np.ndarray,
+        context: CollectionContext,
+    ) -> np.ndarray:
+        """Score a multi-term postings batch in one vectorised pass."""
+        if context.num_documents == 0:
+            return np.zeros_like(term_frequencies, dtype=np.float64)
+        idf = np.log(
+            1.0
+            + (context.num_documents - document_frequencies + 0.5)
+            / (document_frequencies + 0.5)
+        )
+        average = context.average_doc_length or 1.0
         denominator = term_frequencies + self.k1 * (
             1.0 - self.b + self.b * doc_lengths / average
         )
@@ -120,8 +202,22 @@ class InqueryScorer:
         context: CollectionContext,
     ) -> np.ndarray:
         """Score one term's postings with the INQUERY belief function."""
+        if context.num_documents == 0:
+            return np.zeros_like(term_frequencies, dtype=np.float64)
         tf = _robertson_tf(term_frequencies, doc_lengths, context.average_doc_length)
-        idf = math.log((context.num_documents + 0.5) / max(document_frequency, 1)) / math.log(
-            context.num_documents + 1.0
-        )
-        return self.default_belief + (1.0 - self.default_belief) * tf * max(idf, 0.0)
+        idf = _scaled_idf(document_frequency, context.num_documents)
+        return self.default_belief + (1.0 - self.default_belief) * tf * idf
+
+    def score_terms(
+        self,
+        term_frequencies: np.ndarray,
+        doc_lengths: np.ndarray,
+        document_frequencies: np.ndarray,
+        context: CollectionContext,
+    ) -> np.ndarray:
+        """Score a multi-term postings batch in one vectorised pass."""
+        if context.num_documents == 0:
+            return np.zeros_like(term_frequencies, dtype=np.float64)
+        tf = _robertson_tf(term_frequencies, doc_lengths, context.average_doc_length)
+        idf = _scaled_idf_array(document_frequencies, context.num_documents)
+        return self.default_belief + (1.0 - self.default_belief) * tf * idf

@@ -5,6 +5,24 @@
 ``run``), scores each query term's postings with the configured scorer,
 accumulates scores across terms, and returns the top-N documents with
 deterministic tie-breaking (score descending, then document order).
+
+**Duplicate query terms are deduplicated** (first occurrence kept): a
+query of ``"cat cat"`` scores identically to ``"cat"``.  This pins down
+semantics that were previously inconsistent — the multi-term path used
+to accumulate a repeated term's postings once per occurrence (silently
+doubling its contribution) while the single-term fast path scored it
+once.  Query-side tf weighting, if ever wanted, should be an explicit
+scorer feature, not an accident of tokenization.
+
+Multi-term scoring is batched: the engine gathers every query term's
+CSR postings rows in one scatter-gather
+(:meth:`~repro.index.inverted.InvertedIndex.gather_postings`), scores
+all elements in one vectorised :meth:`~repro.index.scoring.Scorer.score_terms`
+call, and accumulates per-document totals with a single weighted
+``bincount`` scatter-add.  Scorers that only implement the per-term
+``score_term`` surface (third-party scorers) fall back to the scalar
+accumulation loop, which also survives as
+:func:`repro.index.reference.search_scalar` for equivalence testing.
 """
 
 from __future__ import annotations
@@ -48,15 +66,45 @@ class SearchEngine:
         query terms that are stopwords (to the database) or unindexed
         simply contribute nothing — a query of only such terms returns
         no documents, exactly the "failed query" the paper's Table 3
-        counts.
+        counts.  Repeated query terms count once (see module docstring).
         """
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
         terms = self.index.analyzer.analyze(query)
         if not terms:
             return []
+        if len(terms) > 1:
+            terms = list(dict.fromkeys(terms))
         if len(terms) == 1:
             return self._search_single_term(terms[0], n)
+        score_terms = getattr(self.scorer, "score_terms", None)
+        if score_terms is None:
+            return self._search_multi_term_scalar(terms, n)
+        ids = self.index.term_ids(terms)
+        if ids.size == 0:
+            return []
+        docs, tfs, dfs = self.index.gather_postings(ids)
+        if docs.size == 0:
+            return []
+        doc_lengths = self.index.doc_lengths[docs]
+        element_scores = score_terms(
+            tfs.astype(np.float64),
+            doc_lengths.astype(np.float64),
+            dfs.astype(np.float64),
+            self._context,
+        )
+        # One scatter-add accumulates every (term, document) element.
+        # bincount adds in element order — term-major, documents
+        # ascending — the same addition order as the scalar per-term
+        # loop, so accumulated scores match it bit for bit.
+        num_documents = self.index.num_documents
+        totals = np.bincount(docs, weights=element_scores, minlength=num_documents)
+        matched = np.bincount(docs, minlength=num_documents)
+        candidates = np.flatnonzero(matched)
+        return self._top_n(candidates, totals[candidates], n)
+
+    def _search_multi_term_scalar(self, terms: list[str], n: int) -> list[SearchResult]:
+        """Per-term accumulation for scorers without a batched surface."""
         scores: dict[int, float] = {}
         for term in terms:
             posting = self.index.postings(term)
@@ -81,6 +129,26 @@ class SearchEngine:
             for doc_index, score in ranked
         ]
 
+    def _top_n(
+        self, doc_indices: np.ndarray, scores: np.ndarray, n: int
+    ) -> list[SearchResult]:
+        """Rank candidate documents: score descending, then document order."""
+        count = min(n, scores.size)
+        if count < scores.size:
+            candidates = np.argpartition(-scores, count - 1)[:count]
+        else:
+            candidates = np.arange(scores.size)
+        order = candidates[np.lexsort((doc_indices[candidates], -scores[candidates]))]
+        doc_ids = self._doc_ids
+        return [
+            SearchResult(
+                doc_id=doc_ids[int(doc_indices[i])],
+                score=float(scores[i]),
+                doc_index=int(doc_indices[i]),
+            )
+            for i in order
+        ]
+
     def _search_single_term(self, term: str, n: int) -> list[SearchResult]:
         """Vectorised fast path for the sampler's one-term queries."""
         posting = self.index.postings(term)
@@ -93,22 +161,7 @@ class SearchEngine:
             posting.document_frequency,
             self._context,
         )
-        count = min(n, scores.size)
-        if count < scores.size:
-            candidates = np.argpartition(-scores, count - 1)[:count]
-        else:
-            candidates = np.arange(scores.size)
-        # Deterministic order: score descending, then document order.
-        order = candidates[np.lexsort((posting.doc_indices[candidates], -scores[candidates]))]
-        doc_ids = self._doc_ids
-        return [
-            SearchResult(
-                doc_id=doc_ids[int(posting.doc_indices[i])],
-                score=float(scores[i]),
-                doc_index=int(posting.doc_indices[i]),
-            )
-            for i in order
-        ]
+        return self._top_n(posting.doc_indices, scores, n)
 
     def search_phrase(self, phrase: str, n: int = 10) -> list[SearchResult]:
         """Return the top ``n`` documents containing ``phrase`` adjacently.
@@ -141,20 +194,7 @@ class SearchEngine:
             posting.document_frequency,
             self._context,
         )
-        count = min(n, scores.size)
-        if count < scores.size:
-            candidates = np.argpartition(-scores, count - 1)[:count]
-        else:
-            candidates = np.arange(scores.size)
-        order = candidates[np.lexsort((posting.doc_indices[candidates], -scores[candidates]))]
-        return [
-            SearchResult(
-                doc_id=self._doc_ids[int(posting.doc_indices[i])],
-                score=float(scores[i]),
-                doc_index=int(posting.doc_indices[i]),
-            )
-            for i in order
-        ]
+        return self._top_n(posting.doc_indices, scores, n)
 
     def fetch(self, doc_id: str) -> Document:
         """Return the full document for ``doc_id``."""

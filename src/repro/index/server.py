@@ -19,7 +19,9 @@ examined, bytes transferred).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.corpus.collection import Corpus
 from repro.corpus.document import Document
@@ -118,11 +120,11 @@ class DatabaseServer:
         corpus: Corpus,
         analyzer: Analyzer | None = None,
         scorer: Scorer | None = None,
-        policy: ServerPolicy = ServerPolicy(),
+        policy: ServerPolicy | None = None,
         name: str | None = None,
     ) -> None:
         self.name = name or corpus.name
-        self.policy = policy
+        self.policy = policy or ServerPolicy()
         self.index = InvertedIndex(corpus, analyzer)
         self.engine = SearchEngine(self.index, scorer)
         self.costs = QueryCosts()
@@ -169,12 +171,11 @@ class DatabaseServer:
         self.costs.hit_count_queries += 1
         if not terms:
             return 0
-        matched: set[int] = set()
-        for term in terms:
-            posting = self.index.postings(term)
-            if posting is not None:
-                matched.update(posting.doc_indices.tolist())
-        return len(matched)
+        term_ids = self.index.term_ids(terms)
+        if term_ids.size == 0:
+            return 0
+        doc_indices, _, _ = self.index.gather_postings(np.unique(term_ids))
+        return int(np.unique(doc_indices).size)
 
     # -- ground truth (evaluation only) ----------------------------------------
 

@@ -29,9 +29,9 @@ from repro.lm.io import (
     loads_language_model,
     save_language_model,
 )
+from repro.lm.model import LanguageModel, TermStats
 from repro.lm.ngrams import bigram_model_from_documents, bigrams, split_bigram
 from repro.lm.shrinkage import shrink, shrink_all
-from repro.lm.model import LanguageModel, TermStats
 
 __all__ = [
     "LanguageModel",

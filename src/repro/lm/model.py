@@ -13,7 +13,10 @@ from __future__ import annotations
 import heapq
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from itertools import chain, islice
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.text.analyzer import Analyzer
 
@@ -57,6 +60,43 @@ class LanguageModel:
 
     # -- construction ---------------------------------------------------------
 
+    @classmethod
+    def from_statistics(
+        cls,
+        name: str,
+        terms: Sequence[str],
+        dfs: np.ndarray | Sequence[int],
+        ctfs: np.ndarray | Sequence[int],
+    ) -> "LanguageModel":
+        """Build a model from parallel term/df/ctf arrays in one shot.
+
+        The bulk equivalent of an :meth:`add_term` loop (validation
+        vectorized, dicts built by ``zip``), used by
+        :meth:`repro.index.InvertedIndex.language_model` to export an
+        index's statistics without touching each term individually.
+        ``documents_seen`` / ``tokens_seen`` are left at zero for the
+        caller to set.
+        """
+        df_array = np.asarray(dfs, dtype=np.int64)
+        ctf_array = np.asarray(ctfs, dtype=np.int64)
+        if not (len(terms) == df_array.size == ctf_array.size):
+            raise ValueError("terms, dfs, and ctfs must be parallel")
+        if (df_array < 0).any() or (ctf_array < 0).any():
+            raise ValueError("df and ctf must be non-negative")
+        if (df_array > ctf_array).any():
+            bad = int(np.argmax(df_array > ctf_array))
+            raise ValueError(
+                f"df ({int(df_array[bad])}) cannot exceed ctf "
+                f"({int(ctf_array[bad])}) for {terms[bad]!r}"
+            )
+        model = cls(name=name)
+        model._df = dict(zip(terms, df_array.tolist()))
+        model._ctf = dict(zip(terms, ctf_array.tolist()))
+        if len(model._df) != len(terms):
+            raise ValueError("terms must be distinct")
+        model._total_ctf = int(ctf_array.sum())
+        return model
+
     def add_term(self, term: str, df: int, ctf: int) -> None:
         """Accumulate statistics for one term."""
         if df < 0 or ctf < 0:
@@ -82,6 +122,44 @@ class LanguageModel:
         self._total_ctf += tokens
         self.documents_seen += 1
         self.tokens_seen += tokens
+
+    def add_documents(self, documents: Iterable[Sequence[str]]) -> None:
+        """Fold a batch of documents' term sequences into the model.
+
+        Statistically identical to calling :meth:`add_document` once
+        per member (each document contributes df 1 and ctf equal to its
+        occurrence count for every distinct term; empty documents still
+        count toward ``documents_seen``), but the counting is done in
+        bulk at C level: one ``Counter`` pass over the concatenated
+        stream yields every ctf increment, and one ``Counter`` pass
+        over the per-document distinct-term streams
+        (``dict.fromkeys`` per document) yields every df increment —
+        python-level work is one dict update per *distinct* term in the
+        batch rather than per (document, term) pair.  String counting
+        is hash-bound, so this C-level formulation beats both the
+        per-document loop and an ``np.unique``-based variant (string
+        arrays sort far slower than they hash).  The scalar loop
+        survives as :func:`repro.index.reference.add_documents_scalar`,
+        the equivalence reference.
+        """
+        doc_lists = [terms if isinstance(terms, list) else list(terms) for terms in documents]
+        num_docs = len(doc_lists)
+        if num_docs == 0:
+            return
+        ctf_added = Counter(chain.from_iterable(doc_lists))
+        if not ctf_added:
+            self.documents_seen += num_docs
+            return
+        df_added = Counter(chain.from_iterable(map(dict.fromkeys, doc_lists)))
+        df_get = self._df.get
+        ctf_get = self._ctf.get
+        for term, ctf in ctf_added.items():
+            self._df[term] = df_get(term, 0) + df_added[term]
+            self._ctf[term] = ctf_get(term, 0) + ctf
+        total = sum(map(len, doc_lists))
+        self._total_ctf += total
+        self.documents_seen += num_docs
+        self.tokens_seen += total
 
     def merge(self, other: "LanguageModel") -> "LanguageModel":
         """Return a new model combining this one with ``other``.
@@ -173,6 +251,19 @@ class LanguageModel:
         """The set of known terms (a fresh set; safe to mutate)."""
         return set(self._df)
 
+    def terms_since(self, start: int) -> list[str]:
+        """Terms added at insertion index ``start`` or later.
+
+        The vocabulary only grows, and dicts preserve insertion order,
+        so ``terms_since(k)`` is exactly the terms a caller that
+        previously saw ``len(model) == k`` has not yet seen.  Query-term
+        selectors use this to keep incremental eligibility caches
+        instead of rescanning the whole vocabulary every query.
+        """
+        if start <= 0:
+            return list(self._df)
+        return list(islice(self._df, start, None))
+
     @property
     def total_ctf(self) -> int:
         """Sum of ctf over the vocabulary (cached running total, O(1))."""
@@ -186,10 +277,13 @@ class LanguageModel:
         full O(V log V) sort — with the same ``(-score, term)`` key, so
         results are identical to sorting.
         """
+        # avg_tf mirrors TermStats.avg_tf's df=0 guard: add_term (and
+        # the lm.io loader) accept df=0 terms, which must rank at 0.0,
+        # not crash the ranking.
         keyed = {
             "df": lambda term: self._df[term],
             "ctf": lambda term: self._ctf[term],
-            "avg_tf": lambda term: self._ctf[term] / self._df[term],
+            "avg_tf": lambda term: (self._ctf[term] / self._df[term]) if self._df[term] else 0.0,
         }
         if key not in keyed:
             raise ValueError(f"key must be one of df/ctf/avg_tf, got {key!r}")

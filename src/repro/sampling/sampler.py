@@ -379,22 +379,40 @@ class QueryBasedSampler:
         marks the pending tail of a previous run, whose query is
         already in ``queries_run`` — snapshots then skip the in-flight
         +1 so stepped and one-shot runs report identical counts.
+
+        Model updates are folded in batches via
+        :meth:`~repro.lm.model.LanguageModel.add_documents`: documents
+        accumulate between snapshot/stop boundaries and are flushed
+        before any snapshot is copied and before returning, so
+        snapshots and results always see a fully up-to-date model.
+        (State *counters* are exact per document; only the live model's
+        term statistics lag by at most one sub-batch while this method
+        runs, which the built-in criteria — budget counters and
+        snapshot rdiff — never observe.)
         """
         state = self._state
+        analyze = self.analyzer.analyze
         new_documents = 0
+        batch: list[list[str]] = []
         for index, document in enumerate(documents):
             if self.config.unique_documents and document.doc_id in self._seen_doc_ids:
                 continue
             self._seen_doc_ids.add(document.doc_id)
             if self.config.keep_documents:
                 self._kept_documents.append(document)
-            self._model.add_document(self.analyzer.analyze(document.text))
+            batch.append(analyze(document.text))
             new_documents += 1
             state.documents_examined += 1
             if state.documents_examined >= self._next_snapshot:
+                self._model.add_documents(batch)
+                batch.clear()
                 self._take_snapshot(in_flight_query=not query_counted)
             if criterion.should_stop(state):
+                if batch:
+                    self._model.add_documents(batch)
                 return new_documents, True, list(documents[index + 1 :])
+        if batch:
+            self._model.add_documents(batch)
         return new_documents, False, []
 
     def _take_snapshot(self, in_flight_query: bool) -> None:

@@ -18,6 +18,7 @@ The strategies tested by the paper:
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -63,6 +64,42 @@ def _eligible_terms(
     )
 
 
+class _EligibilityCache:
+    """Incrementally tracked eligible vocabulary of one growing model.
+
+    A learned model's vocabulary only grows, and query-term eligibility
+    depends on nothing but the term itself, so re-filtering (and
+    re-sorting) the whole vocabulary on every query — the dominant cost
+    of a sampling run, by profile — is wasted work.  This cache screens
+    only the terms added since the previous call and maintains the
+    sorted eligible list by insertion, making selection O(new terms +
+    eligible) per query instead of O(V log V).  A different model
+    object (or a model that shrank, e.g. after a checkpoint restore)
+    resets the cache, so selectors stay reusable across runs.
+    """
+
+    def __init__(self, min_length: int) -> None:
+        self.min_length = min_length
+        self._model: LanguageModel | None = None
+        self._scanned = 0
+        self._eligible: list[str] = []
+
+    def eligible(self, learned: LanguageModel) -> list[str]:
+        """The sorted eligible terms of ``learned`` (shared list — do not mutate)."""
+        if learned is not self._model or len(learned) < self._scanned:
+            self._model = learned
+            self._scanned = 0
+            self._eligible = []
+        if len(learned) != self._scanned:
+            eligible = self._eligible
+            min_length = self.min_length
+            for term in learned.terms_since(self._scanned):
+                if is_eligible_query_term(term, min_length):
+                    insort(eligible, term)
+            self._scanned = len(learned)
+        return self._eligible
+
+
 class RandomFromLearned:
     """Uniform random choice from the learned model's vocabulary."""
 
@@ -70,12 +107,13 @@ class RandomFromLearned:
 
     def __init__(self, min_length: int = MIN_QUERY_TERM_LENGTH) -> None:
         self.min_length = min_length
+        self._cache = _EligibilityCache(min_length)
 
     def select(
         self, learned: LanguageModel, used: set[str], rng: np.random.Generator
     ) -> str | None:
         """Pick an unused eligible learned term uniformly at random."""
-        candidates = _eligible_terms(learned.vocabulary, used, self.min_length)
+        candidates = [term for term in self._cache.eligible(learned) if term not in used]
         if not candidates:
             return None
         return candidates[int(rng.integers(len(candidates)))]
@@ -94,6 +132,7 @@ class FrequencyFromLearned:
         self.metric = metric
         self.min_length = min_length
         self.name = f"{metric}_llm"
+        self._cache = _EligibilityCache(min_length)
 
     def select(
         self, learned: LanguageModel, used: set[str], rng: np.random.Generator
@@ -106,12 +145,14 @@ class FrequencyFromLearned:
         }[self.metric]
         best_term: str | None = None
         best_value = -1.0
-        for term in learned:
-            if term in used or not is_eligible_query_term(term, self.min_length):
+        # The eligible list is sorted, so "strictly greater wins" picks
+        # the alphabetically-first term among ties — the same
+        # deterministic winner the full vocabulary scan produced.
+        for term in self._cache.eligible(learned):
+            if term in used:
                 continue
             value = float(getter(term))
-            # Alphabetical tie-break keeps the run deterministic.
-            if value > best_value or (value == best_value and (best_term is None or term < best_term)):
+            if value > best_value:
                 best_term = term
                 best_value = value
         return best_term

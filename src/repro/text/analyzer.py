@@ -20,10 +20,14 @@ dropped so both models speak the same vocabulary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.text.stemmer import PorterStemmer, stem as _cached_stem
 from repro.text.stopwords import INQUERY_STOPWORDS
 from repro.text.tokenizer import Tokenizer
+
+#: Sentinel distinguishing "never analyzed" from a memoized ``None``.
+_UNSEEN: Any = object()
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,11 @@ class Analyzer:
     stem: bool = False
 
     _stemmer: PorterStemmer = field(default_factory=PorterStemmer, repr=False, compare=False)
+    # Memo of token -> analyzed term (None: stopped), shared across all
+    # analyze() calls on this instance.  Stopping and stemming depend
+    # only on the token, so entries never change once computed; a
+    # concurrent duplicate computation is benign (idempotent value).
+    _token_memo: dict[str, str | None] = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def inquery_style(cls) -> "Analyzer":
@@ -63,13 +72,21 @@ class Analyzer:
 
     def analyze(self, text: str) -> list[str]:
         """Return the index terms of ``text``."""
+        tokens = self.tokenizer.tokenize(text)
+        if not self.stopwords and not self.stem:
+            # The raw pipeline is the identity on tokens — the sampling
+            # client's hot path costs one findall, nothing per token.
+            return tokens
+        memo = self._token_memo
+        memo_get = memo.get
         terms = []
-        for token in self.tokenizer.iter_tokens(text):
-            if token in self.stopwords:
-                continue
-            if self.stem:
-                token = _cached_stem(token)
-            terms.append(token)
+        append = terms.append
+        for token in tokens:
+            term = memo_get(token, _UNSEEN)
+            if term is _UNSEEN:
+                term = memo[token] = self.analyze_token(token)
+            if term is not None:
+                append(term)
         return terms
 
     def analyze_token(self, token: str) -> str | None:

@@ -24,6 +24,26 @@ _TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+")
 _NUMERIC_PATTERN = re.compile(r"^[0-9]+$")
 
 
+def _byte_table(lowercase: bool) -> bytes:
+    """A 256-entry translate table isolating ``[A-Za-z0-9]+`` runs.
+
+    Every byte outside the ASCII alphanumerics maps to a space, so
+    ``bytes.translate(table).split()`` yields exactly the token runs of
+    :data:`_TOKEN_PATTERN`; with ``lowercase`` the table also folds
+    ``A-Z`` to ``a-z`` in the same pass.
+    """
+    table = bytearray(b" " * 256)
+    for code in range(128):
+        char = chr(code)
+        if char.isalnum():
+            table[code] = ord(char.lower()) if lowercase else code
+    return bytes(table)
+
+
+_FOLD_TABLE = _byte_table(lowercase=True)
+_PLAIN_TABLE = _byte_table(lowercase=False)
+
+
 def tokenize(text: str) -> list[str]:
     """Tokenize ``text`` with default settings (lowercase word/number runs)."""
     return Tokenizer().tokenize(text)
@@ -61,8 +81,65 @@ class Tokenizer:
             yield token
 
     def tokenize(self, text: str) -> list[str]:
-        """Return the list of tokens of ``text``."""
-        return list(self.iter_tokens(text))
+        """Return the list of tokens of ``text``.
+
+        Produces exactly the tokens of :meth:`iter_tokens`, but via a
+        single C-level ``findall`` plus bulk filters rather than a
+        per-token generator — the hot path for index construction and
+        document ingestion.
+        """
+        tokens = _TOKEN_PATTERN.findall(text)
+        if self.lowercase:
+            tokens = list(map(str.lower, tokens))
+        if self.min_length > 1:
+            min_length = self.min_length
+            tokens = [token for token in tokens if len(token) >= min_length]
+        if self.drop_numeric:
+            numeric = _NUMERIC_PATTERN.match
+            tokens = [token for token in tokens if not numeric(token)]
+        return tokens
+
+    def raw_tokens(self, text: str) -> list[str]:
+        """The unnormalized token runs of ``text`` (no case folding or filters).
+
+        Batch consumers (the index builder) pair this with
+        :meth:`normalize` so each *distinct* raw token is normalized
+        once instead of once per occurrence.
+        """
+        return _TOKEN_PATTERN.findall(text)
+
+    def token_bytes(self, text: str) -> list[bytes]:
+        """The token runs of ``text`` as ASCII byte strings, case-folded.
+
+        The bulk-ingestion counterpart of :meth:`raw_tokens`: one
+        ``encode`` / ``translate`` / ``split`` pipeline, all C-level,
+        instead of a regex scan.  Token boundaries are identical to
+        :data:`_TOKEN_PATTERN` — the translate table maps every
+        non-alphanumeric byte to a space, and non-ASCII characters
+        (token boundaries to the ASCII-only pattern) encode to ``"?"``,
+        also a boundary.  Case folding (when ``lowercase`` is set)
+        happens in the same table, so ``token.decode("ascii")`` on each
+        result equals the corresponding :meth:`raw_tokens` token after
+        the lowercase step of :meth:`normalize`.  Length and numeric
+        filters still apply downstream via :meth:`normalize`.
+        """
+        table = _FOLD_TABLE if self.lowercase else _PLAIN_TABLE
+        return text.encode("ascii", "replace").translate(table).split()
+
+    def normalize(self, token: str) -> str | None:
+        """Apply this tokenizer's per-token normalization and filters.
+
+        Exactly the per-token step of :meth:`iter_tokens` for a token
+        already produced by :meth:`raw_tokens`; ``None`` if the token is
+        filtered out (too short, or numeric under ``drop_numeric``).
+        """
+        if self.lowercase:
+            token = token.lower()
+        if len(token) < self.min_length:
+            return None
+        if self.drop_numeric and _NUMERIC_PATTERN.match(token):
+            return None
+        return token
 
     @staticmethod
     def is_numeric(token: str) -> bool:

@@ -145,6 +145,20 @@ class TestTopTerms:
     def test_k_larger_than_vocabulary(self, model):
         assert len(model.top_terms(100)) == 4
 
+    def test_avg_tf_with_zero_df_term(self, model):
+        # add_term accepts df=0 (e.g. a term loaded from a serialized
+        # model that only recorded collection frequency); ranking by
+        # avg_tf must treat it as 0.0, not raise ZeroDivisionError.
+        model.add_term("ghost", df=0, ctf=5)
+        ranked = model.top_terms(100, key="avg_tf")
+        assert ranked[0].term == "banana"
+        assert ranked[-1].term == "ghost"  # avg_tf 0.0 ranks below any real term
+
+    def test_avg_tf_accessor_with_zero_df_term(self, model):
+        model.add_term("ghost", df=0, ctf=5)
+        assert model.avg_tf("ghost") == 0.0
+        assert model.stats("ghost").avg_tf == 0.0
+
 
 class TestCachedTotalCtf:
     """total_ctf is a running total every mutator must maintain."""

@@ -63,6 +63,26 @@ class TestAllScorers:
         assert np.all(np.isfinite(scores))
         assert np.all(scores >= 0)
 
+    def test_empty_collection_scores_zero(self, scorer):
+        # A scorer built against an empty database must degrade to
+        # "nothing matches", not raise ZeroDivisionError from the
+        # log(N + 1) idf normalisation.
+        empty = CollectionContext(num_documents=0, average_doc_length=0.0)
+        scores = _score(scorer, [1, 5], [100, 100], df=3, context=empty)
+        assert scores.dtype == np.float64
+        assert np.array_equal(scores, np.zeros(2))
+
+    def test_empty_collection_scores_zero_batched(self, scorer):
+        empty = CollectionContext(num_documents=0, average_doc_length=0.0)
+        scores = scorer.score_terms(
+            np.array([1.0, 5.0, 2.0]),
+            np.array([100.0, 100.0, 50.0]),
+            np.array([3.0, 3.0, 1.0]),
+            empty,
+        )
+        assert scores.dtype == np.float64
+        assert np.array_equal(scores, np.zeros(3))
+
 
 class TestInquerySpecifics:
     def test_default_belief_floor(self):
