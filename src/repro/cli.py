@@ -13,6 +13,8 @@ Exposes the library's main workflows as ``repro <subcommand>``:
     repro estimate-size corpus.jsonl --method sample_resample
     repro federate a.jsonl b.jsonl c.jsonl --query "market court" -n 5
     repro serve-bench --synthetic 4 --scale 0.05 --budget 0.5
+    repro serve     --synthetic 4 --port 8642
+    repro load-bench --synthetic 4 --qps 20 40 80 -o BENCH_serving_load.json
     repro experiments --only fig1 fig3 --scale 0.1 --workers 4
     repro trace run.trace.jsonl
     repro store models-dir --verify
@@ -276,6 +278,109 @@ def _add_serve_bench(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_federation_source(parser, default_synthetic: int = 4) -> None:
+    """Shared corpora-or-synthetic federation options (serve, load-bench)."""
+    parser.add_argument(
+        "corpora",
+        nargs="*",
+        help="corpus JSONL paths (omit to use a synthetic federation)",
+    )
+    parser.add_argument(
+        "--synthetic",
+        type=int,
+        default=default_synthetic,
+        metavar="K",
+        help="number of synthetic databases when no corpora are given",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05, help="synthetic corpus scale factor"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--databases-per-query", type=int, default=3, help="selection depth per query"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8, help="frontend fan-out thread-pool bound"
+    )
+    parser.add_argument(
+        "--slow-backend",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="inject this retrieval latency into one backend (streaming demo: "
+        "partial frames flush while the slow backend is still working)",
+    )
+
+
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the federated-search gateway as a network service",
+    )
+    _add_federation_source(parser)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission queue capacity; requests beyond it are shed",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=8, help="requests executed at once"
+    )
+
+
+def _add_load_bench(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "load-bench",
+        help="open-loop QPS sweep against the gateway -> BENCH_serving_load.json",
+    )
+    _add_federation_source(parser)
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="target a running `repro serve` gateway (default: self-host in-process)",
+    )
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument(
+        "--qps",
+        nargs="+",
+        type=float,
+        default=(10.0, 20.0, 40.0, 80.0),
+        help="offered-QPS ladder, one open-loop level per rate",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2.0, help="seconds per level"
+    )
+    parser.add_argument(
+        "--pool", type=int, default=4, help="pooled client connections"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=12, help="distinct bench queries to cycle"
+    )
+    parser.add_argument("-n", type=int, default=10, help="merged results per query")
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request total deadline in seconds (propagated to backends)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=64, help="self-hosted gateway queue capacity"
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=8, help="self-hosted gateway workers"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_serving_load.json",
+        help="where the machine-readable report lands",
+    )
+
+
 def _add_experiments(subparsers) -> None:
     parser = subparsers.add_parser(
         "experiments",
@@ -337,6 +442,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_federate(subparsers)
     _add_store(subparsers)
     _add_serve_bench(subparsers)
+    _add_serve(subparsers)
+    _add_load_bench(subparsers)
     _add_experiments(subparsers)
     _add_trace(subparsers)
     return parser
@@ -633,14 +740,37 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _federation_servers(
+    corpora: Sequence[str], synthetic: int, scale: float, seed: int
+) -> dict[str, DatabaseServer]:
+    """Database servers from corpus files or a synthetic federation.
+
+    Raises :class:`ValueError` with a user-facing message on a bad
+    federation spec (the subcommands print it and exit 2).
+    """
+    from repro.serving.bench import build_synthetic_federation
+
+    if corpora:
+        if len(corpora) < 2:
+            raise ValueError("a federation needs at least two corpora")
+        servers: dict[str, DatabaseServer] = {}
+        for path in corpora:
+            corpus = read_jsonl(path)
+            if corpus.name in servers:
+                raise ValueError(f"duplicate corpus name {corpus.name!r}")
+            servers[corpus.name] = DatabaseServer(corpus)
+        return servers
+    if synthetic < 2:
+        raise ValueError("--synthetic must be >= 2")
+    return build_synthetic_federation(
+        num_databases=synthetic, scale=scale, seed=seed
+    )
+
+
 def _cmd_serve_bench(args) -> int:
     # Imported lazily: serving pulls in the synthetic/testbed machinery
     # only this subcommand needs.
-    from repro.serving.bench import (
-        build_synthetic_federation,
-        format_serve_bench,
-        run_serve_bench,
-    )
+    from repro.serving.bench import format_serve_bench, run_serve_bench
 
     if args.budget <= 0:
         print("--budget must be positive", file=sys.stderr)
@@ -648,33 +778,178 @@ def _cmd_serve_bench(args) -> int:
     if args.backend_latency < 0:
         print("--backend-latency must be non-negative", file=sys.stderr)
         return 2
-    if args.corpora:
-        if len(args.corpora) < 2:
-            print("serve-bench needs at least two corpora", file=sys.stderr)
-            return 2
-        servers = {}
-        for path in args.corpora:
-            corpus = read_jsonl(path)
-            if corpus.name in servers:
-                print(f"duplicate corpus name {corpus.name!r}", file=sys.stderr)
-                return 2
-            servers[corpus.name] = DatabaseServer(corpus)
-    else:
-        if args.synthetic < 2:
-            print("--synthetic must be >= 2", file=sys.stderr)
-            return 2
-        servers = build_synthetic_federation(
-            num_databases=args.synthetic, scale=args.scale, seed=args.seed
+    try:
+        servers = _federation_servers(
+            args.corpora, args.synthetic, args.scale, args.seed
         )
-    report = run_serve_bench(
-        servers,
-        num_queries=args.queries,
-        budget=args.budget,
-        workers=args.workers,
-        backend_latency=args.backend_latency,
-        databases_per_query=args.databases_per_query,
-    )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        report = run_serve_bench(
+            servers,
+            num_queries=args.queries,
+            budget=args.budget,
+            workers=args.workers,
+            backend_latency=args.backend_latency,
+            databases_per_query=args.databases_per_query,
+        )
+    except TypeError as exc:
+        # E.g. a federation of databases without evaluable ground-truth
+        # models: a configuration error, not a crash.
+        print(f"serve-bench cannot run on this federation: {exc}", file=sys.stderr)
+        return 2
     print(format_serve_bench(report))
+    return 0
+
+
+def _gateway_frontend(args):
+    """Build the serving frontend a gateway subcommand asked for.
+
+    Returns ``(frontend, num_databases)``; raises :class:`ValueError`
+    with a user-facing message on a bad spec.
+    """
+    from repro.gateway import frontend_from_servers
+    from repro.serving.bench import LatencyInjected
+
+    servers = _federation_servers(args.corpora, args.synthetic, args.scale, args.seed)
+    if args.slow_backend < 0:
+        raise ValueError("--slow-backend must be non-negative")
+    models = None
+    if args.slow_backend > 0:
+        # Models come from the unwrapped servers; the injected latency
+        # slows retrieval only, so streaming has a straggler to beat.
+        models = {
+            name: server.actual_language_model() for name, server in servers.items()
+        }
+        slowest = sorted(servers)[0]
+        servers = {
+            name: (
+                LatencyInjected(server, args.slow_backend)
+                if name == slowest
+                else server
+            )
+            for name, server in servers.items()
+        }
+    try:
+        frontend = frontend_from_servers(
+            servers,
+            models=models,
+            databases_per_query=args.databases_per_query,
+            workers=args.workers,
+        )
+    except TypeError as exc:
+        raise ValueError(f"cannot serve this federation: {exc}") from exc
+    return frontend, len(servers)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.gateway import GatewayServer
+
+    try:
+        frontend, num_databases = _gateway_frontend(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.queue_limit <= 0 or args.concurrency <= 0:
+        print("--queue-limit and --concurrency must be positive", file=sys.stderr)
+        return 2
+    server = GatewayServer(
+        frontend,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        concurrency=args.concurrency,
+    )
+
+    async def run() -> None:
+        async with server:
+            print(
+                f"gateway listening on {server.host}:{server.port} "
+                f"({num_databases} databases, queue limit {server.queue_limit}, "
+                f"concurrency {server.concurrency})",
+                flush=True,
+            )
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except NotImplementedError:  # pragma: no cover - non-unix
+                    pass
+            await stop.wait()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    finally:
+        frontend.close()
+    stats = server.stats
+    print(
+        f"gateway stopped: {stats.completed} served, {stats.shed} shed, "
+        f"{stats.errors} errors, {stats.streamed_partials} streamed partials, "
+        f"max queue depth {stats.max_queue_depth}"
+    )
+    return 0
+
+
+def _cmd_load_bench(args) -> int:
+    from repro.gateway import format_load_bench, run_load_bench, write_load_bench
+    from repro.gateway.client import GatewayError
+    from repro.serving.bench import queries_from_models
+
+    if args.duration <= 0:
+        print("--duration must be positive", file=sys.stderr)
+        return 2
+    if any(qps <= 0 for qps in args.qps):
+        print("--qps rates must be positive", file=sys.stderr)
+        return 2
+    try:
+        frontend, _ = _gateway_frontend(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        queries = queries_from_models(frontend.service.models, args.queries)
+        if args.host is not None:
+            # Remote mode: the local federation only supplied the
+            # query vocabulary; the sweep hits the running gateway.
+            frontend.close()
+            report = run_load_bench(
+                address=(args.host, args.port),
+                queries=queries,
+                qps_levels=args.qps,
+                duration=args.duration,
+                pool_size=args.pool,
+                n=args.n,
+                deadline=args.deadline,
+                seed=args.seed,
+            )
+        else:
+            report = run_load_bench(
+                frontend=frontend,
+                queries=queries,
+                qps_levels=args.qps,
+                duration=args.duration,
+                pool_size=args.pool,
+                n=args.n,
+                deadline=args.deadline,
+                queue_limit=args.queue_limit,
+                concurrency=args.concurrency,
+                seed=args.seed,
+            )
+    except GatewayError as exc:
+        print(f"load-bench failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        frontend.close()
+    print(format_load_bench(report))
+    write_load_bench(report, args.output)
+    print(f"\nwrote {args.output}")
     return 0
 
 
@@ -761,6 +1036,8 @@ _COMMANDS = {
     "federate": _cmd_federate,
     "store": _cmd_store,
     "serve-bench": _cmd_serve_bench,
+    "serve": _cmd_serve,
+    "load-bench": _cmd_load_bench,
     "experiments": _cmd_experiments,
     "trace": _cmd_trace,
 }

@@ -32,13 +32,14 @@ from repro.serving.bench import (
     run_serve_bench,
 )
 from repro.serving.cache import LruCache
-from repro.serving.frontend import FederationFrontend
+from repro.serving.frontend import FederationFrontend, PartialUpdate
 
 __all__ = [
     "FederatedResponse",
     "FederationFrontend",
     "LatencyInjected",
     "LruCache",
+    "PartialUpdate",
     "SearchRequest",
     "ServeBenchReport",
     "build_synthetic_federation",

@@ -27,6 +27,7 @@ from repro.index.server import DatabaseServer
 from repro.lm.model import LanguageModel
 from repro.serving.frontend import FederationFrontend
 from repro.synth.profiles import PROFILES_BY_NAME
+from repro.utils.stats import latency_summary
 
 __all__ = [
     "LatencyInjected",
@@ -111,18 +112,26 @@ def queries_from_models(
     ]
 
 
-def _throughput(operation: Callable[[], object], budget: float) -> tuple[float, int]:
-    """(seconds per op, ops) of ``operation`` within a time budget."""
+def _throughput(
+    operation: Callable[[], object], budget: float
+) -> tuple[float, int, Mapping[str, float]]:
+    """(seconds per op, ops, latency summary) within a time budget.
+
+    Every operation is timed individually so the summary carries the
+    tail (p95/p99), not just the mean that ops/sec alone would give.
+    """
     operation()  # warm-up, uncounted
-    count = 0
+    samples: list[float] = []
     started = time.perf_counter()
     while True:
+        before = time.perf_counter()
         operation()
-        count += 1
-        elapsed = time.perf_counter() - started
-        if elapsed >= budget:
+        now = time.perf_counter()
+        samples.append(now - before)
+        if now - started >= budget:
             break
-    return elapsed / count, count
+    elapsed = now - started
+    return elapsed / len(samples), len(samples), latency_summary(samples)
 
 
 @dataclass(frozen=True)
@@ -136,6 +145,8 @@ class ServeBenchReport:
     modes: Mapping[str, tuple[float, int]]
     #: label → before/after ratio
     speedups: Mapping[str, float]
+    #: mode → per-op latency summary in seconds (count/mean/min/max/p50/p95/p99)
+    latency: Mapping[str, Mapping[str, float]]
 
 
 def run_serve_bench(
@@ -169,6 +180,12 @@ def run_serve_bench(
     service.use_models(models)
 
     modes: dict[str, tuple[float, int]] = {}
+    latency: dict[str, Mapping[str, float]] = {}
+
+    def measure(mode: str, operation: Callable[[], object]) -> None:
+        seconds, ops, summary = _throughput(operation, budget)
+        modes[mode] = (seconds, ops)
+        latency[mode] = summary
 
     def cycle(run_one: Callable[[str], object]) -> Callable[[], object]:
         state = {"i": 0}
@@ -181,7 +198,7 @@ def run_serve_bench(
         return step
 
     # Selection: scalar reference vs compiled scorer vs caches.
-    modes["select_scalar"] = _throughput(cycle(service.select), budget)
+    measure("select_scalar", cycle(service.select))
     with FederationFrontend(service, max_workers=workers) as frontend:
         frontend.select(queries[0])  # compile outside the timed region
 
@@ -190,9 +207,10 @@ def run_serve_bench(
             frontend.selections.clear()
             return frontend.select(query)
 
-        modes["select_vectorized"] = _throughput(cycle(cold_select), budget)
+        measure("select_vectorized", cycle(cold_select))
         modes["select_cold_cache"] = modes["select_vectorized"]
-        modes["select_warm_cache"] = _throughput(cycle(frontend.select), budget)
+        latency["select_cold_cache"] = latency["select_vectorized"]
+        measure("select_warm_cache", cycle(frontend.select))
 
     # End-to-end retrieval: serial service loop vs concurrent fan-out,
     # optionally against latency-injected backends.
@@ -204,12 +222,14 @@ def run_serve_bench(
         }
     fanout_service = FederatedSearchService(fanout_servers, databases_per_query=depth)
     fanout_service.use_models(models)
-    modes["search_serial"] = _throughput(
-        cycle(lambda query: fanout_service.search(SearchRequest(query=query))), budget
+    measure(
+        "search_serial",
+        cycle(lambda query: fanout_service.search(SearchRequest(query=query))),
     )
     with FederationFrontend(fanout_service, max_workers=workers) as frontend:
-        modes["search_concurrent"] = _throughput(
-            cycle(lambda query: frontend.search(SearchRequest(query=query))), budget
+        measure(
+            "search_concurrent",
+            cycle(lambda query: frontend.search(SearchRequest(query=query))),
         )
 
     speedups = {
@@ -226,6 +246,7 @@ def run_serve_bench(
         backend_latency=backend_latency,
         modes=modes,
         speedups=speedups,
+        latency=latency,
     )
 
 
@@ -233,15 +254,20 @@ def format_serve_bench(report: ServeBenchReport) -> str:
     """Human-readable serve-bench tables (CLI output)."""
     from repro.experiments.reporting import format_table
 
-    mode_rows = [
-        {
-            "mode": mode,
-            "ops_per_sec": round(1.0 / seconds, 1) if seconds > 0 else float("inf"),
-            "ms_per_op": round(seconds * 1000.0, 4),
-            "ops": ops,
-        }
-        for mode, (seconds, ops) in report.modes.items()
-    ]
+    mode_rows = []
+    for mode, (seconds, ops) in report.modes.items():
+        summary = report.latency.get(mode, {})
+        mode_rows.append(
+            {
+                "mode": mode,
+                "ops_per_sec": round(1.0 / seconds, 1) if seconds > 0 else float("inf"),
+                "ms_per_op": round(seconds * 1000.0, 4),
+                "p50_ms": round(summary.get("p50", 0.0) * 1000.0, 4),
+                "p95_ms": round(summary.get("p95", 0.0) * 1000.0, 4),
+                "p99_ms": round(summary.get("p99", 0.0) * 1000.0, 4),
+                "ops": ops,
+            }
+        )
     speedup_rows = [
         {"speedup": label, "x": round(value, 2)}
         for label, value in report.speedups.items()

@@ -33,12 +33,20 @@ counters, a ``backend_search`` latency timer per backend, and
 from __future__ import annotations
 
 import time
-from concurrent.futures import Future, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    ALL_COMPLETED,
+    FIRST_COMPLETED,
+    Future,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.dbselect.base import DatabaseRanking, analyze_query
 from repro.dbselect.cori import CoriSelector
+from repro.dbselect.merge import MergedResult
 from repro.dbselect.vectorized import CoriScorer
 from repro.federation.service import (
     FederatedResponse,
@@ -51,10 +59,30 @@ from repro.sampling.transport import ServerError
 from repro.serving.cache import LruCache
 from repro.store.model_store import ModelStore
 
-__all__ = ["FederationFrontend"]
+__all__ = ["FederationFrontend", "PartialUpdate"]
 
 #: One backend retrieval's outcome: (results, elapsed seconds, error name).
 _BackendOutcome = tuple[list[SearchResult] | None, float, str | None]
+
+
+@dataclass(frozen=True)
+class PartialUpdate:
+    """An early merged result set, flushed before slow backends finish.
+
+    Produced by :meth:`FederationFrontend.search_incremental` every
+    time one or more backends complete while others are still pending:
+    ``results`` is the merge over every backend answered *so far*,
+    ``searched`` those backends, and ``pending`` the ones still
+    outstanding (each of which will either make the final response or
+    land in its ``dropped``).  ``sequence`` counts partials within one
+    request, starting at 1.
+    """
+
+    query: str
+    sequence: int
+    results: tuple[MergedResult, ...]
+    searched: tuple[str, ...]
+    pending: tuple[str, ...]
 
 
 class FederationFrontend:
@@ -260,6 +288,29 @@ class FederationFrontend:
         a :class:`~repro.sampling.transport.ServerError`) is dropped
         from the merge and listed in ``response.dropped``.
         """
+        return self.search_incremental(request)
+
+    def search_incremental(
+        self,
+        request: SearchRequest,
+        on_partial: Callable[[PartialUpdate], None] | None = None,
+    ) -> FederatedResponse:
+        """Answer ``request``, flushing early merges as backends complete.
+
+        Identical to :meth:`search` — same fan-out, same deadline
+        semantics, same final response — except that when
+        ``on_partial`` is given it is called with a
+        :class:`PartialUpdate` every time one or more backends complete
+        while others are still outstanding: the first merged hits reach
+        the caller as soon as the *fastest* backends answer, instead of
+        waiting out the slowest (or the deadline).  The network gateway
+        (:mod:`repro.gateway`) turns these into streamed partial
+        frames.
+
+        ``on_partial`` runs on the calling thread, between fan-out
+        waits; a slow callback delays later partials but never the
+        backends themselves.
+        """
         recorder = self.recorder
         with recorder.span("frontend_search", query=request.query) as span:
             ranking = self.select(request.query)
@@ -273,22 +324,56 @@ class FederationFrontend:
                 self._pool().submit(self._search_backend, name, request): name
                 for name in selected
             }
-            done, pending = wait(futures, timeout=request.deadline)
+            started = time.perf_counter()
+            pending = set(futures)
             per_database: dict[str, list[SearchResult]] = {}
             timings: dict[str, float] = {}
             failures: dict[str, str] = {}
-            for future in done:
-                name = futures[future]
-                results, elapsed, error = future.result()
-                timings[name] = elapsed
-                recorder.observe("backend_search", elapsed)
-                if error is not None or results is None:
-                    failures[name] = error or "unknown"
-                    recorder.event(
-                        "backend_dropped", database=name, reason=error or "unknown"
+            sequence = 0
+            while pending:
+                remaining = None
+                if request.deadline is not None:
+                    remaining = request.deadline - (time.perf_counter() - started)
+                    if remaining <= 0:
+                        break
+                done, pending = wait(
+                    pending,
+                    timeout=remaining,
+                    return_when=FIRST_COMPLETED if on_partial else ALL_COMPLETED,
+                )
+                if not done:  # deadline ran out with backends still pending
+                    break
+                for future in done:
+                    name = futures[future]
+                    results, elapsed, error = future.result()
+                    timings[name] = elapsed
+                    recorder.observe("backend_search", elapsed)
+                    if error is not None or results is None:
+                        failures[name] = error or "unknown"
+                        recorder.event(
+                            "backend_dropped", database=name, reason=error or "unknown"
+                        )
+                    else:
+                        per_database[name] = results
+                if on_partial is not None and pending and per_database:
+                    sequence += 1
+                    early = self.service.merger.merge(
+                        ranking, per_database, n=request.n
                     )
-                else:
-                    per_database[name] = results
+                    recorder.count("serving.partial_flushes")
+                    on_partial(
+                        PartialUpdate(
+                            query=request.query,
+                            sequence=sequence,
+                            results=tuple(early),
+                            searched=tuple(
+                                name for name in selected if name in per_database
+                            ),
+                            pending=tuple(
+                                sorted(futures[future] for future in pending)
+                            ),
+                        )
+                    )
             timed_out = {futures[future] for future in pending}
             for future in pending:
                 future.cancel()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.corpus import Corpus, Document
@@ -150,6 +152,28 @@ class TestFederatedService:
         modern = service.search(SearchRequest(query=queries[0].text, n=5))
         assert legacy.searched == modern.searched
         assert legacy.results == modern.results
+
+    def test_positional_shim_warns_once_per_call_site(self, service, parts):
+        query = topical_queries(parts, max_topics=1)[0].text
+
+        def legacy_call_site():
+            return service.search(query, 5)
+
+        def other_call_site():
+            return service.search(query, 5)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            legacy_call_site()
+            legacy_call_site()  # same site again: deduplicated
+            other_call_site()  # a distinct site: warns on its own
+        deprecations = [
+            entry for entry in caught if issubclass(entry.category, DeprecationWarning)
+        ]
+        # stacklevel=2 attributes the warning to each *caller* line, so
+        # the default filter fires exactly once per call site.
+        assert len(deprecations) == 2
+        assert len({entry.lineno for entry in deprecations}) == 2
 
     def test_routing_finds_topical_database(self, service, parts):
         queries = topical_queries(parts, max_topics=4)

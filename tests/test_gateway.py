@@ -1,0 +1,456 @@
+"""Unit tests for repro.gateway (protocol, server, client, loadgen)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.federation import SearchRequest, build_skewed_partition
+from repro.federation.service import FederatedResponse
+from repro.dbselect.base import DatabaseRanking, RankedDatabase
+from repro.dbselect.merge import MergedResult
+from repro.gateway import (
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    LoadBenchReport,
+    format_load_bench,
+    frontend_from_servers,
+    run_load_bench,
+    write_load_bench,
+)
+from repro.gateway.loadgen import LOAD_BENCH_SCHEMA, saturation_qps
+from repro.gateway.protocol import (
+    PROTOCOL,
+    PROTOCOL_VERSION,
+    ErrorFrame,
+    Hello,
+    Overload,
+    PartialResults,
+    ProtocolError,
+    RequestFrame,
+    ResponseFrame,
+    decode_frame,
+    encode_frame,
+)
+from repro.index import DatabaseServer
+from repro.serving import LatencyInjected
+from repro.synth import wsj88_like
+
+
+@pytest.fixture(scope="module")
+def servers() -> dict[str, DatabaseServer]:
+    corpus = wsj88_like().build(seed=11, scale=0.04)
+    parts = build_skewed_partition(corpus, num_databases=3, seed=7)
+    return {part.name: DatabaseServer(part) for part in parts}
+
+
+@pytest.fixture(scope="module")
+def models(servers):
+    return {name: server.actual_language_model() for name, server in servers.items()}
+
+
+@pytest.fixture(scope="module")
+def queries(models) -> list[str]:
+    from repro.serving import queries_from_models
+
+    return queries_from_models(models, 6)
+
+
+def slowed_federation(servers, delay: float, which: str | None = None):
+    """Copy of ``servers`` with one (or every) backend latency-injected."""
+    slowed = dict(servers)
+    if which is None:
+        for name in slowed:
+            slowed[name] = LatencyInjected(servers[name], delay=delay)
+    else:
+        slowed[which] = LatencyInjected(servers[which], delay=delay)
+    return slowed
+
+
+class TestProtocol:
+    def sample_response(self) -> FederatedResponse:
+        ranking = DatabaseRanking(
+            query="market",
+            entries=(
+                RankedDatabase(name="db-a", score=0.8),
+                RankedDatabase(name="db-b", score=0.3),
+            ),
+        )
+        return FederatedResponse(
+            query="market",
+            ranking=ranking,
+            searched=("db-a", "db-b"),
+            results=(
+                MergedResult(doc_id="d1", database="db-a", score=2.5),
+                MergedResult(doc_id="d2", database="db-b", score=1.25),
+            ),
+            dropped=("db-c",),
+            timings={"db-a": 0.01, "db-b": 0.02},
+        )
+
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            Hello(protocol=PROTOCOL, databases=3),
+            RequestFrame(
+                request_id="r1",
+                request=SearchRequest(
+                    query="oil market", n=5, docs_per_database=7,
+                    deadline=0.25, databases_per_query=2,
+                ),
+            ),
+            PartialResults(
+                request_id="r2",
+                sequence=1,
+                results=(MergedResult(doc_id="d9", database="db-a", score=3.0),),
+                searched=("db-a",),
+                pending=("db-b", "db-c"),
+            ),
+            Overload(
+                request_id="r3", reason="queue_full",
+                queue_depth=4, capacity=4, retry_after=0.05,
+            ),
+            ErrorFrame(request_id="r4", code="TypeError", message="boom"),
+        ],
+    )
+    def test_round_trip(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_response_round_trip(self):
+        frame = ResponseFrame(request_id="r5", response=self.sample_response())
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_frames_are_json_lines(self):
+        line = encode_frame(Hello(protocol=PROTOCOL, databases=2))
+        assert line.endswith(b"\n")
+        row = json.loads(line)
+        assert row["v"] == PROTOCOL_VERSION
+        assert row["type"] == "hello"
+
+    @pytest.mark.parametrize(
+        "line, match",
+        [
+            (b"not json\n", "not valid JSON"),
+            (b"[1, 2]\n", "JSON object"),
+            (b'{"v": 99, "type": "hello"}\n', "version"),
+            (b'{"v": 1, "type": "telepathy", "id": "r1"}\n', "unknown frame type"),
+            (b'{"v": 1, "type": "partial"}\n', "missing its request id"),
+            (b'{"v": 1, "type": "request", "id": "r1"}\n', "request payload"),
+            (
+                b'{"v": 1, "type": "request", "id": "r1", "request": {"query": "x", "n": 0}}\n',
+                "invalid request payload",
+            ),
+            (b'{"v": 1, "type": "response", "id": "r1"}\n', "response payload"),
+        ],
+    )
+    def test_malformed_frames_rejected(self, line, match):
+        with pytest.raises(ProtocolError, match=match):
+            decode_frame(line)
+
+
+class TestGatewayEndToEnd:
+    """Server + client over a real localhost socket."""
+
+    def test_search_round_trip_matches_direct(self, servers, queries):
+        async def run():
+            with frontend_from_servers(servers) as frontend:
+                direct = frontend.search(SearchRequest(query=queries[0], n=5))
+                async with GatewayServer(frontend) as server:
+                    host, port = server.address
+                    async with GatewayClient(host, port) as client:
+                        assert client.databases == len(servers)
+                        reply = await client.search(SearchRequest(query=queries[0], n=5))
+            return direct, reply
+
+        direct, reply = asyncio.run(run())
+        assert reply.ok and reply.response is not None
+        assert reply.response.query == direct.query
+        assert reply.response.searched == direct.searched
+        assert [r.doc_id for r in reply.response.results] == [
+            r.doc_id for r in direct.results
+        ]
+
+    def test_streaming_first_partial_beats_full_response(self, servers, models, queries):
+        slow_name = sorted(servers)[0]
+        slowed = slowed_federation(servers, delay=0.3, which=slow_name)
+
+        async def run():
+            with frontend_from_servers(slowed, models=models) as frontend:
+                async with GatewayServer(frontend) as server:
+                    async with GatewayClient(*server.address) as client:
+                        reply = await client.search(SearchRequest(query=queries[0]))
+                    return reply, server.stats.streamed_partials
+
+        reply, streamed = asyncio.run(run())
+        assert reply.ok
+        assert reply.partials, "fast backends should have streamed a partial"
+        assert streamed >= len(reply.partials) > 0
+        # The acceptance criterion: first hits land well before the
+        # slow backend lets the final response finish.
+        assert reply.elapsed >= 0.28
+        assert reply.first_partial_after is not None
+        assert reply.first_partial_after < reply.elapsed / 2
+        first = reply.partials[0]
+        assert first.sequence == 1
+        assert slow_name in first.pending
+        assert slow_name not in first.searched
+
+    def test_deadline_propagates_to_fanout(self, servers, models, queries):
+        slow_name = sorted(servers)[0]
+        slowed = slowed_federation(servers, delay=0.6, which=slow_name)
+
+        async def run():
+            with frontend_from_servers(slowed, models=models) as frontend:
+                async with GatewayServer(frontend) as server:
+                    async with GatewayClient(*server.address) as client:
+                        started = time.perf_counter()
+                        reply = await client.search(
+                            SearchRequest(query=queries[0], deadline=0.15)
+                        )
+                        return reply, time.perf_counter() - started
+
+        reply, elapsed = asyncio.run(run())
+        assert reply.ok and reply.response is not None
+        assert slow_name in reply.response.dropped
+        assert elapsed < 0.55  # did not wait out the slow backend
+
+    def test_overload_sheds_then_recovers(self, servers, models, queries):
+        slowed = slowed_federation(servers, delay=0.1)
+
+        async def run():
+            with frontend_from_servers(slowed, models=models) as frontend:
+                server = GatewayServer(frontend, queue_limit=1, concurrency=1)
+                async with server:
+                    async with GatewayClient(*server.address, pool_size=1) as client:
+                        replies = await asyncio.gather(
+                            *(
+                                client.search(SearchRequest(query=queries[i % len(queries)]))
+                                for i in range(10)
+                            )
+                        )
+                        # The queue has drained: the gateway accepts again.
+                        after = await client.search(SearchRequest(query=queries[0]))
+                    return replies, after, server.stats
+
+        replies, after, stats = asyncio.run(run())
+        shed = [r for r in replies if r.status == "overload"]
+        served = [r for r in replies if r.ok]
+        assert shed, "flooding a queue of 1 must shed"
+        assert served, "the gateway still serves while shedding"
+        assert all(r.overload.reason == "queue_full" for r in shed)
+        assert all(r.overload.capacity == 1 for r in shed)
+        assert all(r.overload.retry_after > 0 for r in shed)
+        # Bounded admission, observable: the high-water mark never
+        # exceeds the configured limit no matter the offered burst.
+        assert stats.max_queue_depth <= 1
+        assert stats.shed_queue_full == len(shed)
+        assert after.ok, "once drained, requests are accepted again"
+
+    def test_queue_wait_consumes_deadline(self, servers, models, queries):
+        slowed = slowed_federation(servers, delay=0.25)
+
+        async def run():
+            with frontend_from_servers(slowed, models=models) as frontend:
+                server = GatewayServer(frontend, queue_limit=4, concurrency=1)
+                async with server:
+                    async with GatewayClient(*server.address, pool_size=1) as client:
+                        blocker = asyncio.create_task(
+                            client.search(SearchRequest(query=queries[0]))
+                        )
+                        await asyncio.sleep(0.02)  # let the blocker occupy the worker
+                        starved = await client.search(
+                            SearchRequest(query=queries[1], deadline=0.05)
+                        )
+                        await blocker
+                    return starved, server.stats
+
+        starved, stats = asyncio.run(run())
+        assert starved.status == "overload"
+        assert starved.overload.reason == "deadline_expired"
+        assert stats.shed_deadline >= 1
+
+    def test_protocol_error_gets_error_frame(self, servers):
+        async def run():
+            with frontend_from_servers(servers) as frontend:
+                async with GatewayServer(frontend) as server:
+                    reader, writer = await asyncio.open_connection(*server.address)
+                    await reader.readline()  # hello banner
+                    writer.write(b"this is not a frame\n")
+                    await writer.drain()
+                    reply = decode_frame(await reader.readline())
+                    writer.close()
+                    await writer.wait_closed()
+                    return reply, server.stats.errors
+
+        reply, errors = asyncio.run(run())
+        assert isinstance(reply, ErrorFrame)
+        assert reply.code == "protocol"
+        assert errors >= 1
+
+    def test_client_rejects_wrong_banner(self):
+        async def run():
+            async def impostor(reader, writer):
+                writer.write(b'{"v": 1, "type": "hello", "protocol": "imap/4"}\n')
+                await writer.drain()
+
+            server = await asyncio.start_server(impostor, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                with pytest.raises(GatewayError, match="imap/4"):
+                    async with GatewayClient("127.0.0.1", port):
+                        pass
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_client_connect_refused(self):
+        async def run():
+            with pytest.raises(GatewayError, match="cannot connect"):
+                async with GatewayClient("127.0.0.1", 1):  # nothing listens there
+                    pass
+
+        asyncio.run(run())
+
+    def test_server_validates_configuration(self, servers):
+        with frontend_from_servers(servers) as frontend:
+            with pytest.raises(ValueError, match="queue_limit"):
+                GatewayServer(frontend, queue_limit=0)
+            with pytest.raises(ValueError, match="concurrency"):
+                GatewayServer(frontend, concurrency=0)
+        with pytest.raises(ValueError, match="pool_size"):
+            GatewayClient("127.0.0.1", 9, pool_size=0)
+
+
+class TestFrontendFromServers:
+    def test_rejects_non_evaluable_without_models(self, servers):
+        class QueryOnly:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def run_query(self, query, max_docs=10):
+                return self._inner.run_query(query, max_docs=max_docs)
+
+        wrapped = {name: QueryOnly(server) for name, server in servers.items()}
+        with pytest.raises(TypeError, match="not evaluable"):
+            frontend_from_servers(wrapped)
+
+    def test_explicit_models_bypass_evaluability(self, servers):
+        models = {
+            name: server.actual_language_model() for name, server in servers.items()
+        }
+        wrapped = {
+            name: LatencyInjected(server, delay=0.0) for name, server in servers.items()
+        }
+        with frontend_from_servers(wrapped, models=models) as frontend:
+            assert frontend.search(SearchRequest(query="the market")).results is not None
+
+
+class TestLoadBench:
+    def test_self_hosted_sweep_reports_and_writes(self, servers, queries, tmp_path):
+        with frontend_from_servers(servers) as frontend:
+            report = run_load_bench(
+                frontend=frontend,
+                queries=queries,
+                qps_levels=(25.0,),
+                duration=0.4,
+                pool_size=2,
+                queue_limit=16,
+                concurrency=4,
+                seed=3,
+            )
+        assert isinstance(report, LoadBenchReport)
+        (level,) = report.levels
+        assert level.sent > 0
+        assert level.completed > 0
+        assert level.completed + level.shed + level.errors == level.sent
+        for key in ("p50", "p95", "p99", "mean", "count"):
+            assert key in level.latency
+        assert level.latency["p50"] <= level.latency["p95"] <= level.latency["p99"]
+        assert report.gateway is not None
+        assert report.gateway.max_queue_depth <= 16
+
+        path = tmp_path / "BENCH_serving_load.json"
+        write_load_bench(report, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == LOAD_BENCH_SCHEMA
+        assert payload["saturation_qps"] == pytest.approx(report.saturation_qps, abs=0.01)
+        row = payload["levels"][0]
+        for key in ("p50", "p95", "p99"):
+            assert row["latency_ms"][key] >= 0.0
+        assert "shed_rate" in row
+        assert payload["gateway"]["max_queue_depth"] <= 16
+
+        rendered = format_load_bench(report)
+        assert "saturation QPS" in rendered
+        assert "p99_ms" in rendered
+
+    def test_overload_sheds_bounded_not_collapse(self, servers, models, queries):
+        """At far-beyond-saturation offered load the gateway sheds, keeps
+        the queue bounded, and still serves cleanly at low rates."""
+        slowed = slowed_federation(servers, delay=0.05)
+        with frontend_from_servers(slowed, models=models) as frontend:
+            report = run_load_bench(
+                frontend=frontend,
+                queries=queries,
+                qps_levels=(5.0, 200.0),
+                duration=0.6,
+                pool_size=2,
+                queue_limit=4,
+                concurrency=2,
+                seed=5,
+            )
+        calm, storm = report.levels
+        assert calm.shed == 0
+        assert storm.shed > 0
+        assert storm.shed_rate > 0.2
+        # Saturation sits at (or above) the clean level's throughput.
+        assert report.saturation_qps >= calm.achieved_qps
+        # Bounded admission: depth never exceeded the limit, and served
+        # latency stayed bounded (queue x service, not offered-rate x).
+        assert report.gateway is not None
+        assert report.gateway.max_queue_depth <= 4
+        assert storm.latency["p99"] < 2.0
+
+    def test_saturation_qps_picks_cleanly_served_ceiling(self):
+        def level(qps, achieved, sent, shed):
+            from repro.gateway.loadgen import LevelResult
+            from repro.utils.stats import latency_summary
+
+            return LevelResult(
+                offered_qps=qps, duration=1.0, sent=sent,
+                completed=sent - shed, shed=shed, errors=0,
+                achieved_qps=achieved, shed_rate=shed / sent,
+                latency=latency_summary([0.01]),
+                time_to_first_partial=latency_summary([]),
+            )
+
+        levels = [
+            level(10.0, 9.8, 10, 0),
+            level(20.0, 19.5, 20, 0),
+            level(40.0, 22.0, 40, 18),
+        ]
+        assert saturation_qps(levels) == 19.5
+        assert saturation_qps([level(40.0, 22.0, 40, 18)]) == 0.0
+
+    def test_run_load_bench_validates_inputs(self, servers, queries):
+        with pytest.raises(ValueError, match="exactly one"):
+            run_load_bench()
+        with pytest.raises(ValueError, match="exactly one"):
+            with frontend_from_servers(servers) as frontend:
+                run_load_bench(
+                    address=("127.0.0.1", 1), frontend=frontend, queries=queries
+                )
+        with pytest.raises(ValueError, match="queries are required"):
+            run_load_bench(address=("127.0.0.1", 1))
+        with pytest.raises(ValueError, match="positive rates"):
+            run_load_bench(address=("127.0.0.1", 1), queries=queries, qps_levels=())
+        with pytest.raises(ValueError, match="duration"):
+            run_load_bench(
+                address=("127.0.0.1", 1), queries=queries, duration=0.0
+            )

@@ -405,6 +405,31 @@ class TestConcurrentFanout:
             assert responses[0].results == responses[2].results
             assert frontend.selections.hits >= 1
 
+    def test_search_many_survives_mid_batch_deadline_expiry(
+        self, servers, models, queries
+    ):
+        slowed = dict(servers)
+        slow_name = sorted(servers)[0]
+        slowed[slow_name] = LatencyInjected(servers[slow_name], delay=0.4)
+        service = FederatedSearchService(slowed, databases_per_query=len(slowed))
+        service.use_models(models)
+        requests = [
+            SearchRequest(query=queries[0]),
+            SearchRequest(query=queries[1], deadline=0.1),  # expires mid-batch
+            SearchRequest(query=queries[2]),
+        ]
+        with FederationFrontend(service) as frontend:
+            responses = frontend.search_many(requests)
+        # Order and alignment survive the expiry, and only the
+        # deadline-carrying request drops the slow backend.
+        assert [r.query for r in responses] == [r.query for r in requests]
+        assert slow_name in responses[1].dropped
+        assert slow_name not in responses[1].searched
+        assert responses[1].results  # fast backends still answered
+        for response in (responses[0], responses[2]):
+            assert response.dropped == ()
+            assert slow_name in response.searched
+
     def test_close_is_idempotent(self, service, queries):
         frontend = FederationFrontend(service)
         frontend.search(SearchRequest(query=queries[0]))
@@ -467,6 +492,18 @@ class TestServeBench:
         assert "serve-bench" in rendered
         assert "Derived speedups" in rendered
 
+    def test_report_carries_latency_percentiles(self, servers):
+        report = run_serve_bench(servers, budget=0.03, num_queries=4)
+        assert set(report.latency) == set(report.modes)
+        for mode, (_, ops) in report.modes.items():
+            summary = report.latency[mode]
+            assert summary["count"] == ops
+            assert 0 < summary["p50"] <= summary["p95"] <= summary["p99"]
+            assert summary["min"] <= summary["p50"] and summary["p99"] <= summary["max"]
+        rendered = format_serve_bench(report)
+        for column in ("p50_ms", "p95_ms", "p99_ms"):
+            assert column in rendered
+
     def test_synthetic_federation_builds(self):
         servers = build_synthetic_federation(num_databases=2, scale=0.03, seed=1)
         assert len(servers) == 2
@@ -520,3 +557,21 @@ class TestServeBenchCli:
 
         assert main(argv) == 2
         assert message in capsys.readouterr().err
+
+    def test_non_evaluable_federation_reports_friendly_error(self, monkeypatch, capsys):
+        """A misconfigured federation is a one-line message, not a traceback."""
+        import repro.serving.bench as bench
+        from repro.cli import main
+
+        def raise_type_error(*args, **kwargs):
+            raise TypeError("serve-bench needs evaluable databases (actual models)")
+
+        monkeypatch.setattr(bench, "run_serve_bench", raise_type_error)
+        code = main(
+            ["serve-bench", "--synthetic", "2", "--scale", "0.03", "--budget", "0.05"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "serve-bench cannot run on this federation" in err
+        assert "evaluable databases" in err
+        assert "Traceback" not in err
