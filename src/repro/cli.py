@@ -18,6 +18,10 @@ Exposes the library's main workflows as ``repro <subcommand>``:
     repro experiments --only fig1 fig3 --scale 0.1 --workers 4
     repro trace run.trace.jsonl
     repro store models-dir --verify
+    repro fleet migrate models-dir sharded-dir --num-shards 16
+    repro fleet status sharded-dir --queue queue-dir
+    repro fleet run-workers a.jsonl b.jsonl --models sharded-dir --queue queue-dir
+    repro fleet bench -o BENCH_fleet.json
 
 ``sample`` and ``federate`` accept ``--trace PATH`` to record a
 structured JSONL trace of the run (:mod:`repro.obs`); ``repro trace``
@@ -28,7 +32,18 @@ run crash-safe — kill it at any point and the same command resumes
 from the last checkpoint, producing a model bit-identical to an
 uninterrupted run.  ``federate --save-models DIR`` persists the learned
 model set to a durable store; ``federate --models DIR`` warm-starts
-from one instead of re-sampling; ``repro store DIR`` inspects one.
+from one instead of re-sampling; ``repro store DIR`` inspects one
+(``--prune`` deletes crash-leftover orphans after a clean verify).
+Stores may be flat or sharded — every consumer autodetects the layout.
+
+Fleet lifecycle (:mod:`repro.fleet`): ``repro fleet migrate`` re-homes
+a store into hash-bucketed shards, ``fleet status`` shows the shard
+table and refresh-queue depth, ``fleet run-workers`` drains a durable
+refresh queue with a crash-tolerant worker pool, and ``fleet bench``
+measures refresh throughput and the staleness-aware scheduler against
+a uniform baseline (``BENCH_fleet.json``).  ``serve``, ``serve-bench``
+and ``load-bench`` accept ``--models DIR`` to serve from a store
+instead of ground truth.
 
 Corpora are JSONL files (``{"doc_id", "text", ...}`` per line); models
 use the library's text format (:mod:`repro.lm.io`).  Every stochastic
@@ -39,6 +54,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
+from pathlib import Path
 from typing import Sequence
 
 from repro.corpus.readers import read_jsonl, write_jsonl
@@ -59,7 +76,7 @@ from repro.sampling.transport import (
     UnreliableServer,
 )
 from repro.sizeest.orchestrate import estimate_database_size
-from repro.store import ModelStore, SamplerCheckpointer, StoreIntegrityError
+from repro.store import ModelStore, SamplerCheckpointer, StoreIntegrityError, open_store
 from repro.summarize.summary import format_summary_grid, summarize
 from repro.synth.profiles import PROFILES_BY_NAME
 from repro.text.analyzer import Analyzer
@@ -233,6 +250,11 @@ def _add_store(subparsers) -> None:
         action="store_true",
         help="re-read every model and check its manifest checksum",
     )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="delete orphan files (verifies first; refuses on integrity problems)",
+    )
 
 
 def _add_serve_bench(subparsers) -> None:
@@ -276,6 +298,13 @@ def _add_serve_bench(subparsers) -> None:
     )
     parser.add_argument("--databases-per-query", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--models",
+        default=None,
+        metavar="DIR",
+        help="serve models from a durable store (flat or sharded) instead of "
+        "the databases' ground truth",
+    )
 
 
 def _add_federation_source(parser, default_synthetic: int = 4) -> None:
@@ -309,6 +338,13 @@ def _add_federation_source(parser, default_synthetic: int = 4) -> None:
         metavar="SECONDS",
         help="inject this retrieval latency into one backend (streaming demo: "
         "partial frames flush while the slow backend is still working)",
+    )
+    parser.add_argument(
+        "--models",
+        default=None,
+        metavar="DIR",
+        help="warm-start serving from a durable model store (flat or sharded) "
+        "instead of the databases' ground truth",
     )
 
 
@@ -381,6 +417,130 @@ def _add_load_bench(subparsers) -> None:
     )
 
 
+def _add_fleet(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet",
+        help="fleet-scale model lifecycle: sharded store, refresh queue, workers",
+    )
+    fleet = parser.add_subparsers(dest="fleet_command", required=True)
+
+    status = fleet.add_parser(
+        "status", help="shard table of a model store, plus optional queue counts"
+    )
+    status.add_argument("directory", help="model store directory (flat or sharded)")
+    status.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="also report job counts for this durable refresh queue",
+    )
+
+    migrate = fleet.add_parser(
+        "migrate", help="re-home a model store into a new sharded layout"
+    )
+    migrate.add_argument("source", help="existing store directory (flat or sharded)")
+    migrate.add_argument("dest", help="target directory (must not hold a store yet)")
+    migrate.add_argument(
+        "--num-shards", type=int, default=16, help="shard count of the new store"
+    )
+
+    run = fleet.add_parser(
+        "run-workers",
+        help="drain a durable refresh queue with a worker pool, folding "
+        "refreshed models back into the store",
+    )
+    run.add_argument(
+        "corpora",
+        nargs="*",
+        help="corpus JSONL paths (omit to run against a synthetic federation)",
+    )
+    run.add_argument(
+        "--synthetic",
+        type=int,
+        default=4,
+        metavar="K",
+        help="number of synthetic databases when no corpora are given",
+    )
+    run.add_argument(
+        "--scale", type=float, default=0.05, help="synthetic corpus scale factor"
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--models",
+        required=True,
+        metavar="DIR",
+        help="durable model store the sweep probes against and updates",
+    )
+    run.add_argument(
+        "--queue",
+        required=True,
+        metavar="DIR",
+        help="durable job queue directory (restarts resume it)",
+    )
+    run.add_argument("--workers", type=int, default=2, help="worker thread count")
+    run.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="job lease duration; a crashed worker's job is reclaimed after this",
+    )
+    run.add_argument(
+        "--refresh-docs", type=int, default=300, help="sample size of a full refresh"
+    )
+    run.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="enqueue at most this many databases (highest priority first)",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="give up draining the queue after this many wall-clock seconds",
+    )
+    # Test hook: die via os._exit while holding a lease, after N jobs.
+    run.add_argument("--crash-after-jobs", type=int, default=None, help=argparse.SUPPRESS)
+
+    bench = fleet.add_parser(
+        "bench",
+        help="refresh throughput and scheduler-vs-uniform -> BENCH_fleet.json",
+    )
+    bench.add_argument(
+        "--databases", type=int, default=8, help="synthetic fleet size"
+    )
+    bench.add_argument(
+        "--scale", type=float, default=0.04, help="synthetic corpus scale factor"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--budget",
+        type=int,
+        default=3,
+        help="databases each scheduling policy may probe per round",
+    )
+    bench.add_argument(
+        "--worker-levels",
+        nargs="+",
+        type=int,
+        default=(1, 4),
+        help="worker counts for the throughput-scaling sweep",
+    )
+    bench.add_argument(
+        "--probe-latency",
+        type=float,
+        default=0.02,
+        metavar="SECONDS",
+        help="injected per-search backend latency (models remote fleet I/O)",
+    )
+    bench.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_fleet.json",
+        help="where the machine-readable report lands",
+    )
+
+
 def _add_experiments(subparsers) -> None:
     parser = subparsers.add_parser(
         "experiments",
@@ -444,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_bench(subparsers)
     _add_serve(subparsers)
     _add_load_bench(subparsers)
+    _add_fleet(subparsers)
     _add_experiments(subparsers)
     _add_trace(subparsers)
     return parser
@@ -659,7 +820,9 @@ def _cmd_federate(args) -> int:
     )
     if args.models:
         try:
-            service.load_models(ModelStore(args.models, recorder=recorder))
+            store = open_store(args.models)
+            store.recorder = recorder
+            service.load_models(store)
         except (FileNotFoundError, StoreIntegrityError, ValueError) as exc:
             print(f"cannot load models from {args.models}: {exc}", file=sys.stderr)
             return 2
@@ -675,7 +838,9 @@ def _cmd_federate(args) -> int:
             seed=args.seed,
         )
         if args.save_models:
-            service.save_models(ModelStore(args.save_models, recorder=recorder))
+            store = open_store(args.save_models)
+            store.recorder = recorder
+            service.save_models(store)
             print(f"saved {len(service.models)} models to {args.save_models}")
     response = service.search(SearchRequest(query=args.query, n=args.n))
     if args.trace:
@@ -700,43 +865,72 @@ def _cmd_federate(args) -> int:
 
 
 def _cmd_store(args) -> int:
-    store = ModelStore(args.directory)
+    from repro.store import ShardedModelStore
+
+    store = open_store(args.directory)
     if not store.exists():
         print(f"no model store at {args.directory}", file=sys.stderr)
         return 2
     try:
-        manifest = store.read_manifest()
+        if isinstance(store, ShardedModelStore):
+            fleet = store.read_fleet_manifest()
+            rows = [
+                {"shard": shard_id, "models": summary.models, "epoch": summary.model_epoch}
+                for shard_id, summary in sorted(fleet.shards.items())
+            ]
+            print(
+                format_table(
+                    rows,
+                    title=f"Sharded model store {args.directory} "
+                    f"({fleet.num_shards} shards, {fleet.total_models} models, "
+                    f"epoch {fleet.model_epoch})",
+                )
+            )
+        else:
+            manifest = store.read_manifest()
+            rows = [
+                {
+                    "name": name,
+                    "file": entry.file,
+                    "terms": entry.terms,
+                    "documents_seen": entry.documents_seen,
+                    "tokens_seen": entry.tokens_seen,
+                    "sha256": entry.sha256[:12],
+                }
+                for name, entry in sorted(manifest.models.items())
+            ]
+            print(
+                format_table(
+                    rows,
+                    title=f"Model store {args.directory} (epoch {manifest.model_epoch}, "
+                    f"{len(rows)} models)",
+                )
+            )
     except StoreIntegrityError as exc:
         print(f"corrupt store manifest: {exc}", file=sys.stderr)
         return 1
-    rows = [
-        {
-            "name": name,
-            "file": entry.file,
-            "terms": entry.terms,
-            "documents_seen": entry.documents_seen,
-            "tokens_seen": entry.tokens_seen,
-            "sha256": entry.sha256[:12],
-        }
-        for name, entry in sorted(manifest.models.items())
-    ]
-    print(
-        format_table(
-            rows,
-            title=f"Model store {args.directory} (epoch {manifest.model_epoch}, "
-            f"{len(rows)} models)",
-        )
-    )
     orphans = store.orphans()
     if orphans:
         print(f"orphan files (unreferenced, safe to delete): {', '.join(orphans)}")
-    if args.verify:
+    if args.verify or args.prune:
         problems = store.verify()
         if problems:
             for problem in problems:
                 print(f"INTEGRITY: {problem}", file=sys.stderr)
+            if args.prune:
+                print(
+                    "refusing to prune an unhealthy store: fix the integrity "
+                    "problems first",
+                    file=sys.stderr,
+                )
             return 1
         print("store ok: every model matches its manifest checksum")
+    if args.prune:
+        removed = store.prune_orphans()
+        if removed:
+            print(f"pruned {len(removed)} orphan files: {', '.join(removed)}")
+        else:
+            print("nothing to prune")
     return 0
 
 
@@ -767,6 +961,27 @@ def _federation_servers(
     )
 
 
+def _store_models_for(servers, directory):
+    """Load one model per federation database from a durable store.
+
+    Works on flat and sharded stores alike (only the shards the names
+    hash to are read).  Raises :class:`ValueError` with a user-facing
+    message on a missing store, missing models, or integrity trouble.
+    """
+    store = open_store(directory)
+    if not store.exists():
+        raise ValueError(f"no model store at {directory}")
+    missing = set(servers) - set(store.model_names())
+    if missing:
+        raise ValueError(
+            f"store at {directory} is missing models for databases: {sorted(missing)}"
+        )
+    try:
+        return {name: store.load_model(name) for name in servers}
+    except StoreIntegrityError as exc:
+        raise ValueError(f"cannot load models from {directory}: {exc}") from exc
+
+
 def _cmd_serve_bench(args) -> int:
     # Imported lazily: serving pulls in the synthetic/testbed machinery
     # only this subcommand needs.
@@ -785,6 +1000,13 @@ def _cmd_serve_bench(args) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    models = None
+    if args.models:
+        try:
+            models = _store_models_for(servers, args.models)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     try:
         report = run_serve_bench(
             servers,
@@ -793,6 +1015,7 @@ def _cmd_serve_bench(args) -> int:
             workers=args.workers,
             backend_latency=args.backend_latency,
             databases_per_query=args.databases_per_query,
+            models=models,
         )
     except TypeError as exc:
         # E.g. a federation of databases without evaluable ground-truth
@@ -816,12 +1039,17 @@ def _gateway_frontend(args):
     if args.slow_backend < 0:
         raise ValueError("--slow-backend must be non-negative")
     models = None
+    if args.models:
+        models = _store_models_for(servers, args.models)
     if args.slow_backend > 0:
-        # Models come from the unwrapped servers; the injected latency
-        # slows retrieval only, so streaming has a straggler to beat.
-        models = {
-            name: server.actual_language_model() for name, server in servers.items()
-        }
+        # Models come from the store or the unwrapped servers; the
+        # injected latency slows retrieval only, so streaming has a
+        # straggler to beat.
+        if models is None:
+            models = {
+                name: server.actual_language_model()
+                for name, server in servers.items()
+            }
         slowest = sorted(servers)[0]
         servers = {
             name: (
@@ -953,6 +1181,254 @@ def _cmd_load_bench(args) -> int:
     return 0
 
 
+def _cmd_fleet_status(args) -> int:
+    from repro.store import ShardedModelStore
+
+    store = open_store(args.directory)
+    if not store.exists():
+        print(f"no model store at {args.directory}", file=sys.stderr)
+        return 2
+    if isinstance(store, ShardedModelStore):
+        try:
+            fleet = store.read_fleet_manifest()
+        except StoreIntegrityError as exc:
+            print(f"corrupt fleet manifest: {exc}", file=sys.stderr)
+            return 1
+        rows = [
+            {"shard": shard_id, "models": summary.models, "epoch": summary.model_epoch}
+            for shard_id, summary in sorted(fleet.shards.items())
+        ]
+        print(
+            format_table(
+                rows,
+                title=f"Sharded model store {args.directory} "
+                f"({fleet.num_shards} shards, {fleet.total_models} models, "
+                f"epoch {fleet.model_epoch})",
+            )
+        )
+    else:
+        print(
+            f"flat model store {args.directory}: {len(store.model_names())} models, "
+            f"epoch {store.model_epoch()} (shard it with `repro fleet migrate`)"
+        )
+    if args.queue:
+        from repro.fleet import DurableJobQueue, JobState
+
+        counts = DurableJobQueue(args.queue).counts()
+        summary = ", ".join(f"{state}={counts[state]}" for state in JobState.ALL)
+        print(f"refresh queue {args.queue}: {summary}")
+    return 0
+
+
+def _cmd_fleet_migrate(args) -> int:
+    from repro.store import ShardedModelStore
+
+    source = open_store(args.source)
+    if not source.exists():
+        print(f"no model store at {args.source}", file=sys.stderr)
+        return 2
+    try:
+        target = ShardedModelStore.migrate(
+            source, args.dest, num_shards=args.num_shards
+        )
+    except (StoreIntegrityError, ValueError) as exc:
+        print(f"migration failed: {exc}", file=sys.stderr)
+        return 1
+    fleet = target.read_fleet_manifest()
+    print(
+        f"migrated {fleet.total_models} models into {len(fleet.shards)} occupied "
+        f"shards (of {fleet.num_shards}) at {args.dest}, epoch {fleet.model_epoch}"
+    )
+    return 0
+
+
+class _CrashDuringJob:
+    """Job-handler wrapper simulating a hard kill while a lease is held.
+
+    Lets ``after`` jobs finish, then dies via ``os._exit`` at the start
+    of the next claim's execution — no cleanup, no completion, exactly
+    like a SIGKILL.  The queue is left with a live lease owned by a
+    dead process, which is the situation the lease-expiry machinery
+    exists for: drive the crash-resume smoke test with it.
+    """
+
+    def __init__(self, handler, after: int) -> None:
+        self.handler = handler
+        self.after = after
+        self._done = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, job):
+        with self._lock:
+            if self._done >= self.after:
+                import os
+
+                print(
+                    f"simulated crash holding the lease on {job.job_id}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                os._exit(3)
+        result = self.handler(job)
+        with self._lock:
+            self._done += 1
+        return result
+
+
+def _cmd_fleet_run_workers(args) -> int:
+    import time
+
+    from repro.fleet import (
+        REFRESH_JOB_KIND,
+        DurableJobQueue,
+        FleetScheduler,
+        JobState,
+        RefreshOutcome,
+        RefreshRunner,
+        run_workers,
+    )
+    from repro.sampling.staleness import RefreshPolicy
+    from repro.store import ShardedModelStore
+
+    if args.workers <= 0 or args.lease_seconds <= 0 or args.timeout <= 0:
+        print(
+            "--workers, --lease-seconds, and --timeout must be positive",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        servers = _federation_servers(
+            args.corpora, args.synthetic, args.scale, args.seed
+        )
+        stored = _store_models_for(servers, args.models)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    store = open_store(args.models)
+
+    queue = DurableJobQueue(args.queue, lease_seconds=args.lease_seconds)
+    # Only databases without a job on file are (re-)enqueued: a restart
+    # resumes the existing round — done jobs stay done (exactly-once),
+    # pending and expired-lease jobs get picked back up.
+    existing = {job.database for job in queue.jobs() if job.kind == REFRESH_JOB_KIND}
+    fresh = [name for name in sorted(servers) if name not in existing]
+    if fresh:
+        FleetScheduler().enqueue(queue, fresh, seed=args.seed, budget=args.budget)
+    counts = queue.counts()
+    print(
+        f"queue {args.queue}: "
+        + ", ".join(f"{state}={counts[state]}" for state in JobState.ALL)
+    )
+
+    outcome = RefreshOutcome()
+    runner = RefreshRunner(
+        servers,
+        stored,
+        lambda name: _default_bootstrap(servers[name]),
+        RefreshPolicy(refresh_documents=args.refresh_docs),
+        outcome,
+        checkpoint_root=Path(args.queue) / "checkpoints",
+    )
+    execute = (
+        _CrashDuringJob(runner, args.crash_after_jobs)
+        if args.crash_after_jobs is not None
+        else runner
+    )
+    install_lock = threading.Lock()
+
+    def install(job, result) -> None:
+        # Fold a refreshed model into the store *before* the job
+        # completes, so its effect is durable even if this process dies
+        # the next instant.  A replayed job (crash between install and
+        # complete) re-probes against the already-refreshed set and
+        # comes back fresh — the install is effectively exactly-once.
+        if not result.get("refreshed"):
+            return
+        model = outcome.models[job.database]
+        with install_lock:
+            if isinstance(store, ShardedModelStore):
+                store.update({job.database: model})
+            else:
+                merged = store.load()
+                merged[job.database] = model
+                store.save(merged, model_epoch=store.model_epoch() + 1)
+
+    def handler(job):
+        result = execute(job)
+        install(job, result)
+        return result
+
+    deadline = time.monotonic() + args.timeout
+    completed = failed = 0
+    while True:
+        for stats in run_workers(
+            queue, handler, num_workers=args.workers, poll_interval=0.05
+        ):
+            completed += stats.completed
+            failed += stats.failed
+        if queue.drained():
+            break
+        if time.monotonic() > deadline:
+            print(
+                "timed out waiting for the queue to drain "
+                "(a dead worker's lease may still be held)",
+                file=sys.stderr,
+            )
+            return 1
+        # Leased jobs belong to a dead process; wait out the lease.
+        time.sleep(min(1.0, max(0.1, args.lease_seconds / 4)))
+
+    refreshed = sorted(outcome.refreshed)
+    print(
+        f"drained: {completed} jobs completed, {failed} attempts failed, "
+        f"{len(refreshed)} models refreshed"
+        + (f" ({', '.join(refreshed)})" if refreshed else "")
+    )
+    final = queue.counts()
+    if final[JobState.FAILED]:
+        print(f"{final[JobState.FAILED]} jobs exhausted their retries", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fleet_bench(args) -> int:
+    from repro.fleet.bench import format_fleet_bench, run_fleet_bench, write_fleet_bench
+
+    if args.budget <= 0:
+        print("--budget must be positive", file=sys.stderr)
+        return 2
+    if args.databases < 2:
+        print("--databases must be >= 2", file=sys.stderr)
+        return 2
+    if any(level <= 0 for level in args.worker_levels):
+        print("--worker-levels must be positive", file=sys.stderr)
+        return 2
+    report = run_fleet_bench(
+        num_databases=args.databases,
+        scale=args.scale,
+        seed=args.seed,
+        budget=args.budget,
+        worker_levels=tuple(args.worker_levels),
+        probe_latency=args.probe_latency,
+    )
+    print(format_fleet_bench(report))
+    write_fleet_bench(report, args.output)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+_FLEET_COMMANDS = {
+    "status": _cmd_fleet_status,
+    "migrate": _cmd_fleet_migrate,
+    "run-workers": _cmd_fleet_run_workers,
+    "bench": _cmd_fleet_bench,
+}
+
+
+def _cmd_fleet(args) -> int:
+    return _FLEET_COMMANDS[args.fleet_command](args)
+
+
 def _cmd_experiments(args) -> int:
     # Imported lazily: the experiments package pulls in the synthetic
     # corpus machinery, which the file-based subcommands never need.
@@ -1038,6 +1514,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "serve": _cmd_serve,
     "load-bench": _cmd_load_bench,
+    "fleet": _cmd_fleet,
     "experiments": _cmd_experiments,
     "trace": _cmd_trace,
 }

@@ -43,7 +43,7 @@ from repro.sampling.pool import SamplingPool
 from repro.sampling.sampler import SamplerConfig
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.staleness import RefreshPolicy, StalenessReport
-from repro.store.model_store import ModelStore
+from repro.store.base import ModelStorage, open_store
 
 
 @dataclass(frozen=True)
@@ -199,71 +199,87 @@ class FederatedSearchService:
     # -- durable persistence -----------------------------------------------
 
     @staticmethod
-    def _as_store(store: "ModelStore | str | Path") -> ModelStore:
-        if isinstance(store, ModelStore):
-            return store
-        return ModelStore(store)
+    def _as_store(store: "ModelStorage | str | Path") -> ModelStorage:
+        if isinstance(store, (str, Path)):
+            return open_store(store)
+        return store
 
-    def save_models(self, store: "ModelStore | str | Path") -> None:
+    def save_models(self, store: "ModelStorage | str | Path") -> None:
         """Persist the installed model set (with its epoch) durably.
 
         The store directory is written crash-safely as one unit (see
         :class:`~repro.store.ModelStore`); a killed save never corrupts
-        a previously saved set.
+        a previously saved set.  A path resolves to whatever layout is
+        on disk (flat, or sharded if a fleet manifest is present — see
+        :func:`repro.store.open_store`).
         """
         if not self.models:
             raise RuntimeError("no language models acquired yet; call learn_models()")
         self._as_store(store).save(self.models, model_epoch=self._model_epoch)
 
-    def load_models(self, store: "ModelStore | str | Path") -> None:
+    def load_models(self, store: "ModelStorage | str | Path") -> None:
         """Warm-start from a durable store instead of re-sampling.
 
         Every server must have a model in the store (extra models are
-        ignored).  :attr:`model_epoch` always moves *forward*:
-        it becomes the stored epoch or the current epoch plus one,
+        ignored — only this federation's models are read, which on a
+        sharded fleet store means touching just the shards its names
+        hash to).  :attr:`model_epoch` always moves *forward*: it
+        becomes the stored epoch or the current epoch plus one,
         whichever is larger, so serving caches keyed on the epoch
         (:class:`~repro.serving.frontend.FederationFrontend`) can never
         confuse warm-started models with a superseded in-memory set.
         """
         resolved = self._as_store(store)
-        models = resolved.load()
-        missing = set(self.servers) - set(models)
+        missing = set(self.servers) - set(resolved.model_names())
         if missing:
             raise ValueError(
                 f"store at {resolved.root} is missing models for databases: "
                 f"{sorted(missing)}"
             )
-        self.models = {name: models[name] for name in self.servers}
-        self._model_epoch = max(
-            self._model_epoch + 1, resolved.read_manifest().model_epoch
-        )
+        self.models = {name: resolved.load_model(name) for name in self.servers}
+        self._model_epoch = max(self._model_epoch + 1, resolved.model_epoch())
 
     def refresh_stale_models(
         self,
         bootstrap_factory: Callable[[str], QueryTermSelector],
         policy: RefreshPolicy | None = None,
         seed: int = 0,
+        *,
+        num_workers: int = 4,
     ) -> dict[str, StalenessReport]:
         """Probe every model for staleness; re-sample only the drifted ones.
 
-        Delegates to :meth:`~repro.sampling.staleness.RefreshPolicy.refresh_all`;
-        if any model was actually refreshed the new set is installed and
-        :attr:`model_epoch` moves (so serving caches invalidate).
+        A thin enqueue-and-await wrapper over the fleet sweep
+        (:func:`repro.fleet.run_refresh_sweep`): every database becomes
+        a prioritized job on a durable queue drained by
+        ``num_workers`` worker threads.  Semantics are unchanged from
+        the old inline sweep — every database is probed with the same
+        derived seed as before, stale ones are re-sampled, and if any
+        model was actually refreshed the new set is installed and
+        :attr:`model_epoch` moves once (so serving caches invalidate).
         Returns the per-database staleness reports either way.
         """
         if not self.models:
             raise RuntimeError("no language models acquired yet; call learn_models()")
-        policy = policy or RefreshPolicy()
-        models, reports, refreshed = policy.refresh_all(
+        from repro.fleet.sweep import run_refresh_sweep
+
+        result = run_refresh_sweep(
             self.servers,
             self.models,
             bootstrap_factory,
+            policy=policy,
             seed=seed,
+            num_workers=num_workers,
             recorder=self.recorder,
         )
-        if refreshed:
-            self._install_models(models)
-        return reports
+        if result.failed_jobs:
+            details = "; ".join(
+                f"{job.database}: {job.error}" for job in result.failed_jobs
+            )
+            raise RuntimeError(f"refresh sweep failed for some databases: {details}")
+        if result.outcome.refreshed:
+            self._install_models(result.outcome.models)
+        return dict(result.outcome.reports)
 
     # -- query answering ----------------------------------------------------
 
@@ -337,6 +353,11 @@ class FederatedSearchService:
                     search_span.set(results=len(results))
                 per_database[name] = results
             searched = tuple(name for name in selected if name in per_database)
+            if self.recorder.enabled:
+                # Per-database serving popularity, read back by the fleet
+                # scheduler (staleness × popularity / cost allocation).
+                for name in searched:
+                    self.recorder.count(f"serving.db.{name}.searched")
             merged = self.merger.merge(ranking, per_database, n=request.n)
             federated_span.set(
                 searched=list(searched), results=len(merged), dropped=list(dropped)

@@ -1,0 +1,472 @@
+"""Fleet lifecycle benchmark: refresh throughput and scheduler quality.
+
+Two questions, one report (``BENCH_fleet.json``):
+
+1. **Does refresh throughput scale with workers?**  Probe jobs against
+   a real fleet are I/O-bound — the wall-clock goes to remote
+   backends, not local CPU — so the bench injects a fixed per-query
+   latency into every sampling query and drains the same probe sweep
+   at each worker level.  More workers overlap more backend waits;
+   the report pins the jobs-per-second curve.
+2. **Does the staleness-aware scheduler beat uniform allocation?**  A
+   drifting synthetic fleet (a slice of databases silently replaced
+   after their models were learned) serves skewed query traffic, so
+   popularity — measured from the *real* ``serving.db.<name>.searched``
+   counters, not synthesized — concentrates on a few databases.  Each
+   policy gets the same fixed probe budget for one round; the metric
+   is the popularity-weighted mean true staleness of the served model
+   set afterwards.  The scored policy spends its budget on the
+   databases users actually hit, so a popular drifted database cannot
+   hide behind a long tail of fresh ones.
+
+Run via ``repro fleet bench``; the committed ``BENCH_fleet.json`` at
+the repo root is this module's output on the default configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Mapping, Sequence
+
+from repro.corpus import Corpus
+from repro.federation.service import FederatedSearchService, SearchRequest
+from repro.fleet.scheduler import popularity_from_metrics
+from repro.fleet.sweep import run_refresh_sweep
+from repro.index.server import DatabaseServer
+from repro.lm.compare import spearman_rank_correlation
+from repro.lm.model import LanguageModel
+from repro.obs import TraceRecorder
+from repro.sampling.sampler import QueryBasedSampler
+from repro.sampling.selection import QueryTermSelector, RandomFromOther
+from repro.sampling.staleness import RefreshPolicy
+from repro.sampling.stopping import MaxDocuments
+from repro.serving.bench import queries_from_models
+from repro.synth import cacm_like, wsj88_like
+from repro.utils.rand import derive_seed
+
+__all__ = [
+    "FLEET_BENCH_SCHEMA",
+    "FleetBenchReport",
+    "PolicyRound",
+    "ThroughputLevel",
+    "format_fleet_bench",
+    "run_fleet_bench",
+    "write_fleet_bench",
+]
+
+FLEET_BENCH_SCHEMA = "repro-fleet-bench/1"
+
+
+@dataclass(frozen=True)
+class ThroughputLevel:
+    """One worker-count level of the probe-throughput sweep."""
+
+    workers: int
+    probes: int
+    seconds: float
+    probes_per_sec: float
+
+
+@dataclass(frozen=True)
+class PolicyRound:
+    """One scheduling policy's round under the fixed probe budget."""
+
+    policy: str
+    probed: tuple[str, ...]
+    refreshed: tuple[str, ...]
+    weighted_staleness: float
+
+
+@dataclass(frozen=True)
+class FleetBenchReport:
+    """Everything ``repro fleet bench`` measured, machine-readable."""
+
+    num_databases: int
+    scale: float
+    seed: int
+    budget: int
+    probe_latency: float
+    drifted: tuple[str, ...]
+    popularity: Mapping[str, float]
+    initial_weighted_staleness: float
+    throughput: tuple[ThroughputLevel, ...]
+    policies: tuple[PolicyRound, ...]
+
+    @property
+    def throughput_scaling(self) -> float:
+        """Jobs/sec at the highest worker level over the 1-worker rate."""
+        by_workers = {level.workers: level.probes_per_sec for level in self.throughput}
+        base = by_workers.get(1) or min(by_workers.items())[1]
+        peak = by_workers[max(by_workers)]
+        return peak / base if base > 0 else 0.0
+
+    @property
+    def uniform_mean_staleness(self) -> float:
+        """Mean weighted staleness across the uniform policy's draws."""
+        draws = [r.weighted_staleness for r in self.policies if r.policy == "uniform"]
+        return sum(draws) / len(draws) if draws else 0.0
+
+    @property
+    def scheduler_advantage(self) -> float:
+        """Mean uniform staleness over scored (>1 means scored wins)."""
+        scored = next(
+            (r.weighted_staleness for r in self.policies if r.policy == "scored"), 0.0
+        )
+        return self.uniform_mean_staleness / scored if scored > 0 else float("inf")
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form matching the ``repro-fleet-bench/1`` schema."""
+        return {
+            "schema": FLEET_BENCH_SCHEMA,
+            "config": {
+                "num_databases": self.num_databases,
+                "scale": self.scale,
+                "seed": self.seed,
+                "budget": self.budget,
+                "probe_latency": self.probe_latency,
+            },
+            "throughput": {
+                "levels": [
+                    {
+                        "workers": level.workers,
+                        "probes": level.probes,
+                        "seconds": round(level.seconds, 4),
+                        "probes_per_sec": round(level.probes_per_sec, 3),
+                    }
+                    for level in self.throughput
+                ],
+                "scaling_1_to_max": round(self.throughput_scaling, 3),
+            },
+            "scheduler": {
+                "drifted": list(self.drifted),
+                "popularity": {
+                    name: self.popularity[name] for name in sorted(self.popularity)
+                },
+                "initial_weighted_staleness": round(self.initial_weighted_staleness, 4),
+                "rounds": [
+                    {
+                        "policy": round_.policy,
+                        "probed": list(round_.probed),
+                        "refreshed": list(round_.refreshed),
+                        "weighted_staleness": round(round_.weighted_staleness, 4),
+                    }
+                    for round_ in self.policies
+                ],
+                "uniform_mean_weighted_staleness": round(self.uniform_mean_staleness, 4),
+                "advantage_uniform_over_scored": round(self.scheduler_advantage, 3),
+            },
+        }
+
+
+class _SlowProbeDatabase:
+    """A database whose every *sampling* query pays a fixed latency.
+
+    The serving bench's ``LatencyInjected`` targets the ranked-retrieval
+    engine; probe and refresh samplers go through ``run_query``, so the
+    throughput sweep needs the acquisition-side analogue — without it
+    the probes are pure CPU and the GIL would flatten any thread-pool
+    scaling, which is not how a fleet of remote backends behaves.
+    """
+
+    def __init__(self, inner: DatabaseServer, delay: float) -> None:
+        self.inner = inner
+        self.delay = delay
+        self.name = getattr(inner, "name", "database")
+
+    def run_query(self, query: str, max_docs: int = 10):
+        time.sleep(self.delay)
+        return self.inner.run_query(query, max_docs=max_docs)
+
+
+def _build_fleet(
+    num_databases: int, scale: float, seed: int
+) -> dict[str, DatabaseServer]:
+    """``num_databases`` distinct same-profile databases, stably named."""
+    servers: dict[str, DatabaseServer] = {}
+    for index in range(num_databases):
+        name = f"db{index:02d}"
+        corpus = cacm_like().build(seed=derive_seed(seed, "fleet", name), scale=scale)
+        servers[name] = DatabaseServer(Corpus(corpus, name=name))
+    return servers
+
+
+def _learn_models(
+    servers: Mapping[str, DatabaseServer], seed: int, sample_documents: int = 60
+) -> dict[str, LanguageModel]:
+    models = {}
+    for name, server in servers.items():
+        sampler = QueryBasedSampler(
+            server,
+            bootstrap=RandomFromOther(server.actual_language_model()),
+            stopping=MaxDocuments(sample_documents),
+            seed=derive_seed(seed, "learn", name),
+        )
+        models[name] = sampler.run().model
+    return models
+
+
+def _drift(
+    servers: Mapping[str, DatabaseServer], names: Sequence[str], scale: float, seed: int
+) -> dict[str, DatabaseServer]:
+    """Silently replace ``names``' content with a different text profile."""
+    drifted = dict(servers)
+    for name in names:
+        corpus = wsj88_like().build(seed=derive_seed(seed, "drift", name), scale=scale)
+        drifted[name] = DatabaseServer(Corpus(corpus, name=name))
+    return drifted
+
+
+def _drive_traffic(
+    servers: Mapping[str, DatabaseServer],
+    models: Mapping[str, LanguageModel],
+    hot_rounds: Mapping[str, int],
+    recorder: TraceRecorder,
+    seed: int,
+) -> None:
+    """Skewed query traffic: hot databases see many queries, the tail one.
+
+    Queries are drawn from each target database's *stored* model — the
+    vocabulary the service believes it holds — so CORI selection routes
+    them there and the ``serving.db.<name>.searched`` counters the
+    scheduler consumes reflect genuinely served load.
+    """
+    service = FederatedSearchService(servers, databases_per_query=2, recorder=recorder)
+    service.use_models(models)
+    for name in sorted(servers):
+        rounds = hot_rounds.get(name, 1)
+        queries = queries_from_models({name: models[name]}, rounds * 2)
+        for query in queries:
+            service.search(SearchRequest(query=query, n=5))
+
+
+def _weighted_staleness(
+    servers: Mapping[str, DatabaseServer],
+    served: Mapping[str, LanguageModel],
+    popularity: Mapping[str, float],
+) -> float:
+    """Popularity-weighted mean true staleness of the served model set.
+
+    True staleness of one database is ``1 - spearman`` between its
+    served model (projected through the database's analyzer, as
+    ``repro compare`` does) and the ground-truth model of its *current*
+    content — the quantity the refresh machinery exists to drive down,
+    measured here with full knowledge the scheduler does not have.
+    """
+    total = 0.0
+    weight = 0.0
+    for name, server in servers.items():
+        actual = server.actual_language_model()
+        projected = served[name].project(server.index.analyzer)
+        staleness = max(0.0, min(1.0, 1.0 - spearman_rank_correlation(projected, actual)))
+        total += popularity[name] * staleness
+        weight += popularity[name]
+    return total / weight if weight else 0.0
+
+
+def _measure_throughput(
+    servers: Mapping[str, DatabaseServer],
+    models: Mapping[str, LanguageModel],
+    policy: RefreshPolicy,
+    worker_levels: Sequence[int],
+    probe_latency: float,
+    seed: int,
+) -> tuple[ThroughputLevel, ...]:
+    """Drain one full probe sweep per worker level; wall-clock each."""
+    slow: dict[str, _SlowProbeDatabase] = {
+        name: _SlowProbeDatabase(server, probe_latency)
+        for name, server in servers.items()
+    }
+    bootstraps: dict[str, QueryTermSelector] = {
+        name: RandomFromOther(server.actual_language_model())
+        for name, server in servers.items()
+    }
+    factory: Callable[[str], QueryTermSelector] = bootstraps.__getitem__
+    levels = []
+    for workers in worker_levels:
+        started = time.perf_counter()
+        result = run_refresh_sweep(
+            slow, models, factory, policy=policy, seed=seed, num_workers=workers
+        )
+        elapsed = time.perf_counter() - started
+        probes = len(result.outcome.reports)
+        levels.append(
+            ThroughputLevel(
+                workers=workers,
+                probes=probes,
+                seconds=elapsed,
+                probes_per_sec=probes / elapsed if elapsed > 0 else 0.0,
+            )
+        )
+    return tuple(levels)
+
+
+def run_fleet_bench(
+    *,
+    num_databases: int = 8,
+    scale: float = 0.04,
+    seed: int = 0,
+    budget: int = 3,
+    worker_levels: Sequence[int] = (1, 4),
+    probe_latency: float = 0.02,
+    uniform_draws: int = 5,
+) -> FleetBenchReport:
+    """Build a drifting fleet, measure throughput scaling and the scheduler.
+
+    The fleet is ``num_databases`` same-profile synthetic databases
+    with query-sampled models; a slice of them (two popular, one
+    unpopular) then drifts to a different text profile.  Throughput is
+    measured on the *pre-drift* fleet (probe-only jobs, identical work
+    at every worker level); the scheduler comparison runs one
+    fixed-budget round per policy from the same starting state.
+    """
+    if num_databases < 4:
+        raise ValueError("the fleet bench needs at least 4 databases")
+    if budget <= 0 or budget > num_databases:
+        raise ValueError("budget must be in [1, num_databases]")
+    if uniform_draws <= 0:
+        raise ValueError("uniform_draws must be positive")
+    servers = _build_fleet(num_databases, scale, seed)
+    models = _learn_models(servers, seed)
+    names = sorted(servers)
+    policy = RefreshPolicy(refresh_documents=60)
+
+    throughput = _measure_throughput(
+        servers, models, policy, worker_levels, probe_latency, seed
+    )
+
+    # Drift: two databases that will be popular and one from the tail.
+    drifted_names = (names[0], names[1], names[-1])
+    drifted = _drift(servers, drifted_names, scale, seed)
+
+    # Popularity from real serving traffic: the two popular drifted
+    # databases plus one popular fresh one dominate the query stream.
+    recorder = TraceRecorder()
+    hot_rounds = {names[0]: 8, names[1]: 6, names[2]: 4}
+    _drive_traffic(drifted, models, hot_rounds, recorder, seed)
+    popularity = popularity_from_metrics(recorder.metrics, names)
+
+    initial = _weighted_staleness(drifted, models, popularity)
+
+    def bootstrap_factory(name: str) -> QueryTermSelector:
+        return RandomFromOther(drifted[name].actual_language_model())
+
+    rounds = []
+    # Scored: the fleet scheduler ranks by staleness-prior x popularity
+    # and the budget truncates the round.
+    scored = run_refresh_sweep(
+        drifted,
+        models,
+        bootstrap_factory,
+        policy=policy,
+        seed=seed,
+        budget=budget,
+        popularity=popularity,
+        num_workers=2,
+    )
+    served = dict(models)
+    served.update(
+        {name: scored.outcome.models[name] for name in scored.outcome.refreshed}
+    )
+    rounds.append(
+        PolicyRound(
+            policy="scored",
+            probed=tuple(sorted(scored.outcome.reports)),
+            refreshed=tuple(sorted(scored.outcome.refreshed)),
+            weighted_staleness=_weighted_staleness(drifted, served, popularity),
+        )
+    )
+
+    # Uniform: the same budget spread over the fleet with no signal —
+    # seeded draws, the honest model of "probe everything eventually,
+    # B per round, no idea where the users or the drift are".  One
+    # draw is pure luck either way, so the baseline is averaged over
+    # several independent draws from the same starting state.
+    for draw in range(uniform_draws):
+        chosen = Random(derive_seed(seed, "uniform-pick", str(draw))).sample(
+            names, budget
+        )
+        uniform = run_refresh_sweep(
+            {name: drifted[name] for name in chosen},
+            {name: models[name] for name in chosen},
+            bootstrap_factory,
+            policy=policy,
+            seed=seed,
+            num_workers=2,
+        )
+        served = dict(models)
+        served.update(
+            {name: uniform.outcome.models[name] for name in uniform.outcome.refreshed}
+        )
+        rounds.append(
+            PolicyRound(
+                policy="uniform",
+                probed=tuple(sorted(uniform.outcome.reports)),
+                refreshed=tuple(sorted(uniform.outcome.refreshed)),
+                weighted_staleness=_weighted_staleness(drifted, served, popularity),
+            )
+        )
+
+    return FleetBenchReport(
+        num_databases=num_databases,
+        scale=scale,
+        seed=seed,
+        budget=budget,
+        probe_latency=probe_latency,
+        drifted=drifted_names,
+        popularity=popularity,
+        initial_weighted_staleness=initial,
+        throughput=throughput,
+        policies=tuple(rounds),
+    )
+
+
+def format_fleet_bench(report: FleetBenchReport) -> str:
+    """Human-readable rendering of a fleet bench report."""
+    from repro.experiments.reporting import format_table
+
+    lines = [
+        f"fleet bench: {report.num_databases} databases, budget {report.budget}, "
+        f"{report.probe_latency * 1000:.0f}ms injected probe latency",
+        "",
+        format_table(
+            [
+                {
+                    "workers": level.workers,
+                    "probes": level.probes,
+                    "seconds": round(level.seconds, 2),
+                    "probes_per_sec": round(level.probes_per_sec, 2),
+                }
+                for level in report.throughput
+            ],
+            title="Probe throughput by worker count",
+        ),
+        f"scaling 1 -> max workers: {report.throughput_scaling:.2f}x",
+        "",
+        format_table(
+            [
+                {
+                    "policy": round_.policy,
+                    "probed": ", ".join(round_.probed),
+                    "refreshed": ", ".join(round_.refreshed) or "-",
+                    "weighted_staleness": round(round_.weighted_staleness, 4),
+                }
+                for round_ in report.policies
+            ],
+            title=f"One budget-{report.budget} round from weighted staleness "
+            f"{report.initial_weighted_staleness:.4f} "
+            f"(drifted: {', '.join(report.drifted)})",
+        ),
+        f"scheduler advantage (mean uniform / scored staleness): "
+        f"{report.scheduler_advantage:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def write_fleet_bench(report: FleetBenchReport, path: str) -> None:
+    """Write the machine-readable report as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.as_dict(), handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -1,0 +1,466 @@
+"""A durable, file-backed job queue for fleet maintenance work.
+
+Model refresh at fleet scale is long-running, interruptible work:
+probes and re-samples take hundreds of remote queries, workers die,
+and the paper's whole premise — that a discovered model is expensive
+accumulated state — applies equally to the *work list* that maintains
+it.  So the queue is durable by construction: every job is one JSON
+file under ``queue_dir/jobs/``, written with the same atomic primitive
+as every other artifact in the repo, and a restarted process sees
+exactly the jobs the dead one left.
+
+Job lifecycle::
+
+    submit ──> pending ──claim──> leased ──complete──> done
+                  ^                  │
+                  │   fail (attempts left, backoff)
+                  └──────────────────┤
+                                     │   fail (attempts exhausted)
+                                     └──────────────────────────> failed
+               pending <──lease expires (worker died)── leased
+
+* **Priorities** — :meth:`DurableJobQueue.claim` hands out the highest
+  priority eligible job (ties broken by job id), which is how the
+  scheduling layer's budget allocator turns its scores into execution
+  order.
+* **Leases** — a claim stamps the job with a worker id, an opaque
+  lease token, and an absolute expiry.  A worker that dies mid-job
+  simply stops heartbeating; once the lease expires the job is
+  claimable again.  Expiries are wall-clock timestamps so they hold
+  *across* processes (a restarted worker pool observes the dead pool's
+  leases aging out).
+* **Exactly-once completion** — :meth:`DurableJobQueue.complete`
+  requires the claim's lease token.  A worker that lost its lease (it
+  stalled, the job was re-claimed and finished by someone else) gets
+  :class:`LeaseLostError` or an ``already done`` no-op instead of
+  double-applying its result.
+* **Bounded retry with backoff** — :meth:`DurableJobQueue.fail`
+  returns the job to pending with an exponential ``not_before`` gate,
+  until ``max_attempts`` is exhausted and the job parks as failed.
+
+Concurrency model: worker *threads* in one process share one queue
+object (an internal lock makes claim/complete/fail atomic).  Across
+processes the queue supports crash-restart recovery — the CI smoke
+kills a worker mid-lease and restarts — via durable files, lease
+expiry, and token-checked completion; it is not a distributed lock
+manager, so two *simultaneously live* processes should not share one
+queue directory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+from urllib.parse import quote
+
+from repro.obs.trace import NULL_RECORDER, Recorder
+from repro.utils.atomic import atomic_write_text
+
+__all__ = [
+    "DurableJobQueue",
+    "Job",
+    "JobState",
+    "Lease",
+    "LeaseLostError",
+    "QUEUE_SCHEMA",
+    "SystemClock",
+]
+
+#: Job-file schema identifier, bumped on breaking changes.
+QUEUE_SCHEMA = "repro-fleet-queue/1"
+
+_JOBS_DIR = "jobs"
+
+
+class JobState:
+    """The four durable job states (plain strings in the job files)."""
+
+    PENDING = "pending"
+    LEASED = "leased"
+    DONE = "done"
+    FAILED = "failed"
+
+    ALL = (PENDING, LEASED, DONE, FAILED)
+
+
+class LeaseLostError(RuntimeError):
+    """The caller's lease token no longer owns the job.
+
+    Raised when a worker tries to complete or fail a job after its
+    lease expired and the job moved on (re-claimed by another worker,
+    or already finished).  The correct reaction is to discard the
+    local result — the queue's answer is authoritative.
+    """
+
+
+class SystemClock:
+    """Wall-clock time, satisfying the transport layer's clock protocol.
+
+    Lease expiries must be meaningful to a process started *after* the
+    one that wrote them, so the default queue clock is absolute
+    ``time.time()``.  Tests substitute the transport layer's
+    :class:`~repro.sampling.transport.SimulatedClock` (same ``now`` /
+    ``sleep`` surface) to make expiry deterministic.
+    """
+
+    @property
+    def now(self) -> float:
+        """Seconds since the epoch."""
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        """Really sleep (workers poll on this between claims)."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's time-bounded claim on a job."""
+
+    worker: str
+    token: str
+    expires: float
+
+    def expired(self, now: float) -> bool:
+        """Whether the lease has aged out (the worker presumably died)."""
+        return now >= self.expires
+
+
+@dataclass(frozen=True)
+class Job:
+    """One durable unit of fleet work (immutable snapshot of its file)."""
+
+    job_id: str
+    kind: str
+    database: str
+    priority: float = 0.0
+    state: str = JobState.PENDING
+    attempts: int = 0
+    max_attempts: int = 3
+    not_before: float = 0.0
+    lease: Lease | None = None
+    payload: dict[str, Any] = field(default_factory=dict)
+    result: dict[str, Any] | None = None
+    error: str | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for JSON emission."""
+        data: dict[str, object] = {
+            "schema": QUEUE_SCHEMA,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "database": self.database,
+            "priority": self.priority,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "not_before": self.not_before,
+            "payload": self.payload,
+            "result": self.result,
+            "error": self.error,
+        }
+        if self.lease is not None:
+            data["lease"] = {
+                "worker": self.lease.worker,
+                "token": self.lease.token,
+                "expires": self.lease.expires,
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], source: str) -> "Job":
+        """Parse a job file dict, validating schema and state."""
+        schema = data.get("schema")
+        if schema != QUEUE_SCHEMA:
+            raise ValueError(
+                f"{source}: unsupported queue schema {schema!r} (expected {QUEUE_SCHEMA!r})"
+            )
+        state = str(data.get("state", JobState.PENDING))
+        if state not in JobState.ALL:
+            raise ValueError(f"{source}: unknown job state {state!r}")
+        lease = None
+        raw_lease = data.get("lease")
+        if raw_lease is not None:
+            lease = Lease(
+                worker=str(raw_lease["worker"]),
+                token=str(raw_lease["token"]),
+                expires=float(raw_lease["expires"]),
+            )
+        return cls(
+            job_id=str(data["job_id"]),
+            kind=str(data["kind"]),
+            database=str(data["database"]),
+            priority=float(data.get("priority", 0.0)),
+            state=state,
+            attempts=int(data.get("attempts", 0)),
+            max_attempts=int(data.get("max_attempts", 3)),
+            not_before=float(data.get("not_before", 0.0)),
+            lease=lease,
+            payload=dict(data.get("payload") or {}),
+            result=data.get("result"),
+            error=data.get("error"),
+        )
+
+
+def _default_job_id(kind: str, database: str) -> str:
+    # Percent-escaping keeps any database name a safe filename chunk
+    # and makes the default id injective in (kind, database) — which
+    # is what makes re-submitting the same logical work idempotent.
+    return f"{quote(kind, safe='')}--{quote(database, safe='')}"
+
+
+class DurableJobQueue:
+    """File-per-job durable queue with leases, priorities, and retry.
+
+    Parameters
+    ----------
+    root:
+        Queue directory; ``root/jobs/<job_id>.json`` holds each job.
+    lease_seconds:
+        How long a claim holds before a dead worker's job is
+        reclaimable (extendable via :meth:`extend_lease` heartbeats).
+    backoff_base, backoff_multiplier:
+        A failed attempt re-enters pending no earlier than
+        ``base * multiplier ** (attempts - 1)`` seconds later.
+    clock:
+        ``now``/``sleep`` provider; defaults to :class:`SystemClock`
+        (absolute timestamps, so leases survive process boundaries).
+    recorder:
+        Observability sink for ``fleet.*`` counters and queue events.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        lease_seconds: float = 120.0,
+        backoff_base: float = 1.0,
+        backoff_multiplier: float = 2.0,
+        clock: Any | None = None,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if backoff_base < 0 or backoff_multiplier < 1.0:
+            raise ValueError("backoff_base must be >= 0 and backoff_multiplier >= 1")
+        self.root = Path(root)
+        self.lease_seconds = lease_seconds
+        self.backoff_base = backoff_base
+        self.backoff_multiplier = backoff_multiplier
+        self.clock = clock if clock is not None else SystemClock()
+        self.recorder = recorder
+        self._lock = threading.Lock()
+        self._claim_counter = 0
+
+    # -- files -------------------------------------------------------------
+
+    @property
+    def jobs_dir(self) -> Path:
+        """Directory holding one JSON file per job."""
+        return self.root / _JOBS_DIR
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _write(self, job: Job) -> None:
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self._job_path(job.job_id),
+            json.dumps(job.as_dict(), indent=2, sort_keys=True) + "\n",
+        )
+
+    def _read(self, job_id: str) -> Job:
+        path = self._job_path(job_id)
+        if not path.is_file():
+            raise KeyError(f"no job {job_id!r} in queue {self.root}")
+        return Job.from_dict(json.loads(path.read_text(encoding="utf-8")), str(path))
+
+    def jobs(self) -> Iterator[Job]:
+        """Every job currently in the queue, in job-id order."""
+        if not self.jobs_dir.is_dir():
+            return
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            yield Job.from_dict(json.loads(path.read_text(encoding="utf-8")), str(path))
+
+    def get(self, job_id: str) -> Job:
+        """The current durable state of one job."""
+        with self._lock:
+            return self._read(job_id)
+
+    # -- submitting --------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        database: str,
+        *,
+        priority: float = 0.0,
+        payload: Mapping[str, Any] | None = None,
+        job_id: str | None = None,
+        max_attempts: int = 3,
+    ) -> Job:
+        """Add one job (idempotent per job id).
+
+        Re-submitting an id that is already pending/leased returns the
+        existing job unchanged — callers can blindly enqueue a sweep
+        without double-scheduling work a crashed run already queued.  A
+        done or failed job under the same id is replaced (a new round
+        of the same logical work).
+        """
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        job_id = job_id or _default_job_id(kind, database)
+        with self._lock:
+            try:
+                existing = self._read(job_id)
+            except KeyError:
+                existing = None
+            if existing is not None and existing.state in (JobState.PENDING, JobState.LEASED):
+                return existing
+            job = Job(
+                job_id=job_id,
+                kind=kind,
+                database=database,
+                priority=priority,
+                payload=dict(payload or {}),
+                max_attempts=max_attempts,
+            )
+            self._write(job)
+        self.recorder.count("fleet.jobs_submitted")
+        return job
+
+    # -- claiming ----------------------------------------------------------
+
+    def _eligible(self, job: Job, now: float) -> bool:
+        if job.state == JobState.PENDING:
+            return now >= job.not_before
+        if job.state == JobState.LEASED:
+            return job.lease is not None and job.lease.expired(now)
+        return False
+
+    def claim(self, worker_id: str) -> Job | None:
+        """Lease the best eligible job to ``worker_id`` (None = nothing to do).
+
+        Eligible means pending with its backoff gate passed, or leased
+        with an expired lease (the previous worker died mid-job — the
+        re-claim is counted as ``fleet.leases_expired``).  Highest
+        priority wins; ties go to the smaller job id so the order is
+        deterministic.
+        """
+        with self._lock:
+            now = self.clock.now
+            candidates = [job for job in self.jobs() if self._eligible(job, now)]
+            if not candidates:
+                return None
+            best = min(candidates, key=lambda job: (-job.priority, job.job_id))
+            reclaimed = best.state == JobState.LEASED
+            previous_worker = best.lease.worker if best.lease is not None else ""
+            self._claim_counter += 1
+            lease = Lease(
+                worker=worker_id,
+                token=f"{worker_id}:{best.attempts + 1}:{self._claim_counter}",
+                expires=now + self.lease_seconds,
+            )
+            claimed = replace(
+                best, state=JobState.LEASED, attempts=best.attempts + 1, lease=lease
+            )
+            self._write(claimed)
+        if reclaimed:
+            self.recorder.count("fleet.leases_expired")
+            self.recorder.event(
+                "lease_expired", job_id=best.job_id, previous_worker=previous_worker
+            )
+        self.recorder.count("fleet.jobs_claimed")
+        return claimed
+
+    def extend_lease(self, job_id: str, token: str) -> Job:
+        """Heartbeat: push the lease expiry out by ``lease_seconds``."""
+        with self._lock:
+            job = self._checked(job_id, token)
+            assert job.lease is not None  # _checked guarantees it
+            extended = replace(
+                job, lease=replace(job.lease, expires=self.clock.now + self.lease_seconds)
+            )
+            self._write(extended)
+            return extended
+
+    def _checked(self, job_id: str, token: str) -> Job:
+        """The job, if and only if ``token`` still owns its lease."""
+        job = self._read(job_id)
+        if job.state != JobState.LEASED or job.lease is None or job.lease.token != token:
+            raise LeaseLostError(
+                f"job {job_id!r} is not held under this lease "
+                f"(state={job.state}, the job moved on without this worker)"
+            )
+        return job
+
+    # -- finishing ---------------------------------------------------------
+
+    def complete(self, job_id: str, token: str, result: Mapping[str, Any] | None = None) -> bool:
+        """Mark a leased job done — exactly once.
+
+        Returns True if this call completed the job.  If the job is
+        *already done* (this worker's lease expired and a re-claimant
+        finished first) returns False so the caller discards its
+        duplicate result.  Any other lease mismatch raises
+        :class:`LeaseLostError`.
+        """
+        with self._lock:
+            job = self._read(job_id)
+            if job.state == JobState.DONE:
+                self.recorder.count("fleet.duplicate_completions")
+                return False
+            job = self._checked(job_id, token)
+            done = replace(
+                job, state=JobState.DONE, lease=None, result=dict(result or {}), error=None
+            )
+            self._write(done)
+        self.recorder.count("fleet.jobs_completed")
+        return True
+
+    def fail(self, job_id: str, token: str, error: str) -> Job:
+        """Record a failed attempt: retry with backoff, or park as failed."""
+        with self._lock:
+            job = self._checked(job_id, token)
+            if job.attempts >= job.max_attempts:
+                parked = replace(job, state=JobState.FAILED, lease=None, error=error)
+                self._write(parked)
+                outcome = parked
+            else:
+                delay = self.backoff_base * self.backoff_multiplier ** (job.attempts - 1)
+                retried = replace(
+                    job,
+                    state=JobState.PENDING,
+                    lease=None,
+                    error=error,
+                    not_before=self.clock.now + delay,
+                )
+                self._write(retried)
+                outcome = retried
+        if outcome.state == JobState.FAILED:
+            self.recorder.count("fleet.jobs_dead")
+            self.recorder.event("job_failed", job_id=job_id, error=error)
+        else:
+            self.recorder.count("fleet.jobs_retried")
+        return outcome
+
+    # -- inspection --------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Job counts by state (all four states always present)."""
+        counts = {state: 0 for state in JobState.ALL}
+        for job in self.jobs():
+            counts[job.state] += 1
+        return counts
+
+    def drained(self) -> bool:
+        """Whether every job has reached a terminal state (done/failed)."""
+        return all(job.state in (JobState.DONE, JobState.FAILED) for job in self.jobs())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DurableJobQueue(root={str(self.root)!r})"

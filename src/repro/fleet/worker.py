@@ -1,0 +1,339 @@
+"""Fleet workers: drain the durable queue, refresh models, survive crashes.
+
+A :class:`FleetWorker` is one claim-execute-complete loop over a
+:class:`~repro.fleet.queue.DurableJobQueue`.  The execution side reuses
+the repo's existing resilience pieces rather than reinventing them:
+
+* a per-worker :class:`~repro.sampling.transport.CircuitBreaker` (PR 1)
+  gates every job — a database that keeps failing permanently stops
+  being hammered, and jobs it would have run fail fast back into the
+  queue's retry/backoff machinery;
+* an optional per-job :class:`~repro.store.SamplerCheckpointer` (PR 5)
+  rides under the refresh re-sample, so a worker killed mid-refresh
+  resumes the sampling run bit-identically instead of restarting it.
+
+:class:`RefreshRunner` is the standard job handler: it executes
+``refresh_check`` jobs with *exactly* the semantics of
+:meth:`repro.sampling.staleness.RefreshPolicy.maybe_refresh` (same
+probe, same seeds, same decision rule), installing refreshed models
+into a lock-guarded result sink.  :func:`run_workers` runs a pool of
+worker threads until the queue drains.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.backend import SearchableDatabase
+from repro.fleet.queue import DurableJobQueue, Job, LeaseLostError
+from repro.lm.model import LanguageModel
+from repro.obs.trace import NULL_RECORDER, Recorder
+from repro.sampling.sampler import QueryBasedSampler
+from repro.sampling.selection import QueryTermSelector
+from repro.sampling.staleness import RefreshPolicy, StalenessReport, staleness_probe
+from repro.sampling.stopping import MaxDocuments
+from repro.sampling.transport import RETRYABLE_ERRORS, CircuitBreaker, ServerError
+from repro.store.checkpoint import SamplerCheckpointer
+from repro.utils.rand import derive_seed
+
+__all__ = [
+    "FleetWorker",
+    "RefreshOutcome",
+    "RefreshRunner",
+    "WorkerStats",
+    "run_workers",
+]
+
+#: The job kind RefreshRunner understands.
+REFRESH_JOB_KIND = "refresh_check"
+
+
+@dataclass
+class RefreshOutcome:
+    """Everything a completed refresh sweep produced, thread-safely.
+
+    Workers append under one lock; the orchestration layer reads the
+    dicts once every worker has joined.
+    """
+
+    models: dict[str, LanguageModel] = field(default_factory=dict)
+    reports: dict[str, StalenessReport] = field(default_factory=dict)
+    refreshed: list[str] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(
+        self, name: str, model: LanguageModel, report: StalenessReport, refreshed: bool
+    ) -> None:
+        """Install one database's sweep result."""
+        with self._lock:
+            self.models[name] = model
+            self.reports[name] = report
+            if refreshed:
+                self.refreshed.append(name)
+
+
+class RefreshRunner:
+    """Executes ``refresh_check`` jobs with ``maybe_refresh`` semantics.
+
+    Parameters
+    ----------
+    databases:
+        Install name → live database handle.
+    stored_models:
+        Install name → the currently served model (the probe baseline).
+    bootstrap_factory:
+        Install name → bootstrap selector for that database's sampler.
+    policy:
+        Thresholds and refresh sample size.
+    outcome:
+        Shared sink the runner records results into.
+    checkpoint_root:
+        When set, each refresh re-sample runs under a per-job
+        :class:`SamplerCheckpointer` in ``checkpoint_root/<job_id>/`` —
+        a worker killed mid-refresh resumes the run bit-identically.
+    recorder:
+        Observability sink (spans from the underlying sampler plus
+        ``fleet.models_refreshed`` / ``fleet.probes_run`` counters).
+    """
+
+    def __init__(
+        self,
+        databases: Mapping[str, SearchableDatabase],
+        stored_models: Mapping[str, LanguageModel],
+        bootstrap_factory: Callable[[str], QueryTermSelector],
+        policy: RefreshPolicy,
+        outcome: RefreshOutcome,
+        *,
+        checkpoint_root: Any | None = None,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        self.databases = databases
+        self.stored_models = stored_models
+        self.bootstrap_factory = bootstrap_factory
+        self.policy = policy
+        self.outcome = outcome
+        self.checkpoint_root = checkpoint_root
+        self.recorder = recorder
+
+    def __call__(self, job: Job) -> dict[str, Any]:
+        """Probe one database; re-sample if stale.  Returns the job result.
+
+        Seed discipline matches :meth:`RefreshPolicy.maybe_refresh`
+        exactly: the probe runs at the job's seed, the refresh sampler
+        at ``derive_seed(seed, "refresh")`` — so a queued sweep's query
+        sequences are identical to the old inline sweep's.
+        """
+        if job.kind != REFRESH_JOB_KIND:
+            raise ValueError(f"RefreshRunner cannot execute job kind {job.kind!r}")
+        name = job.database
+        if name not in self.databases:
+            raise KeyError(f"job {job.job_id!r} names unknown database {name!r}")
+        seed = int(job.payload.get("seed", 0))
+        database = self.databases[name]
+        stored = self.stored_models[name]
+        bootstrap = self.bootstrap_factory(name)
+        report = staleness_probe(
+            database, stored, bootstrap, seed=seed, recorder=self.recorder
+        )
+        self.recorder.count("fleet.probes_run")
+        stale = report.is_stale(self.policy.rdiff_threshold, self.policy.spearman_floor)
+        if not stale:
+            self.outcome.record(name, stored, report, refreshed=False)
+            return {"refreshed": False, "spearman": report.spearman}
+        sampler = QueryBasedSampler(
+            database,
+            bootstrap=bootstrap,
+            stopping=MaxDocuments(self.policy.refresh_documents),
+            seed=derive_seed(seed, "refresh"),
+            recorder=self.recorder,
+        )
+        checkpoint = None
+        if self.checkpoint_root is not None:
+            from pathlib import Path
+
+            checkpoint = SamplerCheckpointer(
+                Path(self.checkpoint_root) / job.job_id, recorder=self.recorder
+            )
+            checkpoint.resume(sampler)
+        model = sampler.run(checkpoint=checkpoint).model
+        self.outcome.record(name, model, report, refreshed=True)
+        self.recorder.count("fleet.models_refreshed")
+        return {"refreshed": True, "spearman": report.spearman}
+
+
+@dataclass
+class WorkerStats:
+    """One worker's tally after :meth:`FleetWorker.run` returns."""
+
+    worker_id: str
+    completed: int = 0
+    failed: int = 0
+    rejected_by_breaker: int = 0
+    lost_leases: int = 0
+
+
+class FleetWorker:
+    """One claim → execute → complete loop over the durable queue.
+
+    Parameters
+    ----------
+    worker_id:
+        Stable identity stamped into leases (and lease-expiry events).
+    queue:
+        The shared durable queue.
+    handler:
+        ``Job -> result dict``; raising marks the attempt failed (the
+        queue retries with backoff until attempts exhaust).
+    breaker:
+        Circuit breaker consulted before every job; opened by
+        *retryable* server errors (the transient kind worth pausing
+        on), so a flapping backend stops being hammered.  A rejected
+        job is failed back to the queue without touching the backend.
+    on_job_done:
+        Test/CLI hook called after each completed or failed job with
+        the running count — the CLI's crash injector uses it to die
+        mid-lease at a precise point.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        queue: DurableJobQueue,
+        handler: Callable[[Job], Mapping[str, Any]],
+        *,
+        breaker: CircuitBreaker | None = None,
+        recorder: Recorder = NULL_RECORDER,
+        on_job_done: Callable[[int], None] | None = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.queue = queue
+        self.handler = handler
+        self.breaker = breaker or CircuitBreaker()
+        self.recorder = recorder
+        self.on_job_done = on_job_done
+        self.stats = WorkerStats(worker_id=worker_id)
+
+    def run_one(self) -> bool:
+        """Claim and process one job.  False means nothing was claimable."""
+        job = self.queue.claim(self.worker_id)
+        if job is None:
+            return False
+        assert job.lease is not None
+        token = job.lease.token
+        with self.recorder.span(
+            "fleet_job", job_id=job.job_id, database=job.database, worker=self.worker_id
+        ) as span:
+            if not self.breaker.allow():
+                self.stats.rejected_by_breaker += 1
+                self.recorder.count("fleet.breaker_rejected")
+                self._fail(job, token, "circuit breaker open")
+                span.set(outcome="breaker_rejected")
+                return True
+            try:
+                result = self.handler(job)
+            except RETRYABLE_ERRORS as error:
+                self.breaker.record_failure()
+                self._fail(job, token, f"{type(error).__name__}: {error}")
+                span.set(outcome="retryable_error")
+            except (ServerError, ValueError, KeyError, OSError) as error:
+                # Non-retryable trouble still goes through the queue's
+                # bounded retry (the next attempt may hit a healthier
+                # replica or a fixed config) but does not open the
+                # breaker: the backend itself answered.
+                self._fail(job, token, f"{type(error).__name__}: {error}")
+                span.set(outcome="error")
+            else:
+                self.breaker.record_success()
+                self._complete(job, token, result)
+                span.set(outcome="done")
+        return True
+
+    def _complete(self, job: Job, token: str, result: Mapping[str, Any]) -> None:
+        try:
+            if self.queue.complete(job.job_id, token, result):
+                self.stats.completed += 1
+            else:
+                self.stats.lost_leases += 1
+        except LeaseLostError:
+            self.stats.lost_leases += 1
+        self._notify()
+
+    def _fail(self, job: Job, token: str, error: str) -> None:
+        try:
+            self.queue.fail(job.job_id, token, error)
+            self.stats.failed += 1
+        except LeaseLostError:
+            self.stats.lost_leases += 1
+        self._notify()
+
+    def _notify(self) -> None:
+        if self.on_job_done is not None:
+            self.on_job_done(self.stats.completed + self.stats.failed)
+
+    def run(self, *, poll_interval: float = 0.02, idle_polls: int = 3) -> WorkerStats:
+        """Drain the queue: loop until nothing is claimable.
+
+        An empty claim is retried ``idle_polls`` times (other workers
+        may fail jobs back into pending, and backoff gates open over
+        time) before the worker exits.
+        """
+        idle = 0
+        while idle <= idle_polls:
+            if self.run_one():
+                idle = 0
+                continue
+            idle += 1
+            if idle <= idle_polls:
+                self.queue.clock.sleep(poll_interval)
+        return self.stats
+
+
+def run_workers(
+    queue: DurableJobQueue,
+    handler: Callable[[Job], Mapping[str, Any]],
+    *,
+    num_workers: int = 4,
+    breaker_factory: Callable[[], CircuitBreaker] | None = None,
+    recorder: Recorder = NULL_RECORDER,
+    poll_interval: float = 0.02,
+    idle_polls: int = 3,
+    on_job_done: Callable[[int], None] | None = None,
+) -> list[WorkerStats]:
+    """Drain the queue with a pool of worker threads; returns their stats.
+
+    Worker threads share the queue object (its internal lock makes
+    claims race-free) and the handler, which must therefore be
+    thread-safe — :class:`RefreshRunner` is.  Each worker gets its own
+    circuit breaker so one worker's bad luck does not trip the others.
+    """
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    make_breaker = breaker_factory or CircuitBreaker
+    workers = [
+        FleetWorker(
+            f"worker-{index}",
+            queue,
+            handler,
+            breaker=make_breaker(),
+            recorder=recorder,
+            on_job_done=on_job_done,
+        )
+        for index in range(num_workers)
+    ]
+    if num_workers == 1:
+        return [workers[0].run(poll_interval=poll_interval, idle_polls=idle_polls)]
+    threads = [
+        threading.Thread(
+            target=worker.run,
+            kwargs={"poll_interval": poll_interval, "idle_polls": idle_polls},
+            name=worker.worker_id,
+        )
+        for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return [worker.stats for worker in workers]

@@ -158,20 +158,29 @@ def run_serve_bench(
     workers: int = 8,
     backend_latency: float = 0.0,
     databases_per_query: int = 3,
+    models: Mapping[str, LanguageModel] | None = None,
 ) -> ServeBenchReport:
     """Benchmark serial/scalar/cold baselines against the serving path.
 
     ``budget`` is the wall-clock budget *per measured mode* (six
-    modes).  Models are the databases' actual language models — the
-    bench measures serving, not acquisition.
+    modes).  ``models`` defaults to the databases' actual language
+    models — the bench measures serving, not acquisition; pass a
+    store-loaded set (``repro serve-bench --models DIR``) to bench the
+    warm-start path instead.
     """
-    models = {
-        name: server.actual_language_model()
-        for name, server in servers.items()
-        if isinstance(server, EvaluableDatabase)
-    }
-    if set(models) != set(servers):
-        raise TypeError("serve-bench needs evaluable databases (actual models)")
+    if models is None:
+        models = {
+            name: server.actual_language_model()
+            for name, server in servers.items()
+            if isinstance(server, EvaluableDatabase)
+        }
+        if set(models) != set(servers):
+            raise TypeError("serve-bench needs evaluable databases (actual models)")
+    else:
+        missing = set(servers) - set(models)
+        if missing:
+            raise TypeError(f"serve-bench models missing databases: {sorted(missing)}")
+        models = {name: models[name] for name in servers}
     if queries is None:
         queries = queries_from_models(models, num_queries)
     depth = min(databases_per_query, len(servers))

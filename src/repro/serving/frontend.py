@@ -57,7 +57,8 @@ from repro.index.search import SearchResult
 from repro.obs.trace import Recorder
 from repro.sampling.transport import ServerError
 from repro.serving.cache import LruCache
-from repro.store.model_store import ModelStore
+from repro.store.base import ModelStorage, open_store
+from repro.store.sharded import ShardedModelStore
 
 __all__ = ["FederationFrontend", "PartialUpdate"]
 
@@ -131,6 +132,8 @@ class FederationFrontend:
         self._scorer: CoriScorer | None = None
         self._compiled_epoch = -1
         self._executor: ThreadPoolExecutor | None = None
+        self._warm_store: ModelStorage | None = None
+        self._store_epochs: dict[str, int] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -138,7 +141,7 @@ class FederationFrontend:
     def from_store(
         cls,
         service: FederatedSearchService,
-        store: ModelStore | str | Path,
+        store: ModelStorage | str | Path,
         *,
         max_workers: int = 8,
         analyzed_cache_size: int = 4096,
@@ -152,9 +155,13 @@ class FederationFrontend:
         :meth:`~repro.federation.service.FederatedSearchService.load_models`)
         and eagerly compiles the vectorized scorer, so the first query
         after a restart pays no cold-start cost and no stale cache
-        entry can survive the restart.
+        entry can survive the restart.  The store may be flat or
+        sharded (a path autodetects via :func:`repro.store.open_store`);
+        a sharded store additionally enables per-shard invalidation
+        through :meth:`refresh_from_store`.
         """
-        service.load_models(store)
+        resolved = open_store(store) if isinstance(store, (str, Path)) else store
+        service.load_models(resolved)
         frontend = cls(
             service,
             max_workers=max_workers,
@@ -162,8 +169,71 @@ class FederationFrontend:
             selection_cache_size=selection_cache_size,
             recorder=recorder,
         )
+        frontend._warm_store = resolved
+        frontend._store_epochs = frontend._epochs_of(resolved)
         frontend._ensure_current()
         return frontend
+
+    @staticmethod
+    def _epochs_of(store: ModelStorage) -> dict[str, int]:
+        """The store's invalidation keys: per shard, or one for a flat store."""
+        if isinstance(store, ShardedModelStore):
+            return store.shard_epochs()
+        return {"": store.model_epoch()}
+
+    def refresh_from_store(
+        self, store: ModelStorage | str | Path | None = None
+    ) -> tuple[str, ...]:
+        """Reload only the models whose shard moved since the last load.
+
+        Compares the store's per-shard epochs (one epoch total for a
+        flat store) against those seen at :meth:`from_store` / the last
+        refresh, reads back *only* the databases living in shards that
+        moved, and installs the merged set (one service epoch bump, so
+        caches and the compiled scorer invalidate once).  Returns the
+        reloaded database names — empty means the store hasn't moved
+        and nothing was touched, not even the caches.
+
+        This is the serving half of the fleet refresh loop: workers
+        fold refreshed models into the sharded store shard by shard
+        (:meth:`~repro.store.ShardedModelStore.update`), and a serving
+        process polls this method to pick changes up without re-reading
+        the untouched majority of the fleet.
+        """
+        if store is None:
+            if self._warm_store is None:
+                raise RuntimeError(
+                    "no store to refresh from; boot with from_store() or pass one"
+                )
+            resolved: ModelStorage = self._warm_store
+        else:
+            resolved = open_store(store) if isinstance(store, (str, Path)) else store
+        current = self._epochs_of(resolved)
+        changed = {
+            shard_id
+            for shard_id, epoch in current.items()
+            if self._store_epochs.get(shard_id) != epoch
+        }
+        if not changed:
+            return ()
+        service = self.service
+        if isinstance(resolved, ShardedModelStore):
+            affected = sorted(
+                name
+                for name in service.servers
+                if resolved.shard_for(name).root.name in changed
+            )
+        else:
+            affected = sorted(service.servers)
+        reloaded = {name: resolved.load_model(name) for name in affected}
+        merged = dict(service.models)
+        merged.update(reloaded)
+        service.use_models(merged)
+        self._warm_store = resolved
+        self._store_epochs = current
+        self.recorder.count("serving.shard_reloads", len(changed))
+        self._ensure_current()
+        return tuple(affected)
 
     def close(self) -> None:
         """Shut the fan-out pool down (idempotent)."""

@@ -12,11 +12,18 @@ makes that state durable:
   loaded as one unit (warm-start for
   :class:`~repro.federation.service.FederatedSearchService` and the
   serving frontend);
+* :class:`ShardedModelStore` — the fleet-scale layout: hash-bucketed
+  shard directories (each one a complete :class:`ModelStore`) behind a
+  tiny fleet manifest, with selective loads and concurrent saves;
+* :class:`ModelStorage` / :func:`open_store` — the protocol both
+  layouts satisfy and the on-disk autodetector, so consumers are
+  written once against either;
 * :class:`SamplerCheckpointer` / :class:`PoolCheckpointer` —
   checkpoint/resume for single-database and pooled sampling runs,
   bit-identical to an uninterrupted run.
 """
 
+from repro.store.base import ModelStorage, open_store
 from repro.store.checkpoint import (
     CheckpointMismatchError,
     PoolCheckpointer,
@@ -28,17 +35,31 @@ from repro.store.model_store import (
     StoreIntegrityError,
     StoreManifest,
 )
+from repro.store.sharded import (
+    FLEET_MANIFEST_NAME,
+    FleetManifest,
+    ShardedModelStore,
+    ShardSummary,
+    shard_of,
+)
 from repro.utils.atomic import atomic_write_bytes, atomic_write_text, fsync_directory
 
 __all__ = [
     "CheckpointMismatchError",
+    "FLEET_MANIFEST_NAME",
+    "FleetManifest",
     "ModelEntry",
+    "ModelStorage",
     "ModelStore",
     "PoolCheckpointer",
     "SamplerCheckpointer",
+    "ShardSummary",
+    "ShardedModelStore",
     "StoreIntegrityError",
     "StoreManifest",
     "atomic_write_bytes",
     "atomic_write_text",
     "fsync_directory",
+    "open_store",
+    "shard_of",
 ]

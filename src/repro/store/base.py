@@ -1,0 +1,102 @@
+"""The model-storage protocol shared by flat and sharded stores.
+
+:class:`~repro.store.model_store.ModelStore` (one directory, one
+manifest — the right shape for a handful of databases) and
+:class:`~repro.store.sharded.ShardedModelStore` (hash-bucketed shard
+directories — the fleet-scale shape) expose the same surface, captured
+here as a runtime-checkable protocol so every consumer
+(:class:`~repro.federation.service.FederatedSearchService`,
+:class:`~repro.serving.frontend.FederationFrontend`, the fleet workers,
+the CLI) is written once against :class:`ModelStorage` and works with
+either layout.
+
+:func:`open_store` resolves a directory on disk to the store class
+that owns it, by its entry-point file: a fleet manifest
+(``fleet.json``) marks a sharded store, a flat ``manifest.json`` marks
+a single-directory one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Mapping, Protocol, runtime_checkable
+
+from repro.lm.model import LanguageModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.model_store import ModelStore
+    from repro.store.sharded import ShardedModelStore
+
+__all__ = ["ModelStorage", "open_store"]
+
+
+@runtime_checkable
+class ModelStorage(Protocol):
+    """What every durable model store exposes, flat or sharded.
+
+    The write side (:meth:`save`) persists a model set crash-safely as
+    a unit; the read side is deliberately *selective* — consumers load
+    the models they need by name (:meth:`load_model`) or stream the
+    set (:meth:`iter_models`) without materialising a whole-fleet dict,
+    which at tens of thousands of databases would not fit in memory.
+    """
+
+    root: Path
+
+    def exists(self) -> bool:
+        """Whether a published store is present at ``root``."""
+        ...  # pragma: no cover - protocol
+
+    def save(self, models: Mapping[str, LanguageModel], *, model_epoch: int = 0) -> object:
+        """Persist ``models`` as one durable, crash-safe unit."""
+        ...  # pragma: no cover - protocol
+
+    def load(self) -> dict[str, LanguageModel]:
+        """Load the full model set, verifying every checksum."""
+        ...  # pragma: no cover - protocol
+
+    def load_model(self, name: str) -> LanguageModel:
+        """Load one model by install name, verifying its checksum."""
+        ...  # pragma: no cover - protocol
+
+    def iter_models(self) -> Iterator[tuple[str, LanguageModel]]:
+        """Stream ``(name, model)`` pairs without loading the whole set."""
+        ...  # pragma: no cover - protocol
+
+    def model_names(self) -> list[str]:
+        """Sorted install names of every stored model."""
+        ...  # pragma: no cover - protocol
+
+    def model_epoch(self) -> int:
+        """The epoch the newest stored model set was saved at."""
+        ...  # pragma: no cover - protocol
+
+    def verify(self) -> list[str]:
+        """Integrity problems with the published store (empty = healthy)."""
+        ...  # pragma: no cover - protocol
+
+    def orphans(self) -> list[str]:
+        """Unreferenced model files on disk (crash leftovers)."""
+        ...  # pragma: no cover - protocol
+
+    def prune_orphans(self) -> list[str]:
+        """Delete unreferenced model files; returns what was removed."""
+        ...  # pragma: no cover - protocol
+
+
+def open_store(root: str | Path) -> "ModelStore | ShardedModelStore":
+    """The store object for an on-disk directory, flat or sharded.
+
+    A directory whose entry point is a fleet manifest opens as a
+    :class:`~repro.store.sharded.ShardedModelStore`; anything else
+    (including a directory that does not exist yet) opens as a flat
+    :class:`~repro.store.model_store.ModelStore`, the
+    backwards-compatible default.
+    """
+    from repro.store.model_store import ModelStore
+    from repro.store.sharded import FLEET_MANIFEST_NAME, ShardedModelStore
+
+    path = Path(root)
+    if (path / FLEET_MANIFEST_NAME).is_file():
+        return ShardedModelStore(path)
+    return ModelStore(path)

@@ -38,7 +38,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 from urllib.parse import quote
 
 from repro.lm.io import dumps_language_model, loads_language_model
@@ -276,6 +276,24 @@ class ModelStore:
             span.set(models=len(models), model_epoch=manifest.model_epoch)
         return models
 
+    def iter_models(self) -> Iterator[tuple[str, LanguageModel]]:
+        """Stream ``(name, model)`` pairs in sorted name order.
+
+        Checksums are verified per model as it is yielded; only one
+        model is materialised at a time (the manifest itself is small).
+        """
+        manifest = self.read_manifest()
+        for name in sorted(manifest.models):
+            yield name, self.load_model(name, manifest)
+
+    def model_names(self) -> list[str]:
+        """Sorted install names of every stored model."""
+        return sorted(self.read_manifest().models)
+
+    def model_epoch(self) -> int:
+        """The epoch the published manifest was saved at."""
+        return self.read_manifest().model_epoch
+
     # -- inspection --------------------------------------------------------
 
     def verify(self) -> list[str]:
@@ -309,6 +327,21 @@ class ModelStore:
             for path in models_dir.iterdir()
             if path.is_file() and f"{_MODELS_DIR}/{path.name}" not in referenced
         )
+
+    def prune_orphans(self) -> list[str]:
+        """Delete unreferenced model files; returns what was removed.
+
+        Only files :meth:`orphans` reports are touched — everything the
+        published manifest references stays exactly as it is.  Callers
+        that cannot tolerate deleting anything from an unhealthy store
+        should :meth:`verify` first (the CLI's ``--prune`` does).
+        """
+        removed = []
+        for relative in self.orphans():
+            with contextlib.suppress(OSError):
+                (self.root / relative).unlink()
+                removed.append(relative)
+        return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ModelStore(root={str(self.root)!r})"

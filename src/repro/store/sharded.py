@@ -1,0 +1,560 @@
+"""The sharded model store: fleet-scale durable persistence.
+
+One flat :class:`~repro.store.model_store.ModelStore` directory works
+for a handful of databases, but at the ROADMAP's north-star scale
+(tens of thousands) a single manifest becomes a serialization point:
+every save rewrites one giant file, every load parses it, and two
+workers refreshing different databases contend on the same unit.
+:class:`ShardedModelStore` splits the fleet into hash-bucketed shards:
+
+.. code-block:: text
+
+    store/
+      fleet.json               # tiny fleet manifest: shard count, epochs
+      shards/
+        00/                    # each shard is a complete ModelStore
+          manifest.json
+          models/wsj88-1f6d22c91a04.lm
+        01/
+          ...
+
+Every shard directory is a full :class:`ModelStore` — same checksummed
+manifest, same atomic-write ordering, same crash-safety proof — so the
+per-shard durability argument is inherited rather than re-made.  The
+fleet manifest (``fleet.json``) is deliberately tiny: the shard count
+(which fixes the name → shard hash for the store's lifetime), a
+fleet-level epoch, and per-shard summaries.  It never lists model
+names, so it stays O(shards) at any fleet size.
+
+Crash-safety contract: shard saves are individually atomic (a killed
+save leaves that shard's previous manifest and model set intact — the
+:class:`ModelStore` guarantee), and the fleet manifest is republished
+*after* every shard it summarises is durable.  A crash mid-save can
+therefore leave a *mix of generations across shards* — each shard
+internally consistent and verifiable — never a torn shard.  Per-shard
+epochs (:meth:`shard_epochs`) let readers detect exactly which shards
+moved, which is what the serving layer's per-shard invalidation keys
+on.
+
+Reads are selective by construction: :meth:`load_model` touches one
+shard, :meth:`iter_models` streams one shard manifest at a time, and
+nothing ever materialises a whole-fleet dict unless :meth:`load` (the
+small-fleet convenience) is explicitly asked to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.lm.model import LanguageModel
+from repro.obs.trace import NULL_RECORDER, Recorder
+from repro.store.model_store import ModelStore, StoreIntegrityError
+from repro.utils.atomic import atomic_write_text
+
+__all__ = [
+    "FLEET_MANIFEST_NAME",
+    "FLEET_SCHEMA",
+    "FleetManifest",
+    "ShardedModelStore",
+    "ShardSummary",
+    "shard_of",
+]
+
+#: Fleet-manifest schema identifier, bumped on breaking changes.
+FLEET_SCHEMA = "repro-fleet-store/1"
+
+#: The fleet manifest's filename (the sharded store's entry point).
+FLEET_MANIFEST_NAME = "fleet.json"
+
+_SHARDS_DIR = "shards"
+_DEFAULT_SHARDS = 16
+
+
+def shard_of(name: str, num_shards: int) -> int:
+    """The shard index a database name hashes to (stable across runs).
+
+    Uses SHA-256 rather than :func:`hash` so the assignment is
+    identical across processes, platforms, and Python releases — a
+    model written by one worker must be findable by every other.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """One shard's row in the fleet manifest."""
+
+    models: int
+    model_epoch: int
+
+
+@dataclass(frozen=True)
+class FleetManifest:
+    """The sharded store's tiny table of contents (O(shards), not O(models))."""
+
+    schema: str
+    num_shards: int
+    model_epoch: int
+    shards: dict[str, ShardSummary]
+
+    @property
+    def total_models(self) -> int:
+        """Model count across every shard."""
+        return sum(summary.models for summary in self.shards.values())
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for JSON emission."""
+        return {
+            "schema": self.schema,
+            "num_shards": self.num_shards,
+            "model_epoch": self.model_epoch,
+            "shards": {
+                shard_id: {"models": s.models, "model_epoch": s.model_epoch}
+                for shard_id, s in sorted(self.shards.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], source: str) -> "FleetManifest":
+        """Parse a fleet manifest dict, validating the schema id."""
+        schema = data.get("schema")
+        if schema != FLEET_SCHEMA:
+            raise StoreIntegrityError(
+                f"{source}: unsupported fleet schema {schema!r} (expected {FLEET_SCHEMA!r})"
+            )
+        try:
+            num_shards = int(data["num_shards"])
+            raw_shards = data.get("shards") or {}
+            shards = {
+                str(shard_id): ShardSummary(
+                    models=int(raw["models"]), model_epoch=int(raw["model_epoch"])
+                )
+                for shard_id, raw in raw_shards.items()
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreIntegrityError(f"{source}: malformed fleet manifest: {error}") from error
+        if num_shards <= 0:
+            raise StoreIntegrityError(f"{source}: num_shards must be positive")
+        return cls(
+            schema=FLEET_SCHEMA,
+            num_shards=num_shards,
+            model_epoch=int(data.get("model_epoch", 0)),
+            shards=shards,
+        )
+
+
+class ShardedModelStore:
+    """Hash-bucketed shards of :class:`ModelStore`, saved concurrently.
+
+    Parameters
+    ----------
+    root:
+        The store directory (created on first :meth:`save`).
+    num_shards:
+        Shard count for a *new* store; for an existing store the count
+        is read from ``fleet.json`` and this parameter, if given, must
+        agree (the name → shard hash is fixed at creation).
+    save_workers:
+        Thread-pool bound for concurrent per-shard saves (shard saves
+        are fsync-bound, so they genuinely overlap).
+    recorder:
+        Observability sink: ``store_save`` / ``store_load`` spans from
+        the underlying shards plus fleet-level ``fleet_save`` spans and
+        ``store.shards_written`` counters.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        num_shards: int | None = None,
+        *,
+        save_workers: int = 8,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        if num_shards is not None and num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if save_workers <= 0:
+            raise ValueError("save_workers must be positive")
+        self.root = Path(root)
+        self.recorder = recorder
+        self.save_workers = save_workers
+        self._requested_shards = num_shards
+        self._num_shards: int | None = None
+
+    # -- layout ------------------------------------------------------------
+
+    @property
+    def fleet_manifest_path(self) -> Path:
+        """Path of ``fleet.json`` (the sharded store's entry point)."""
+        return self.root / FLEET_MANIFEST_NAME
+
+    def exists(self) -> bool:
+        """Whether a published fleet manifest is present."""
+        return self.fleet_manifest_path.is_file()
+
+    @property
+    def num_shards(self) -> int:
+        """The store's shard count (fixed at creation)."""
+        if self._num_shards is None:
+            if self.exists():
+                on_disk = self.read_fleet_manifest().num_shards
+                if self._requested_shards is not None and self._requested_shards != on_disk:
+                    raise StoreIntegrityError(
+                        f"{self.root}: store has {on_disk} shards but "
+                        f"{self._requested_shards} were requested — the name→shard "
+                        "hash is fixed at creation (migrate to change it)"
+                    )
+                self._num_shards = on_disk
+            else:
+                self._num_shards = self._requested_shards or _DEFAULT_SHARDS
+        return self._num_shards
+
+    def shard_id(self, index: int) -> str:
+        """The directory name of shard ``index`` (zero-padded decimal)."""
+        width = max(2, len(str(self.num_shards - 1)))
+        return f"{index:0{width}d}"
+
+    def shard_for(self, name: str) -> ModelStore:
+        """The shard store a database name hashes to."""
+        return self.shard(self.shard_id(shard_of(name, self.num_shards)))
+
+    def shard(self, shard_id: str) -> ModelStore:
+        """The shard store for a shard directory name."""
+        return ModelStore(self.root / _SHARDS_DIR / shard_id, recorder=self.recorder)
+
+    def shard_ids(self) -> list[str]:
+        """Shard directory names the fleet manifest lists, sorted."""
+        return sorted(self.read_fleet_manifest().shards)
+
+    # -- fleet manifest ----------------------------------------------------
+
+    def read_fleet_manifest(self) -> FleetManifest:
+        """Parse the published fleet manifest."""
+        source = str(self.fleet_manifest_path)
+        if not self.exists():
+            raise FileNotFoundError(f"no fleet manifest at {source}")
+        try:
+            data = json.loads(self.fleet_manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise StoreIntegrityError(
+                f"{source}: fleet manifest is not valid JSON: {error}"
+            ) from error
+        if not isinstance(data, dict):
+            raise StoreIntegrityError(f"{source}: fleet manifest is not a JSON object")
+        return FleetManifest.from_dict(data, source)
+
+    def _publish_fleet_manifest(
+        self, model_epoch: int, only: set[str] | None = None
+    ) -> FleetManifest:
+        """Summarise the shards on disk and atomically publish ``fleet.json``.
+
+        A full :meth:`save` passes ``only`` — the shards the new
+        generation occupies — so the manifest never lists a
+        superseded shard directory that the post-publish prune is
+        about to drop.
+        """
+        shards: dict[str, ShardSummary] = {}
+        shards_dir = self.root / _SHARDS_DIR
+        if shards_dir.is_dir():
+            for path in sorted(shards_dir.iterdir()):
+                if only is not None and path.name not in only:
+                    continue
+                shard = ModelStore(path)
+                if path.is_dir() and shard.exists():
+                    manifest = shard.read_manifest()
+                    shards[path.name] = ShardSummary(
+                        models=len(manifest.models), model_epoch=manifest.model_epoch
+                    )
+        fleet = FleetManifest(
+            schema=FLEET_SCHEMA,
+            num_shards=self.num_shards,
+            model_epoch=model_epoch,
+            shards=shards,
+        )
+        atomic_write_text(
+            self.fleet_manifest_path,
+            json.dumps(fleet.as_dict(), indent=2, sort_keys=True) + "\n",
+        )
+        return fleet
+
+    def _establish(self) -> None:
+        """Pin the shard count on disk before any shard data exists.
+
+        Writing ``fleet.json`` *first* means a crash between shard
+        writes can never leave shard directories whose hash base is
+        unknowable — the shard count is durable before the first model
+        byte lands.
+        """
+        if not self.exists():
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._publish_fleet_manifest(model_epoch=0)
+
+    # -- writing -----------------------------------------------------------
+
+    def _partition(
+        self, models: Mapping[str, LanguageModel]
+    ) -> dict[str, dict[str, LanguageModel]]:
+        by_shard: dict[str, dict[str, LanguageModel]] = {}
+        for name, model in models.items():
+            shard_id = self.shard_id(shard_of(name, self.num_shards))
+            by_shard.setdefault(shard_id, {})[name] = model
+        return by_shard
+
+    def _save_shards(
+        self, by_shard: Mapping[str, Mapping[str, LanguageModel]], model_epoch: int
+    ) -> None:
+        """Save every listed shard, concurrently, each one atomically."""
+
+        def save_one(shard_id: str) -> None:
+            self.shard(shard_id).save(dict(by_shard[shard_id]), model_epoch=model_epoch)
+            self.recorder.count("store.shards_written")
+
+        if len(by_shard) == 1:
+            save_one(next(iter(by_shard)))
+            return
+        with ThreadPoolExecutor(
+            max_workers=min(self.save_workers, len(by_shard)),
+            thread_name_prefix="shard-save",
+        ) as pool:
+            # list() propagates the first failure instead of discarding it.
+            list(pool.map(save_one, sorted(by_shard)))
+
+    def save(
+        self, models: Mapping[str, LanguageModel], *, model_epoch: int = 0
+    ) -> FleetManifest:
+        """Persist ``models`` as the fleet's full content.
+
+        Shards are written concurrently (each one crash-safe on its
+        own), then the fleet manifest is republished, then shard
+        directories the new content does not occupy are pruned (best
+        effort).  A crash mid-save leaves every shard internally
+        consistent; a mix of old- and new-generation shards is
+        possible and detectable via :meth:`shard_epochs`.
+        """
+        if not models:
+            raise ValueError("refusing to save an empty model set")
+        with self.recorder.span(
+            "fleet_save", store=str(self.root), models=len(models), model_epoch=model_epoch
+        ) as span:
+            self._establish()
+            by_shard = self._partition(models)
+            self._save_shards(by_shard, model_epoch)
+            fleet = self._publish_fleet_manifest(model_epoch, only=set(by_shard))
+            self._prune_shards(keep=set(by_shard))
+            span.set(shards=len(by_shard))
+        return fleet
+
+    def update(
+        self, models: Mapping[str, LanguageModel], *, model_epoch: int | None = None
+    ) -> FleetManifest:
+        """Fold ``models`` into the fleet, rewriting only affected shards.
+
+        The fleet-scale write path: a refresh worker that re-sampled a
+        handful of databases touches only the shards those names hash
+        to — every other shard's files are not even opened.  Affected
+        shards (and the fleet epoch) move to ``model_epoch`` (default:
+        one past the current fleet epoch).
+        """
+        if not models:
+            raise ValueError("refusing to update with an empty model set")
+        self._establish()
+        if model_epoch is None:
+            model_epoch = self.model_epoch() + 1
+        with self.recorder.span(
+            "fleet_update", store=str(self.root), models=len(models), model_epoch=model_epoch
+        ) as span:
+            by_shard = self._partition(models)
+            merged: dict[str, dict[str, LanguageModel]] = {}
+            for shard_id, fresh in by_shard.items():
+                shard = self.shard(shard_id)
+                current = shard.load() if shard.exists() else {}
+                current.update(fresh)
+                merged[shard_id] = current
+            self._save_shards(merged, model_epoch)
+            fleet = self._publish_fleet_manifest(model_epoch)
+            span.set(shards=len(by_shard))
+        return fleet
+
+    def _prune_shards(self, keep: set[str]) -> None:
+        """Drop shard directories a full save left unoccupied (best effort)."""
+        import shutil
+
+        shards_dir = self.root / _SHARDS_DIR
+        if not shards_dir.is_dir():
+            return
+        for path in shards_dir.iterdir():
+            if path.is_dir() and path.name not in keep:
+                shutil.rmtree(path, ignore_errors=True)
+
+    # -- reading -----------------------------------------------------------
+
+    def load_model(self, name: str) -> LanguageModel:
+        """Load one model by install name — touches exactly one shard."""
+        shard = self.shard_for(name)
+        if not shard.exists():
+            raise KeyError(f"model {name!r} is not in the store (shard {shard.root.name})")
+        return shard.load_model(name)
+
+    def load(self) -> dict[str, LanguageModel]:
+        """Load the full fleet (small-fleet convenience; prefer iteration)."""
+        with self.recorder.span("store_load", store=str(self.root)) as span:
+            models = dict(self.iter_models())
+            span.set(models=len(models))
+        return models
+
+    def iter_models(self) -> Iterator[tuple[str, LanguageModel]]:
+        """Stream every ``(name, model)`` pair, one shard at a time.
+
+        Holds one shard's manifest and one model in memory at any
+        moment — the whole-fleet dict never exists.
+        """
+        for shard_id in self.shard_ids():
+            shard = self.shard(shard_id)
+            manifest = shard.read_manifest()
+            for name in sorted(manifest.models):
+                yield name, shard.load_model(name, manifest)
+
+    def model_names(self) -> list[str]:
+        """Sorted install names across every shard."""
+        names: list[str] = []
+        for shard_id in self.shard_ids():
+            names.extend(self.shard(shard_id).model_names())
+        return sorted(names)
+
+    def model_epoch(self) -> int:
+        """The newest epoch any shard was saved at.
+
+        Reads per-shard manifests (the source of truth) rather than
+        the fleet summary, so a crash between shard writes and the
+        fleet-manifest republish cannot hide a newer shard.
+        """
+        epochs = [self.shard(s).model_epoch() for s in self._shard_dirs_on_disk()]
+        if epochs:
+            return max(epochs)
+        return self.read_fleet_manifest().model_epoch
+
+    def shard_epochs(self) -> dict[str, int]:
+        """Per-shard epochs from the shard manifests themselves.
+
+        The serving layer keys warm-start invalidation on this map:
+        a shard whose epoch moved is reloaded, every other shard's
+        models are kept as they are.  Only shards the fleet manifest
+        lists are reported (a crash-orphaned shard directory awaiting
+        the next full save's prune is not part of the published fleet).
+        """
+        return {s: self.shard(s).model_epoch() for s in self.shard_ids()}
+
+    def _shard_dirs_on_disk(self) -> list[str]:
+        shards_dir = self.root / _SHARDS_DIR
+        if not shards_dir.is_dir():
+            return []
+        return sorted(
+            path.name
+            for path in shards_dir.iterdir()
+            if path.is_dir() and ModelStore(path).exists()
+        )
+
+    # -- inspection --------------------------------------------------------
+
+    def verify(self) -> list[str]:
+        """Integrity problems across the fleet (empty = healthy).
+
+        Checks every shard's manifest and checksums (the per-shard
+        :meth:`ModelStore.verify`), plus the fleet-level invariant the
+        flat store cannot have: every model must live in the shard its
+        name hashes to, or selective loads would miss it.
+        """
+        problems: list[str] = []
+        try:
+            manifest = self.read_fleet_manifest()
+        except (FileNotFoundError, StoreIntegrityError) as error:
+            return [str(error)]
+        for shard_id in sorted(set(manifest.shards) | set(self._shard_dirs_on_disk())):
+            shard = self.shard(shard_id)
+            for problem in shard.verify():
+                problems.append(f"shard {shard_id}: {problem}")
+            if not shard.exists():
+                continue
+            for name in shard.model_names():
+                expected = self.shard_id(shard_of(name, manifest.num_shards))
+                if expected != shard_id:
+                    problems.append(
+                        f"shard {shard_id}: model {name!r} is misplaced "
+                        f"(hashes to shard {expected})"
+                    )
+        return problems
+
+    def orphans(self) -> list[str]:
+        """Unreferenced model files across every shard (crash leftovers)."""
+        orphans: list[str] = []
+        for shard_id in self._shard_dirs_on_disk():
+            orphans.extend(
+                f"{_SHARDS_DIR}/{shard_id}/{relative}"
+                for relative in self.shard(shard_id).orphans()
+            )
+        return sorted(orphans)
+
+    def prune_orphans(self) -> list[str]:
+        """Delete unreferenced model files in every shard."""
+        removed: list[str] = []
+        for shard_id in self._shard_dirs_on_disk():
+            removed.extend(
+                f"{_SHARDS_DIR}/{shard_id}/{relative}"
+                for relative in self.shard(shard_id).prune_orphans()
+            )
+        return sorted(removed)
+
+    # -- migration ---------------------------------------------------------
+
+    @classmethod
+    def migrate(
+        cls,
+        source: ModelStore,
+        root: str | Path,
+        num_shards: int = _DEFAULT_SHARDS,
+        *,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> "ShardedModelStore":
+        """Re-home a flat store's content into a new sharded layout.
+
+        Models are streamed out of ``source`` (checksum-verified) and
+        written shard by shard; the stored ``model_epoch`` carries
+        over, so a service warm-started off the migrated store sees
+        exactly the epoch it would have seen off the flat one.  The
+        source is read-only throughout.  Model files are bit-identical
+        across the migration: the text serialization is canonical
+        (sorted vocabulary), so load + re-save reproduces the exact
+        bytes, as the migration tests pin.
+        """
+        target = cls(root, num_shards, recorder=recorder)
+        if target.exists():
+            raise StoreIntegrityError(f"{target.root}: refusing to migrate onto an existing store")
+        epoch = source.model_epoch()
+        with recorder.span(
+            "fleet_migrate", source=str(source.root), target=str(target.root)
+        ) as span:
+            target._establish()
+            by_shard: dict[str, dict[str, LanguageModel]] = {}
+            for name, model in source.iter_models():
+                shard_id = target.shard_id(shard_of(name, target.num_shards))
+                bucket = by_shard.setdefault(shard_id, {})
+                bucket[name] = model
+            # Shards are written after the full partition is known so
+            # each shard is saved exactly once.  Memory stays bounded
+            # by the fleet itself; migration is a one-time, offline op.
+            target._save_shards(by_shard, epoch)
+            migrated = sum(len(bucket) for bucket in by_shard.values())
+            target._publish_fleet_manifest(epoch)
+            span.set(models=migrated, shards=len(by_shard))
+        return target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedModelStore(root={str(self.root)!r})"

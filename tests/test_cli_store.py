@@ -191,3 +191,52 @@ class TestStoreCommand:
     def test_missing_store(self, tmp_path, capsys):
         assert main(["store", str(tmp_path / "nope")]) == 2
         assert "no model store" in capsys.readouterr().err
+
+
+class TestStorePrune:
+    @pytest.fixture()
+    def populated_store(self, two_corpora, frequent_term, tmp_path, capsys) -> str:
+        store = str(tmp_path / "store")
+        assert main(["federate", *[str(p) for p in two_corpora], "--query",
+                     frequent_term, "--sample-docs", "40", "--save-models",
+                     store]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_prune_removes_orphans(self, populated_store, capsys):
+        (Path(populated_store) / "models" / "stray.lm").write_text("junk")
+        assert main(["store", populated_store, "--prune"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 orphan files: models/stray.lm" in out
+        assert not (Path(populated_store) / "models" / "stray.lm").exists()
+        # A second prune finds nothing.
+        assert main(["store", populated_store, "--prune"]) == 0
+        assert "nothing to prune" in capsys.readouterr().out
+
+    def test_prune_refuses_unverified_store(self, populated_store, capsys):
+        from repro.store import ModelStore
+
+        (Path(populated_store) / "models" / "stray.lm").write_text("junk")
+        store = ModelStore(populated_store)
+        entry = next(iter(store.read_manifest().models.values()))
+        path = store.root / entry.file
+        path.write_text(path.read_text() + "extra 1 1\n")
+        assert main(["store", populated_store, "--prune"]) == 1
+        err = capsys.readouterr().err
+        assert "INTEGRITY" in err
+        assert "refusing to prune" in err
+        # Nothing was deleted, the orphan included.
+        assert (Path(populated_store) / "models" / "stray.lm").exists()
+
+    def test_prune_sharded_store(self, populated_store, tmp_path, capsys):
+        sharded = str(tmp_path / "sharded")
+        assert main(["fleet", "migrate", populated_store, sharded,
+                     "--num-shards", "4"]) == 0
+        capsys.readouterr()
+        store_dir = Path(sharded) / "shards"
+        shard = next(d for d in sorted(store_dir.iterdir()) if d.is_dir())
+        (shard / "models" / "stray.lm").write_text("junk")
+        assert main(["store", sharded, "--prune"]) == 0
+        out = capsys.readouterr().out
+        assert f"shards/{shard.name}/models/stray.lm" in out
+        assert not (shard / "models" / "stray.lm").exists()

@@ -1,0 +1,194 @@
+"""Unit tests for the durable job queue (repro.fleet.queue)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet import DurableJobQueue, JobState, LeaseLostError
+from repro.obs import TraceRecorder
+from repro.sampling.transport import SimulatedClock
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock) -> DurableJobQueue:
+    return DurableJobQueue(
+        tmp_path / "queue", lease_seconds=10.0, backoff_base=1.0, clock=clock
+    )
+
+
+class TestSubmit:
+    def test_submit_creates_durable_file(self, queue):
+        job = queue.submit("refresh_check", "newsdb", priority=2.5)
+        assert job.state == JobState.PENDING
+        assert job.priority == 2.5
+        path = queue.jobs_dir / f"{job.job_id}.json"
+        assert path.is_file()
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro-fleet-queue/1"
+        assert data["database"] == "newsdb"
+
+    def test_submit_is_idempotent_while_open(self, queue):
+        first = queue.submit("refresh_check", "newsdb", priority=1.0)
+        second = queue.submit("refresh_check", "newsdb", priority=9.0)
+        assert second.job_id == first.job_id
+        assert second.priority == 1.0  # the open job is returned unchanged
+        assert queue.counts()[JobState.PENDING] == 1
+
+    def test_done_job_can_be_resubmitted(self, queue):
+        job = queue.submit("refresh_check", "newsdb")
+        claimed = queue.claim("w1")
+        queue.complete(claimed.job_id, claimed.lease.token)
+        again = queue.submit("refresh_check", "newsdb")
+        assert again.job_id == job.job_id
+        assert again.state == JobState.PENDING
+
+    def test_awkward_database_names_are_safe(self, queue):
+        job = queue.submit("refresh_check", "db with spaces/and=slashes")
+        assert (queue.jobs_dir / f"{job.job_id}.json").is_file()
+        assert queue.get(job.job_id).database == "db with spaces/and=slashes"
+
+    def test_validation(self, queue):
+        with pytest.raises(ValueError):
+            queue.submit("refresh_check", "x", max_attempts=0)
+        with pytest.raises(ValueError):
+            DurableJobQueue("/tmp/x", lease_seconds=0)
+
+
+class TestClaim:
+    def test_claims_highest_priority_first(self, queue):
+        queue.submit("refresh_check", "low", priority=0.1)
+        queue.submit("refresh_check", "high", priority=5.0)
+        queue.submit("refresh_check", "mid", priority=2.0)
+        order = [queue.claim("w1").database for _ in range(3)]
+        assert order == ["high", "mid", "low"]
+
+    def test_empty_queue_returns_none(self, queue):
+        assert queue.claim("w1") is None
+
+    def test_claim_stamps_a_lease(self, queue, clock):
+        queue.submit("refresh_check", "newsdb")
+        job = queue.claim("w1")
+        assert job.state == JobState.LEASED
+        assert job.attempts == 1
+        assert job.lease.worker == "w1"
+        assert job.lease.expires == clock.now + 10.0
+
+    def test_leased_job_not_reclaimable_before_expiry(self, queue, clock):
+        queue.submit("refresh_check", "newsdb")
+        queue.claim("w1")
+        clock.sleep(5.0)
+        assert queue.claim("w2") is None
+
+    def test_expired_lease_is_reclaimed(self, queue, clock):
+        recorder = TraceRecorder()
+        queue.recorder = recorder
+        queue.submit("refresh_check", "newsdb")
+        first = queue.claim("w1")
+        clock.sleep(10.0)  # lease ages out: w1 presumably died
+        second = queue.claim("w2")
+        assert second is not None
+        assert second.job_id == first.job_id
+        assert second.lease.worker == "w2"
+        assert second.attempts == 2
+        assert recorder.metrics.counter("fleet.leases_expired").value == 1
+
+
+class TestExactlyOnce:
+    def test_complete_requires_the_lease_token(self, queue):
+        queue.submit("refresh_check", "newsdb")
+        job = queue.claim("w1")
+        with pytest.raises(LeaseLostError):
+            queue.complete(job.job_id, "forged-token")
+        assert queue.complete(job.job_id, job.lease.token, {"refreshed": True})
+        assert queue.get(job.job_id).result == {"refreshed": True}
+
+    def test_dead_workers_completion_is_discarded(self, queue, clock):
+        """The lease expired, someone else finished: the result must not
+        double-apply."""
+        queue.submit("refresh_check", "newsdb")
+        first = queue.claim("w1")
+        clock.sleep(10.0)
+        second = queue.claim("w2")
+        assert queue.complete(second.job_id, second.lease.token)
+        # w1 wakes up late and tries to complete with its stale token.
+        assert queue.complete(first.job_id, first.lease.token) is False
+        assert queue.get(first.job_id).state == JobState.DONE
+
+    def test_stale_token_fail_raises(self, queue, clock):
+        queue.submit("refresh_check", "newsdb")
+        first = queue.claim("w1")
+        clock.sleep(10.0)
+        queue.claim("w2")
+        with pytest.raises(LeaseLostError):
+            queue.fail(first.job_id, first.lease.token, "late failure")
+
+    def test_extend_lease_heartbeat(self, queue, clock):
+        queue.submit("refresh_check", "newsdb")
+        job = queue.claim("w1")
+        clock.sleep(8.0)
+        queue.extend_lease(job.job_id, job.lease.token)
+        clock.sleep(8.0)  # 16s since claim, but only 8 since heartbeat
+        assert queue.claim("w2") is None
+
+
+class TestRetry:
+    def test_failed_attempt_backs_off_exponentially(self, queue, clock):
+        queue.submit("refresh_check", "newsdb", max_attempts=3)
+        job = queue.claim("w1")
+        failed = queue.fail(job.job_id, job.lease.token, "transient")
+        assert failed.state == JobState.PENDING
+        assert failed.not_before == clock.now + 1.0  # base * mult**0
+        assert queue.claim("w1") is None  # gate not open yet
+        clock.sleep(1.0)
+        second = queue.claim("w1")
+        assert second.attempts == 2
+        failed = queue.fail(second.job_id, second.lease.token, "transient")
+        assert failed.not_before == clock.now + 2.0  # base * mult**1
+
+    def test_attempts_exhausted_parks_as_failed(self, queue, clock):
+        queue.submit("refresh_check", "newsdb", max_attempts=2)
+        for _ in range(2):
+            clock.sleep(100.0)
+            job = queue.claim("w1")
+            outcome = queue.fail(job.job_id, job.lease.token, "still broken")
+        assert outcome.state == JobState.FAILED
+        assert outcome.error == "still broken"
+        clock.sleep(100.0)
+        assert queue.claim("w1") is None  # failed jobs are not claimable
+        assert queue.drained()
+
+
+class TestDurability:
+    def test_queue_state_survives_reopen(self, tmp_path, clock):
+        first = DurableJobQueue(tmp_path / "q", clock=clock, lease_seconds=10.0)
+        first.submit("refresh_check", "a", priority=1.0)
+        first.submit("refresh_check", "b", priority=2.0)
+        claimed = first.claim("w1")
+        assert claimed.database == "b"
+
+        # A fresh object over the same directory (a restarted process)
+        # sees the same jobs: b still leased, a still pending.
+        reopened = DurableJobQueue(tmp_path / "q", clock=clock, lease_seconds=10.0)
+        counts = reopened.counts()
+        assert counts[JobState.LEASED] == 1
+        assert counts[JobState.PENDING] == 1
+        assert reopened.claim("w2").database == "a"
+
+    def test_crashed_workers_lease_expires_across_reopen(self, tmp_path, clock):
+        first = DurableJobQueue(tmp_path / "q", clock=clock, lease_seconds=10.0)
+        first.submit("refresh_check", "a")
+        first.claim("dead-worker")
+        clock.sleep(11.0)
+        survivor = DurableJobQueue(tmp_path / "q", clock=clock, lease_seconds=10.0)
+        job = survivor.claim("live-worker")
+        assert job is not None
+        assert job.lease.worker == "live-worker"
+        assert survivor.complete(job.job_id, job.lease.token)
+        assert survivor.drained()

@@ -1,0 +1,376 @@
+"""Unit tests for the sharded model store (repro.store.sharded).
+
+The contract under test: a sharded store behaves exactly like the flat
+store it is built from (same models, same epochs, bit-identical files)
+while adding shard-level selectivity — and a crash at *any* write
+during a sharded save leaves every shard's manifest and referenced
+models intact, extending the flat store's kill-anywhere guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.store.model_store as model_store_module
+import repro.store.sharded as sharded_module
+from repro.lm import LanguageModel, dumps_language_model
+from repro.obs import TraceRecorder
+from repro.store import (
+    FLEET_MANIFEST_NAME,
+    ModelStorage,
+    ModelStore,
+    ShardedModelStore,
+    StoreIntegrityError,
+    open_store,
+    shard_of,
+)
+
+
+def build_model(name: str, docs: list[list[str]]) -> LanguageModel:
+    model = LanguageModel(name=name)
+    for tokens in docs:
+        model.add_document(tokens)
+    return model
+
+
+def build_fleet(count: int, tag: str = "v1") -> dict[str, LanguageModel]:
+    return {
+        f"db{i:03d}": build_model(f"db{i:03d}", [[tag, "term", f"t{i}", f"t{i}"]])
+        for i in range(count)
+    }
+
+
+def dump_all(store) -> dict[str, str]:
+    return {name: dumps_language_model(model) for name, model in store.iter_models()}
+
+
+class TestShardOf:
+    def test_stable_and_in_range(self):
+        for name in ["wsj88", "ap89", "cacm", "db with spaces", "ünïcode"]:
+            first = shard_of(name, 16)
+            assert 0 <= first < 16
+            assert shard_of(name, 16) == first  # deterministic
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            shard_of("x", 0)
+
+    def test_spreads_names(self):
+        # 64 names over 8 shards should not all collapse to one bucket.
+        buckets = {shard_of(f"db{i:03d}", 8) for i in range(64)}
+        assert len(buckets) > 4
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        fleet = build_fleet(12)
+        store = ShardedModelStore(tmp_path / "store", num_shards=4)
+        manifest = store.save(fleet, model_epoch=3)
+        assert manifest.model_epoch == 3
+        assert manifest.total_models == 12
+        assert store.model_epoch() == 3
+        assert store.model_names() == sorted(fleet)
+        loaded = store.load()
+        for name in fleet:
+            assert dumps_language_model(loaded[name]) == dumps_language_model(fleet[name])
+
+    def test_selective_load_touches_one_shard(self, tmp_path):
+        fleet = build_fleet(12)
+        store = ShardedModelStore(tmp_path / "store", num_shards=4)
+        store.save(fleet)
+        model = store.load_model("db003")
+        assert dumps_language_model(model) == dumps_language_model(fleet["db003"])
+        with pytest.raises(KeyError):
+            store.load_model("not-there")
+
+    def test_iter_models_streams_sorted(self, tmp_path):
+        fleet = build_fleet(10)
+        store = ShardedModelStore(tmp_path / "store", num_shards=4)
+        store.save(fleet)
+        names = [name for name, _ in store.iter_models()]
+        assert sorted(names) == sorted(fleet)
+
+    def test_empty_save_rejected(self, tmp_path):
+        store = ShardedModelStore(tmp_path / "store", num_shards=4)
+        with pytest.raises(ValueError):
+            store.save({})
+        with pytest.raises(ValueError):
+            store.update({})
+
+    def test_full_save_prunes_departed_shards(self, tmp_path):
+        store = ShardedModelStore(tmp_path / "store", num_shards=8)
+        store.save(build_fleet(20), model_epoch=1)
+        # Save a much smaller fleet: shards the new content does not
+        # occupy disappear and the fleet manifest never mentions them.
+        small = {"db000": build_model("db000", [["only", "one"]])}
+        store.save(small, model_epoch=2)
+        assert store.model_names() == ["db000"]
+        assert store.verify() == []
+        listed = set(store.shard_ids())
+        on_disk = {p.name for p in (store.root / "shards").iterdir() if p.is_dir()}
+        assert on_disk == listed
+
+
+class TestUpdate:
+    def test_update_rewrites_only_affected_shards(self, tmp_path):
+        fleet = build_fleet(16)
+        store = ShardedModelStore(tmp_path / "store", num_shards=4)
+        store.save(fleet, model_epoch=1)
+        before = store.shard_epochs()
+
+        fresh = {"db005": build_model("db005", [["fresh", "content"]])}
+        store.update(fresh)
+
+        after = store.shard_epochs()
+        touched = store.shard_id(shard_of("db005", store.num_shards))
+        assert after[touched] == 2  # default: one past the fleet epoch
+        for shard_id, epoch in before.items():
+            if shard_id != touched:
+                assert after[shard_id] == epoch  # untouched shards did not move
+        # The untouched names are still all present.
+        assert store.model_names() == sorted(fleet)
+        assert dumps_language_model(store.load_model("db005")) == dumps_language_model(
+            fresh["db005"]
+        )
+        assert store.model_epoch() == 2
+        assert store.verify() == []
+
+    def test_update_can_add_new_names(self, tmp_path):
+        store = ShardedModelStore(tmp_path / "store", num_shards=4)
+        store.save(build_fleet(4), model_epoch=1)
+        store.update({"newdb": build_model("newdb", [["brand", "new"]])}, model_epoch=5)
+        assert "newdb" in store.model_names()
+        assert store.model_epoch() == 5
+
+
+class TestShardCount:
+    def test_shard_count_read_back_from_disk(self, tmp_path):
+        ShardedModelStore(tmp_path / "store", num_shards=4).save(build_fleet(6))
+        reopened = ShardedModelStore(tmp_path / "store")
+        assert reopened.num_shards == 4
+
+    def test_mismatched_shard_count_rejected(self, tmp_path):
+        ShardedModelStore(tmp_path / "store", num_shards=4).save(build_fleet(6))
+        with pytest.raises(StoreIntegrityError, match="fixed at creation"):
+            _ = ShardedModelStore(tmp_path / "store", num_shards=8).num_shards
+
+    def test_invalid_construction(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedModelStore(tmp_path, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedModelStore(tmp_path, save_workers=0)
+
+
+class TestProtocolAndOpen:
+    def test_both_stores_satisfy_the_protocol(self, tmp_path):
+        assert isinstance(ModelStore(tmp_path / "flat"), ModelStorage)
+        assert isinstance(ShardedModelStore(tmp_path / "sharded"), ModelStorage)
+
+    def test_open_store_autodetects(self, tmp_path):
+        fleet = build_fleet(4)
+        ModelStore(tmp_path / "flat").save(fleet)
+        ShardedModelStore(tmp_path / "sharded", num_shards=2).save(fleet)
+        assert isinstance(open_store(tmp_path / "flat"), ModelStore)
+        assert isinstance(open_store(tmp_path / "sharded"), ShardedModelStore)
+        # A directory that does not exist yet defaults to the flat store.
+        assert isinstance(open_store(tmp_path / "new"), ModelStore)
+
+    def test_flat_store_protocol_surface(self, tmp_path):
+        store = ModelStore(tmp_path / "flat")
+        fleet = build_fleet(3)
+        store.save(fleet, model_epoch=2)
+        assert store.model_names() == sorted(fleet)
+        assert store.model_epoch() == 2
+        assert [name for name, _ in store.iter_models()] == sorted(fleet)
+
+
+class TestMigration:
+    def test_migration_is_bit_identical(self, tmp_path):
+        fleet = build_fleet(10)
+        flat = ModelStore(tmp_path / "flat")
+        flat.save(fleet, model_epoch=7)
+        flat_bytes = {
+            entry.file.split("/")[-1]: (flat.root / entry.file).read_bytes()
+            for entry in flat.read_manifest().models.values()
+        }
+
+        sharded = ShardedModelStore.migrate(flat, tmp_path / "sharded", num_shards=4)
+        assert sharded.model_epoch() == 7  # epoch carries over
+        assert sharded.model_names() == sorted(fleet)
+        assert sharded.verify() == []
+        assert dump_all(sharded) == dump_all(flat)
+        # The canonical serialization makes migrated files byte-for-byte
+        # identical to the flat originals.
+        sharded_bytes = {}
+        for shard_id in sharded.shard_ids():
+            shard = sharded.shard(shard_id)
+            for entry in shard.read_manifest().models.values():
+                sharded_bytes[entry.file.split("/")[-1]] = (shard.root / entry.file).read_bytes()
+        assert sharded_bytes == flat_bytes
+
+    def test_migration_refuses_existing_target(self, tmp_path):
+        flat = ModelStore(tmp_path / "flat")
+        flat.save(build_fleet(2))
+        ShardedModelStore(tmp_path / "sharded", num_shards=2).save(build_fleet(2))
+        with pytest.raises(StoreIntegrityError, match="existing store"):
+            ShardedModelStore.migrate(flat, tmp_path / "sharded")
+
+    def test_migration_leaves_source_untouched(self, tmp_path):
+        flat = ModelStore(tmp_path / "flat")
+        flat.save(build_fleet(4), model_epoch=2)
+        before = dump_all(flat)
+        ShardedModelStore.migrate(flat, tmp_path / "sharded", num_shards=2)
+        assert dump_all(flat) == before
+        assert flat.model_epoch() == 2
+
+
+class TestCrashDuringShardedSave:
+    """Kill-anywhere injection: every shard must stay internally intact."""
+
+    def _crash_at(self, monkeypatch, crash_at_write: int):
+        """Crash the ``crash_at_write``-th atomic write, wherever it lands.
+
+        Patches both the shard-level writer (model files + shard
+        manifests) and the fleet-level writer (``fleet.json``) with one
+        shared, lock-guarded counter — shard saves run on a thread
+        pool, so the counter must be race-free for the kill point to
+        be exact.
+        """
+        lock = threading.Lock()
+        calls = {"n": 0}
+        real_write = model_store_module.atomic_write_text
+
+        def crashing_write(path, text):
+            with lock:
+                calls["n"] += 1
+                # A killed process writes nothing further — fail this
+                # write *and every later one* (queued shard saves on
+                # the pool would otherwise keep landing writes).
+                if calls["n"] >= crash_at_write:
+                    raise OSError("simulated crash mid-save")
+            real_write(path, text)
+
+        monkeypatch.setattr(model_store_module, "atomic_write_text", crashing_write)
+        monkeypatch.setattr(sharded_module, "atomic_write_text", crashing_write)
+        return calls
+
+    # A full save of db000..db005 over 3 shards makes exactly 10
+    # writes: 6 model files, 3 shard manifests, 1 fleet manifest.
+    @pytest.mark.parametrize("crash_at_write", range(1, 11))
+    def test_kill_anywhere_leaves_every_shard_intact(
+        self, tmp_path, monkeypatch, crash_at_write
+    ):
+        fleet = build_fleet(6)
+        store = ShardedModelStore(tmp_path / "store", num_shards=3, save_workers=1)
+        store.save(fleet, model_epoch=1)
+        before = dump_all(store)
+
+        updated = build_fleet(6, tag="v2")
+        self._crash_at(monkeypatch, crash_at_write)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.save(updated, model_epoch=2)
+        monkeypatch.undo()
+
+        # Every shard's manifest parses and every referenced model
+        # passes its checksum — the acceptance criterion.  A shard is
+        # either wholly old or wholly new (epoch 1 or 2), never torn.
+        survivor = ShardedModelStore(tmp_path / "store")
+        assert survivor.verify() == []
+        for shard_id, epoch in survivor.shard_epochs().items():
+            assert epoch in (1, 2)
+        # Each model is readable and matches one of the two generations.
+        for name, text in dump_all(survivor).items():
+            assert text in (before[name], dumps_language_model(updated[name]))
+
+    def test_crash_mid_save_then_retry_converges(self, tmp_path, monkeypatch):
+        fleet = build_fleet(6)
+        store = ShardedModelStore(tmp_path / "store", num_shards=3, save_workers=1)
+        store.save(fleet, model_epoch=1)
+        updated = build_fleet(6, tag="v2")
+
+        self._crash_at(monkeypatch, 5)
+        with pytest.raises(OSError):
+            store.save(updated, model_epoch=2)
+        monkeypatch.undo()
+
+        # A retried save completes and the store is exactly the new set.
+        store.save(updated, model_epoch=2)
+        assert store.verify() == []
+        assert store.orphans() == []
+        assert store.model_epoch() == 2
+        assert dump_all(store) == {
+            name: dumps_language_model(model) for name, model in updated.items()
+        }
+
+
+class TestInspection:
+    def test_orphans_and_prune_per_shard(self, tmp_path):
+        store = ShardedModelStore(tmp_path / "store", num_shards=2)
+        store.save(build_fleet(4))
+        shard_id = store.shard_ids()[0]
+        stray = store.root / "shards" / shard_id / "models" / "stray.lm"
+        stray.write_text("junk")
+        assert store.orphans() == [f"shards/{shard_id}/models/stray.lm"]
+        assert store.verify() == []  # orphans are harmless
+        removed = store.prune_orphans()
+        assert removed == [f"shards/{shard_id}/models/stray.lm"]
+        assert not stray.exists()
+        assert store.orphans() == []
+
+    def test_misplaced_model_detected(self, tmp_path):
+        fleet = build_fleet(6)
+        store = ShardedModelStore(tmp_path / "store", num_shards=3)
+        store.save(fleet)
+        # Force a model into the wrong shard: save it into some shard
+        # it does not hash to.
+        name = "db000"
+        home = store.shard_id(shard_of(name, store.num_shards))
+        wrong = next(s for s in store.shard_ids() if s != home)
+        wrong_shard = store.shard(wrong)
+        merged = wrong_shard.load()
+        merged[name] = fleet[name]
+        wrong_shard.save(merged)
+        problems = store.verify()
+        assert any("misplaced" in p for p in problems)
+
+    def test_corrupt_shard_model_reported_with_shard_prefix(self, tmp_path):
+        store = ShardedModelStore(tmp_path / "store", num_shards=2)
+        store.save(build_fleet(4))
+        shard_id = store.shard_ids()[0]
+        shard = store.shard(shard_id)
+        entry = next(iter(shard.read_manifest().models.values()))
+        (shard.root / entry.file).write_text("corrupted")
+        problems = store.verify()
+        assert problems and all(p.startswith(f"shard {shard_id}:") for p in problems)
+
+    def test_missing_fleet_manifest(self, tmp_path):
+        store = ShardedModelStore(tmp_path / "nowhere")
+        assert not store.exists()
+        assert store.verify() != []
+        with pytest.raises(FileNotFoundError):
+            store.read_fleet_manifest()
+
+    def test_bad_fleet_schema_rejected(self, tmp_path):
+        store = ShardedModelStore(tmp_path / "store", num_shards=2)
+        store.save(build_fleet(2))
+        path = store.fleet_manifest_path
+        data = path.read_text().replace("repro-fleet-store/1", "repro-fleet-store/99")
+        path.write_text(data)
+        with pytest.raises(StoreIntegrityError, match="unsupported fleet schema"):
+            store.read_fleet_manifest()
+
+    def test_recorder_sees_fleet_spans(self, tmp_path):
+        recorder = TraceRecorder()
+        store = ShardedModelStore(tmp_path / "store", num_shards=2, recorder=recorder)
+        store.save(build_fleet(4))
+        names = [span.name for span in recorder.spans]
+        assert "fleet_save" in names
+        assert recorder.metrics.counter("store.shards_written").value >= 1
+
+
+def test_fleet_manifest_file_name_constant(tmp_path):
+    store = ShardedModelStore(tmp_path / "store", num_shards=2)
+    store.save(build_fleet(2))
+    assert (store.root / FLEET_MANIFEST_NAME).is_file()

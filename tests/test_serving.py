@@ -468,6 +468,64 @@ class TestFromStore:
         with pytest.raises(ValueError, match="missing models"):
             FederationFrontend.from_store(cold, tmp_path / "store")
 
+    def test_warm_start_from_sharded_store(self, servers, models, service, tmp_path):
+        from repro.store import ShardedModelStore
+
+        ShardedModelStore(tmp_path / "sharded", num_shards=4).save(models)
+        cold = FederatedSearchService(servers, databases_per_query=2)
+        with FederationFrontend.from_store(cold, tmp_path / "sharded") as warm:
+            assert warm.compiled_epoch == cold.model_epoch > 0
+            with FederationFrontend(service) as reference:
+                request = SearchRequest(query="market bank stock", n=5)
+                assert (
+                    warm.search(request).ranking.entries
+                    == reference.search(request).ranking.entries
+                )
+
+    def test_refresh_reloads_only_the_moved_shard(self, servers, models, tmp_path):
+        from repro.lm import dumps_language_model
+        from repro.store import ShardedModelStore
+
+        store = ShardedModelStore(tmp_path / "sharded", num_shards=4)
+        store.save(models)
+        cold = FederatedSearchService(servers, databases_per_query=2)
+        with FederationFrontend.from_store(cold, store) as frontend:
+            # Swap one database's model for another's, touching only
+            # its shard; the frontend must reload exactly the names
+            # that live in that shard.
+            target, donor = sorted(servers)[:2]
+            store.update({target: models[donor]})
+            shard_id = store.shard_for(target).root.name
+            expected = sorted(
+                name
+                for name in servers
+                if store.shard_for(name).root.name == shard_id
+            )
+            assert list(frontend.refresh_from_store()) == expected
+            assert dumps_language_model(cold.models[target]) == (
+                dumps_language_model(models[donor])
+            )
+            # The store hasn't moved since: a second poll is a no-op.
+            assert frontend.refresh_from_store() == ()
+
+    def test_refresh_flat_store_reloads_everything(self, servers, models, tmp_path):
+        from repro.store import ModelStore
+
+        store = ModelStore(tmp_path / "store")
+        store.save(models)
+        cold = FederatedSearchService(servers, databases_per_query=2)
+        with FederationFrontend.from_store(cold, store) as frontend:
+            # A flat store has a single epoch, so any write invalidates
+            # the whole model set.
+            swapped = dict(models, **{sorted(models)[0]: models[sorted(models)[1]]})
+            store.save(swapped, model_epoch=store.model_epoch() + 1)
+            assert list(frontend.refresh_from_store()) == sorted(servers)
+
+    def test_refresh_without_warm_store_raises(self, service):
+        with FederationFrontend(service) as frontend:
+            with pytest.raises(RuntimeError, match="no store to refresh from"):
+                frontend.refresh_from_store()
+
 
 class TestServeBench:
     def test_report_shape_and_speedups(self, servers):
@@ -528,6 +586,21 @@ class TestServeBench:
         wrapped = {name: QueryOnly(server) for name, server in servers.items()}
         with pytest.raises(TypeError, match="evaluable"):
             run_serve_bench(wrapped, budget=0.01)
+
+    def test_explicit_models_replace_evaluability(self, servers, models):
+        # Store-loaded models make the bench runnable even when the
+        # backends can't surrender their actual language models.
+        wrapped = {
+            name: LatencyInjected(server, delay=0.0)
+            for name, server in servers.items()
+        }
+        report = run_serve_bench(wrapped, budget=0.02, num_queries=4, models=models)
+        assert report.num_databases == len(servers)
+
+    def test_explicit_models_must_cover_every_database(self, servers, models):
+        partial = {name: models[name] for name in sorted(models)[:-1]}
+        with pytest.raises(TypeError, match="missing databases"):
+            run_serve_bench(servers, budget=0.01, models=partial)
 
 
 class TestServeBenchCli:

@@ -158,3 +158,58 @@ class TestRefreshPolicyThresholds:
         # One sample_run span for the probe and one for the refresh.
         run_spans = [s for s in recorder.spans if s.name == "sample_run"]
         assert len(run_spans) == 2
+
+
+class _QueryRecordingDatabase:
+    """Forwards sampling queries, recording them in arrival order."""
+
+    def __init__(self, inner: DatabaseServer) -> None:
+        self.inner = inner
+        self.name = getattr(inner, "name", "database")
+        self.queries: list[str] = []
+
+    def run_query(self, query: str, max_docs: int = 10):
+        self.queries.append(query)
+        return self.inner.run_query(query, max_docs=max_docs)
+
+
+class TestSweepSeedIndependence:
+    """Per-database seed discipline in refresh_all.
+
+    Seeds are derived from the sweep seed *and the database name*, so
+    growing the federation must never perturb the probe (or refresh)
+    query sequences of databases that were already in it — the
+    property that makes queued, budgeted, out-of-order sweeps
+    equivalent to the serial one.
+    """
+
+    def _run_sweep(self, names: list[str]) -> dict[str, list[str]]:
+        servers = {}
+        for index, name in enumerate(names):
+            corpus = Corpus(cacm_like().build(seed=50 + index, scale=0.1), name=name)
+            servers[name] = DatabaseServer(corpus)
+        models = {
+            name: QueryBasedSampler(
+                server,
+                bootstrap=RandomFromOther(server.actual_language_model()),
+                stopping=MaxDocuments(40),
+                seed=3,
+            ).run().model
+            for name, server in servers.items()
+        }
+        recording = {name: _QueryRecordingDatabase(server) for name, server in servers.items()}
+        policy = RefreshPolicy(refresh_documents=30)
+        policy.refresh_all(
+            recording,
+            models,
+            lambda name: RandomFromOther(servers[name].actual_language_model()),
+            seed=17,
+        )
+        return {name: recording[name].queries for name in names}
+
+    def test_adding_a_database_leaves_other_probe_sequences_alone(self):
+        small = self._run_sweep(["alpha", "beta"])
+        grown = self._run_sweep(["alpha", "beta", "gamma"])
+        assert small["alpha"] == grown["alpha"]
+        assert small["beta"] == grown["beta"]
+        assert grown["gamma"]  # the new database was actually probed
