@@ -1,0 +1,87 @@
+"""Topic classification and routing benchmarks → ``BENCH_classify.json``.
+
+Two benches:
+
+* the accuracy-vs-probe-budget curve plus the routed-vs-broadcast
+  comparison (:func:`repro.classify.bench.run_classify_bench`),
+  regenerating the committed ``BENCH_classify.json`` baseline;
+* the serving-path throughput of routed vs broadcast fan-out against
+  latency-injected backends — routing's saving is backend *work*, so
+  with per-backend latency it shows up as throughput, not just as a
+  smaller ``databases_per_query``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import SEEDS, emit
+from repro.classify import ClassifyParameters, QueryProbeClassifier, TopicRouter, build_probe_set
+from repro.classify.bench import (
+    format_classify_bench,
+    run_classify_bench,
+    write_classify_bench,
+)
+from repro.federation.testbed import build_skewed_partition, topical_queries
+from repro.index import DatabaseServer
+from repro.serving.bench import format_serve_bench, run_serve_bench
+from repro.synth.profiles import PROFILES_BY_NAME
+
+#: Where the classify baseline lands (override: BENCH_CLASSIFY_PATH).
+BENCH_CLASSIFY_PATH = os.environ.get(
+    "BENCH_CLASSIFY_PATH",
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_classify.json"),
+)
+
+#: Federation scale for the classify benches — small enough to run in
+#: seconds, large enough that every topic has distinctive vocabulary.
+SCALE = 0.05
+
+
+def test_bench_classify_accuracy_and_routing():
+    report = run_classify_bench(scale=SCALE, seeds=SEEDS)
+    emit(format_classify_bench(report))
+    write_classify_bench(report, BENCH_CLASSIFY_PATH)
+
+    accuracies = [point.accuracy for point in report.accuracy_curve]
+    # More probes must not make classification *worse* end to end.
+    assert accuracies[-1] >= accuracies[0]
+    assert max(accuracies) >= 0.75
+    # The routing acceptance pin, at bench scale: measurably fewer
+    # databases per query at matched (or better) topical precision.
+    routing = report.routing
+    assert routing.routed_databases_per_query < routing.broadcast_databases_per_query
+    assert routing.routed_precision >= routing.broadcast_precision - 1e-9
+
+
+def test_perf_routed_vs_broadcast_under_backend_latency(perf_recorder):
+    corpus = PROFILES_BY_NAME["wsj88"]().build(seed=0, scale=SCALE)
+    parts = build_skewed_partition(corpus, num_databases=4, seed=0)
+    servers = {part.name: DatabaseServer(part) for part in parts}
+    space = PROFILES_BY_NAME["wsj88"]().topic_space(seed=0, scale=SCALE)
+    probe_set = build_probe_set(space, seed=0)
+    classifier = QueryProbeClassifier(probe_set, ClassifyParameters())
+    router = TopicRouter.from_probes(probe_set, classifier.classify_all(servers))
+
+    queries = [query.text for query in topical_queries(parts)]
+    assert queries
+    report = run_serve_bench(
+        servers,
+        queries,
+        budget=0.4,
+        backend_latency=0.01,
+        databases_per_query=3,
+        router=router,
+    )
+    emit(format_serve_bench(report))
+
+    perf_recorder.record(
+        "serving.search_broadcast_10ms", report.modes["search_concurrent"][0]
+    )
+    perf_recorder.record("serving.search_routed_10ms", report.modes["search_routed"][0])
+    perf_recorder.speedup(
+        "routed_vs_broadcast_search",
+        "serving.search_broadcast_10ms",
+        "serving.search_routed_10ms",
+    )
+    assert report.fanout["search_routed"] < report.fanout["search_concurrent"]

@@ -27,7 +27,7 @@ from typing import Callable
 
 import pytest
 
-from repro.dbselect import CoriScorer, CoriSelector
+from repro.dbselect import CoriScorer, make_selector
 from repro.federation import FederatedSearchService, SearchRequest
 from repro.lm import LanguageModel
 from repro.serving import FederationFrontend, LatencyInjected, build_synthetic_federation
@@ -96,7 +96,7 @@ class _StubDatabase:
 def test_perf_select_vectorized_vs_scalar(num_databases, perf_recorder):
     models = synthetic_models(num_databases, seed=num_databases)
     queries = bench_queries(seed=num_databases)
-    selector = CoriSelector()
+    selector = make_selector("cori")
     scorer = CoriScorer(models)
 
     # The speedup must not come from changed results: identical

@@ -1,0 +1,204 @@
+"""Topic-labelled probe sets, rule-derived from synthetic topic mixtures.
+
+Query-probing classification (Ipeirotis, Gravano & Sahami) sends each
+candidate database a small set of *probe queries per topic* and reads
+nothing back but hit counts.  The probes must be words that are
+characteristic of their topic and of no other — exactly what the
+synthetic topic mixtures (:class:`~repro.synth.topics.TopicSpace`) make
+computable: every topic is a known unigram distribution over a shared
+vocabulary, so a word's *distinctiveness* for topic ``t`` is its
+probability under ``t`` divided by its mean probability under the other
+topics.
+
+:func:`build_probe_set` turns a topic space into a
+:class:`TopicProbeSet`: per topic, a seeded weighted draw of probe
+terms from the most distinctive content words (the rule excludes
+stopwords, noise tokens, and words shorter than three characters —
+probes must look like plausible user vocabulary).  The same
+distinctiveness scores are kept as per-topic *term weights*, which the
+:class:`~repro.classify.router.TopicRouter` reuses to match live
+queries to topics without issuing any probes.
+
+Everything is deterministic in ``seed``: the same topic space and seed
+produce byte-identical probe sets, so classifications are reproducible
+and probe budgets can be compared apples to apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.synth.topics import TopicSpace
+from repro.utils.rand import derive_seed, ensure_rng
+
+__all__ = ["TopicProbe", "TopicProbeSet", "build_probe_set"]
+
+#: Minimum length of a probe term (shorter tokens are rarely queried).
+MIN_PROBE_TERM_LENGTH = 3
+
+
+@dataclass(frozen=True)
+class TopicProbe:
+    """One probe query, labelled with the topic it tests for."""
+
+    topic: str
+    text: str
+
+
+class TopicProbeSet:
+    """Per-topic probe queries plus the term weights that produced them.
+
+    Parameters
+    ----------
+    probes:
+        Topic name → that topic's probe queries, most distinctive
+        first.  Order matters: a budget-capped classifier issues a
+        *prefix*, so truncation keeps the strongest probes.
+    term_weights:
+        Topic name → term → normalized distinctiveness weight, over a
+        pool wider than the probes themselves.  The router matches live
+        query terms against these.
+    """
+
+    def __init__(
+        self,
+        probes: Mapping[str, tuple[str, ...]],
+        term_weights: Mapping[str, Mapping[str, float]],
+    ) -> None:
+        if set(probes) != set(term_weights):
+            raise ValueError("probes and term_weights must cover the same topics")
+        self._probes = {topic: tuple(texts) for topic, texts in probes.items()}
+        self.term_weights: dict[str, dict[str, float]] = {
+            topic: dict(weights) for topic, weights in term_weights.items()
+        }
+
+    @property
+    def topics(self) -> tuple[str, ...]:
+        """The topic labels, sorted."""
+        return tuple(sorted(self._probes))
+
+    @property
+    def probes_per_topic(self) -> int:
+        """The (maximum) number of probes available per topic."""
+        return max((len(texts) for texts in self._probes.values()), default=0)
+
+    def probes(self, topic: str, budget: int | None = None) -> tuple[str, ...]:
+        """The probe queries for ``topic``, optionally budget-capped.
+
+        ``budget`` takes the first ``budget`` probes — the most
+        distinctive ones — so accuracy-vs-budget sweeps reuse one
+        probe set instead of regenerating per level.
+        """
+        texts = self._probes[topic]
+        if budget is None:
+            return texts
+        if budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        return texts[:budget]
+
+    def all_probes(self, budget: int | None = None) -> list[TopicProbe]:
+        """Every probe as a labelled :class:`TopicProbe`, topic-sorted."""
+        return [
+            TopicProbe(topic=topic, text=text)
+            for topic in self.topics
+            for text in self.probes(topic, budget)
+        ]
+
+
+def build_probe_set(
+    topic_space: TopicSpace,
+    *,
+    probes_per_topic: int = 8,
+    terms_per_probe: int = 1,
+    pool_factor: int = 4,
+    seed: int = 0,
+) -> TopicProbeSet:
+    """Derive a seeded, reproducible probe set from a topic space.
+
+    For each topic the rule is:
+
+    1. score every *content* word by distinctiveness — its probability
+       under this topic over its mean probability under the others
+       (uniform background when there is only one topic);
+    2. keep the top ``probes_per_topic * terms_per_probe * pool_factor``
+       eligible words (length >= 3; stopword and noise blocks are
+       outside the content id range and never eligible) as the
+       candidate pool, which also becomes the topic's router term
+       weights;
+    3. draw the probe terms from the pool *weighted by score* with a
+       seed derived per topic — so probes concentrate on distinctive
+       vocabulary but different seeds explore different draws, and the
+       same seed always reproduces the same probes.
+
+    Probe queries are ``terms_per_probe`` drawn terms joined by
+    spaces; the default of one term per probe keeps the hit count's
+    meaning sharp (documents containing *this* word).
+    """
+    if probes_per_topic <= 0:
+        raise ValueError(f"probes_per_topic must be positive, got {probes_per_topic}")
+    if terms_per_probe <= 0:
+        raise ValueError(f"terms_per_probe must be positive, got {terms_per_probe}")
+    if pool_factor <= 0:
+        raise ValueError(f"pool_factor must be positive, got {pool_factor}")
+
+    vocabulary = topic_space.vocabulary
+    stop_count = len(vocabulary.stopwords)
+    content_size = len(vocabulary.content)
+    vocabulary_size = len(topic_space.words)
+    # Dense per-topic distributions over the shared id space; the
+    # content block occupies ids [stop_count, stop_count + content_size).
+    dense = np.stack(
+        [topic.dense_pdf(vocabulary_size) for topic in topic_space.topics]
+    )
+    content = dense[:, stop_count : stop_count + content_size]
+    num_topics = content.shape[0]
+    if num_topics > 1:
+        background = (content.sum(axis=0, keepdims=True) - content) / (num_topics - 1)
+    else:
+        background = np.full_like(content, 1.0 / max(content_size, 1))
+    # Words the topic never emits can't be probes for it; the epsilon
+    # keeps topic-exclusive words (background exactly zero) finite and
+    # ranked by their in-topic probability.
+    epsilon = 1e-12
+    distinctiveness = np.where(content > 0, content / (background + epsilon), 0.0)
+
+    eligible = np.array(
+        [len(word) >= MIN_PROBE_TERM_LENGTH for word in vocabulary.content]
+    )
+    distinctiveness[:, ~eligible] = 0.0
+
+    pool_size = probes_per_topic * terms_per_probe * pool_factor
+    probes: dict[str, tuple[str, ...]] = {}
+    term_weights: dict[str, dict[str, float]] = {}
+    for topic_index, topic in enumerate(topic_space.topics):
+        scores = distinctiveness[topic_index]
+        candidates = np.flatnonzero(scores > 0)
+        if candidates.size == 0:
+            raise ValueError(
+                f"topic {topic.name!r} has no eligible probe vocabulary"
+            )
+        # Stable top-k: sort by (-score, word id) so ties break the
+        # same way on every platform.
+        order = candidates[np.lexsort((candidates, -scores[candidates]))]
+        pool = order[: min(pool_size, order.size)]
+        pool_scores = scores[pool]
+        weights = pool_scores / pool_scores.sum()
+        term_weights[topic.name] = {
+            vocabulary.content[int(word_index)]: float(weight)
+            for word_index, weight in zip(pool, weights)
+        }
+        needed = probes_per_topic * terms_per_probe
+        rng = ensure_rng(derive_seed(seed, "classify-probes", topic.name))
+        if needed >= pool.size:
+            drawn = pool  # the whole pool, strongest first
+        else:
+            drawn = rng.choice(pool, size=needed, replace=False, p=weights)
+        terms = [vocabulary.content[int(word_index)] for word_index in drawn]
+        probes[topic.name] = tuple(
+            " ".join(terms[i : i + terms_per_probe])
+            for i in range(0, len(terms) - terms_per_probe + 1, terms_per_probe)
+        )
+    return TopicProbeSet(probes, term_weights)

@@ -1,0 +1,327 @@
+"""Topic-aware query routing over a classified federation.
+
+The payoff of classification: once every database carries a
+Coverage/Specificity classification
+(:class:`~repro.classify.classifier.DatabaseClassification`), a query
+that is recognizably *about* a topic only needs to fan out to the
+databases classified into that topic — the rest of the federation can
+be skipped without touching result quality on topically skewed
+partitions (ROADMAP item 3).
+
+:class:`TopicRouter` owns three pieces of state: the per-database
+classifications, the per-topic term weights the probe generator kept
+(:attr:`~repro.classify.probes.TopicProbeSet.term_weights`), and a
+confidence floor.  Routing a query is then:
+
+1. match the query's analyzed terms against the term weights → matched
+   topics and a confidence (explicitly requested topics skip this step
+   and carry confidence 1.0);
+2. below the confidence floor, or with no topic matched, **fall back
+   to full broadcast** — restriction is an optimization, never a
+   correctness risk;
+3. otherwise restrict the selector's ranking to the databases
+   classified into a matched topic, keeping CORI's order, and cut to
+   the requested depth.
+
+Every decision is reported as a frozen :class:`RoutingDecision` on the
+:class:`~repro.federation.service.FederatedResponse`, so clients (and
+the gateway protocol) can see exactly what the router did and why.
+:class:`RequestRouting` is the inbound half of the contract — an
+optional topic restriction a client may attach to a
+:class:`~repro.federation.service.SearchRequest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.classify.classifier import DatabaseClassification, TopicScore
+from repro.classify.probes import TopicProbeSet
+from repro.dbselect.base import DatabaseRanking, analyze_query
+from repro.text.analyzer import Analyzer
+
+__all__ = ["RequestRouting", "RoutingDecision", "TopicRouter"]
+
+
+@dataclass(frozen=True)
+class RequestRouting:
+    """A client's routing instructions, carried on a search request.
+
+    Parameters
+    ----------
+    topics:
+        Restrict the fan-out to databases classified into these topics
+        (empty = let the router match topics from the query text).
+    min_confidence:
+        Override of the router's broadcast-fallback floor for this
+        request (``None`` keeps the router default).
+    """
+
+    topics: tuple[str, ...] = ()
+    min_confidence: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "topics", tuple(self.topics))
+        if self.min_confidence is not None and not 0.0 <= self.min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """What the router did with one query — the response-side metadata.
+
+    ``mode`` is ``"routed"`` (fan-out restricted to ``candidates``
+    topically matching databases) or ``"broadcast"``.  ``fell_back``
+    marks a broadcast that *wanted* to route but could not —
+    ``reason`` says why (``"low_confidence"``, ``"no_topic_match"``,
+    ``"no_candidates"``, ``"no_router"``).
+    """
+
+    mode: str
+    topics: tuple[str, ...]
+    confidence: float
+    candidates: int
+    fell_back: bool = False
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("routed", "broadcast"):
+            raise ValueError(f"mode must be 'routed' or 'broadcast', got {self.mode!r}")
+        object.__setattr__(self, "topics", tuple(self.topics))
+
+
+class TopicRouter:
+    """Restrict a selector's candidate set to topically relevant databases.
+
+    Parameters
+    ----------
+    classifications:
+        Database name → its probe-derived classification.
+    term_weights:
+        Topic → term → weight, the probe pool's distinctiveness table
+        (:attr:`~repro.classify.probes.TopicProbeSet.term_weights`).
+        Matching happens in *analyzed* term space: weights are
+        projected through ``analyzer`` at construction so stemming on
+        either side cannot cause silent mismatches.
+    min_confidence:
+        Broadcast-fallback floor on query-match confidence.
+    analyzer:
+        The pipeline live queries are analyzed with — use the same one
+        the federation's databases index with (the default matches
+        :class:`~repro.index.server.DatabaseServer`'s default).
+    projected:
+        Set when ``term_weights`` are *already* in analyzed term space
+        (a persisted router being rebuilt); skips re-projection, which
+        is not idempotent for every stemmer output.
+    """
+
+    def __init__(
+        self,
+        classifications: Mapping[str, DatabaseClassification],
+        term_weights: Mapping[str, Mapping[str, float]],
+        *,
+        min_confidence: float = 0.25,
+        analyzer: Analyzer | None = None,
+        projected: bool = False,
+    ) -> None:
+        if not 0.0 <= min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in [0, 1]")
+        self.classifications = dict(classifications)
+        self.min_confidence = min_confidence
+        self.analyzer = analyzer if analyzer is not None else Analyzer.inquery_style()
+        self.term_weights: dict[str, dict[str, float]] = {}
+        if projected:
+            self.term_weights = {
+                topic: dict(weights) for topic, weights in term_weights.items()
+            }
+        else:
+            for topic, weights in term_weights.items():
+                merged: dict[str, float] = {}
+                for term, weight in weights.items():
+                    analyzed = self.analyzer.project_term(term)
+                    if analyzed is not None:
+                        merged[analyzed] = merged.get(analyzed, 0.0) + weight
+                self.term_weights[topic] = merged
+        self._members: dict[str, set[str]] = {}
+        for name, classification in self.classifications.items():
+            for topic in classification.assigned:
+                self._members.setdefault(topic, set()).add(name)
+
+    @classmethod
+    def from_probes(
+        cls,
+        probe_set: TopicProbeSet,
+        classifications: Mapping[str, DatabaseClassification],
+        *,
+        min_confidence: float = 0.25,
+        analyzer: Analyzer | None = None,
+    ) -> "TopicRouter":
+        """Build a router straight from a probe set and its classifications."""
+        return cls(
+            classifications,
+            probe_set.term_weights,
+            min_confidence=min_confidence,
+            analyzer=analyzer,
+        )
+
+    @property
+    def topics(self) -> tuple[str, ...]:
+        """Every topic the router knows term weights for, sorted."""
+        return tuple(sorted(self.term_weights))
+
+    def match_query(self, query: str) -> tuple[tuple[str, ...], float]:
+        """Match a query to topics by distinctive-term overlap.
+
+        Scores every topic by the summed weights of the query's
+        analyzed terms in the topic's weight table; returns the topics
+        within half of the best score (strongest first) and a
+        confidence — the best topic's share of the total matched
+        weight.  ``((), 0.0)`` when nothing matched.
+        """
+        terms = analyze_query(query, self.analyzer)
+        scores = {
+            topic: sum(weights.get(term, 0.0) for term in terms)
+            for topic, weights in self.term_weights.items()
+        }
+        total = sum(scores.values())
+        if total <= 0:
+            return (), 0.0
+        best = max(scores.values())
+        matched = tuple(
+            topic
+            for topic, score in sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+            if score >= best / 2
+        )
+        return matched, best / total
+
+    def candidates_for(self, topics: tuple[str, ...]) -> tuple[str, ...]:
+        """Databases classified into any of ``topics``, sorted by name."""
+        names: set[str] = set()
+        for topic in topics:
+            names.update(self._members.get(topic, ()))
+        return tuple(sorted(names))
+
+    def route(
+        self,
+        query: str,
+        ranking: DatabaseRanking,
+        depth: int,
+        requested: RequestRouting | None = None,
+    ) -> tuple[tuple[str, ...], RoutingDecision]:
+        """Pick the databases to fan out to, with the decision made.
+
+        Returns ``(selected, decision)``: ``selected`` is the ranked
+        prefix to actually search — restricted to topical candidates
+        when routing engaged, the plain top-``depth`` otherwise — and
+        ``decision`` records what happened.  Ranking order is always
+        preserved; routing only *filters* the selector's judgement.
+        """
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        broadcast = tuple(ranking.top(depth))
+        floor = self.min_confidence
+        if requested is not None and requested.min_confidence is not None:
+            floor = requested.min_confidence
+        if requested is not None and requested.topics:
+            topics: tuple[str, ...] = requested.topics
+            confidence = 1.0
+        else:
+            topics, confidence = self.match_query(query)
+        if not topics:
+            return broadcast, RoutingDecision(
+                mode="broadcast",
+                topics=(),
+                confidence=0.0,
+                candidates=len(ranking.entries),
+                fell_back=True,
+                reason="no_topic_match",
+            )
+        if confidence < floor:
+            return broadcast, RoutingDecision(
+                mode="broadcast",
+                topics=topics,
+                confidence=confidence,
+                candidates=len(ranking.entries),
+                fell_back=True,
+                reason="low_confidence",
+            )
+        candidates = self.candidates_for(topics)
+        selected = tuple(
+            entry.name for entry in ranking.entries if entry.name in set(candidates)
+        )[:depth]
+        if not selected:
+            return broadcast, RoutingDecision(
+                mode="broadcast",
+                topics=topics,
+                confidence=confidence,
+                candidates=len(ranking.entries),
+                fell_back=True,
+                reason="no_candidates",
+            )
+        return selected, RoutingDecision(
+            mode="routed",
+            topics=topics,
+            confidence=confidence,
+            candidates=len(candidates),
+            fell_back=False,
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> dict[str, object]:
+        """The router's full state as a JSON-serializable payload."""
+        return {
+            "min_confidence": self.min_confidence,
+            "term_weights": {
+                topic: dict(weights) for topic, weights in self.term_weights.items()
+            },
+            "classifications": {
+                name: {
+                    "assigned": list(c.assigned),
+                    "confidence": c.confidence,
+                    "probes_issued": c.probes_issued,
+                    "scores": [
+                        [s.topic, s.coverage, s.specificity] for s in c.scores
+                    ],
+                }
+                for name, c in sorted(self.classifications.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping[str, object], *, analyzer: Analyzer | None = None
+    ) -> "TopicRouter":
+        """Rebuild a router from :meth:`to_payload` output.
+
+        The stored term weights were already projected through the
+        saving router's analyzer at save time, so they are installed
+        verbatim; pass the same ``analyzer`` the saving federation
+        used so live queries keep analyzing consistently.
+        """
+        classifications = {}
+        for name, row in dict(payload.get("classifications", {})).items():  # type: ignore[union-attr]
+            scores = tuple(
+                TopicScore(
+                    topic=str(topic), coverage=float(cov), specificity=float(spec)
+                )
+                for topic, cov, spec in row["scores"]
+            )
+            classifications[str(name)] = DatabaseClassification(
+                database=str(name),
+                scores=scores,
+                assigned=tuple(str(t) for t in row["assigned"]),
+                confidence=float(row["confidence"]),
+                probes_issued=int(row["probes_issued"]),
+            )
+        return cls(
+            classifications,
+            {
+                str(topic): {str(term): float(w) for term, w in weights.items()}
+                for topic, weights in dict(payload.get("term_weights", {})).items()  # type: ignore[union-attr]
+            },
+            min_confidence=float(payload.get("min_confidence", 0.25)),  # type: ignore[arg-type]
+            analyzer=analyzer,
+            projected=True,
+        )

@@ -22,6 +22,8 @@ Exposes the library's main workflows as ``repro <subcommand>``:
     repro fleet status sharded-dir --queue queue-dir
     repro fleet run-workers a.jsonl b.jsonl --models sharded-dir --queue queue-dir
     repro fleet bench -o BENCH_fleet.json
+    repro classify probe --synthetic 4 --save-router models-dir
+    repro classify bench -o BENCH_classify.json
 
 ``sample`` and ``federate`` accept ``--trace PATH`` to record a
 structured JSONL trace of the run (:mod:`repro.obs`); ``repro trace``
@@ -44,6 +46,17 @@ measures refresh throughput and the staleness-aware scheduler against
 a uniform baseline (``BENCH_fleet.json``).  ``serve``, ``serve-bench``
 and ``load-bench`` accept ``--models DIR`` to serve from a store
 instead of ground truth.
+
+Topic classification (:mod:`repro.classify`): ``repro classify probe``
+classifies a federation's databases by query probing (hit counts only)
+and can persist the resulting router beside a model store
+(``--save-router DIR``); ``repro classify bench`` measures the
+accuracy-vs-probe-budget curve and the routed-vs-broadcast serving
+saving (``BENCH_classify.json``).  ``serve``, ``serve-bench``,
+``load-bench`` and ``federate`` accept ``--route-topics`` to restrict
+each query's fan-out to databases classified under its topics
+(classifying live for synthetic federations, loading persisted
+classifications from the ``--models`` store otherwise).
 
 Corpora are JSONL files (``{"doc_id", "text", ...}`` per line); models
 use the library's text format (:mod:`repro.lm.io`).  Every stochastic
@@ -237,6 +250,12 @@ def _add_federate(subparsers) -> None:
         metavar="DIR",
         help="persist the learned model set to a durable store directory",
     )
+    parser.add_argument(
+        "--route-topics",
+        action="store_true",
+        help="restrict fan-out by topic classification (needs a --models "
+        "store with persisted classifications; see `repro classify probe`)",
+    )
 
 
 def _add_store(subparsers) -> None:
@@ -305,6 +324,13 @@ def _add_serve_bench(subparsers) -> None:
         help="serve models from a durable store (flat or sharded) instead of "
         "the databases' ground truth",
     )
+    parser.add_argument(
+        "--route-topics",
+        action="store_true",
+        help="add a topic-routed fan-out mode: classify the federation (or "
+        "load persisted classifications from --models) and measure "
+        "search_routed against search_concurrent",
+    )
 
 
 def _add_federation_source(parser, default_synthetic: int = 4) -> None:
@@ -345,6 +371,13 @@ def _add_federation_source(parser, default_synthetic: int = 4) -> None:
         metavar="DIR",
         help="warm-start serving from a durable model store (flat or sharded) "
         "instead of the databases' ground truth",
+    )
+    parser.add_argument(
+        "--route-topics",
+        action="store_true",
+        help="classify the federation by query probing (or load persisted "
+        "classifications from --models) and restrict each query's fan-out "
+        "to databases matching its topics",
     )
 
 
@@ -541,6 +574,106 @@ def _add_fleet(subparsers) -> None:
     )
 
 
+def _add_classify(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "classify",
+        help="topic classification by query probing, and its benchmark",
+    )
+    classify = parser.add_subparsers(dest="classify_command", required=True)
+
+    probe = classify.add_parser(
+        "probe",
+        help="classify a federation's databases from probe hit counts alone",
+    )
+    probe.add_argument(
+        "corpora",
+        nargs="*",
+        help="corpus JSONL paths (omit to classify a synthetic federation)",
+    )
+    probe.add_argument(
+        "--synthetic",
+        type=int,
+        default=4,
+        metavar="K",
+        help="number of synthetic databases when no corpora are given",
+    )
+    probe.add_argument(
+        "--profile",
+        choices=sorted(PROFILES_BY_NAME),
+        default="wsj88",
+        help="topic space the probes are derived from; for corpus files this "
+        "must match the `repro generate` profile/scale/seed that built them",
+    )
+    probe.add_argument(
+        "--scale", type=float, default=0.05, help="corpus scale factor"
+    )
+    probe.add_argument("--seed", type=int, default=0)
+    probe.add_argument(
+        "--probes-per-topic",
+        type=int,
+        default=8,
+        help="probe budget per topic (the accuracy/cost dial)",
+    )
+    probe.add_argument(
+        "--tau-coverage",
+        type=float,
+        default=1.0,
+        help="minimum total matches for a topic to be assignable",
+    )
+    probe.add_argument(
+        "--tau-specificity",
+        type=float,
+        default=0.1,
+        help="minimum share of a database's matches a topic must hold",
+    )
+    probe.add_argument(
+        "--save-router",
+        default=None,
+        metavar="DIR",
+        help="persist the classifications beside a model store, so serving "
+        "warm-starts topic routing (`repro serve --route-topics --models DIR`)",
+    )
+
+    bench = classify.add_parser(
+        "bench",
+        help="accuracy-vs-probe-budget curve and routed-vs-broadcast saving "
+        "-> BENCH_classify.json",
+    )
+    bench.add_argument(
+        "--profile", choices=sorted(PROFILES_BY_NAME), default="wsj88"
+    )
+    bench.add_argument(
+        "--databases", type=int, default=4, help="synthetic federation size"
+    )
+    bench.add_argument(
+        "--scale", type=float, default=0.05, help="synthetic corpus scale factor"
+    )
+    bench.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=(0, 1, 2),
+        help="seeds averaged by the curve and the routing comparison",
+    )
+    bench.add_argument(
+        "--budgets",
+        nargs="+",
+        type=int,
+        default=(1, 2, 4, 8, 16),
+        help="probes-per-topic levels of the accuracy curve",
+    )
+    bench.add_argument(
+        "--databases-per-query", type=int, default=3, help="broadcast depth"
+    )
+    bench.add_argument("-n", type=int, default=10, help="merged results per query")
+    bench.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_classify.json",
+        help="where the machine-readable report lands",
+    )
+
+
 def _add_experiments(subparsers) -> None:
     parser = subparsers.add_parser(
         "experiments",
@@ -605,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve(subparsers)
     _add_load_bench(subparsers)
     _add_fleet(subparsers)
+    _add_classify(subparsers)
     _add_experiments(subparsers)
     _add_trace(subparsers)
     return parser
@@ -830,7 +964,21 @@ def _cmd_federate(args) -> int:
             f"warm-started {len(service.models)} models from {args.models} "
             f"(epoch {service.model_epoch})"
         )
+        if args.route_topics:
+            try:
+                service.router = _topic_router_for(servers, args)
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            print(f"topic routing over {len(service.router.topics)} topics")
     else:
+        if args.route_topics:
+            print(
+                "--route-topics needs a --models store holding persisted "
+                "classifications (see `repro classify probe --save-router`)",
+                file=sys.stderr,
+            )
+            return 2
         service.learn_models(
             lambda name: _default_bootstrap(servers[name]),
             total_documents=args.sample_docs * len(servers),
@@ -852,6 +1000,15 @@ def _cmd_federate(args) -> int:
         for i, entry in enumerate(response.ranking.entries, start=1)
     ]
     print(format_table(ranking_rows, title=f"Database ranking for {args.query!r}"))
+    if response.routing is not None:
+        decision = response.routing
+        detail = (
+            f"topics={','.join(decision.topics) or '-'} "
+            f"confidence={decision.confidence:.2f}"
+        )
+        if decision.fell_back:
+            detail += f" fell_back={decision.reason}"
+        print(f"routing: {decision.mode} ({detail})")
     if not response.results:
         print("no results")
         return 1
@@ -934,6 +1091,41 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _federation_parts(
+    corpora: Sequence[str],
+    synthetic: int,
+    scale: float,
+    seed: int,
+    profile: str = "wsj88",
+):
+    """The federation's corpora: read from files, or synthesized.
+
+    Synthetic parts are built exactly as
+    :func:`repro.serving.bench.build_synthetic_federation` builds its
+    servers (wsj88 profile, topically skewed partition), so every
+    subcommand sees the same federation for the same flags.  Raises
+    :class:`ValueError` with a user-facing message on a bad spec.
+    """
+    from repro.federation.testbed import build_skewed_partition
+
+    if corpora:
+        if len(corpora) < 2:
+            raise ValueError("a federation needs at least two corpora")
+        parts = []
+        names = set()
+        for path in corpora:
+            corpus = read_jsonl(path)
+            if corpus.name in names:
+                raise ValueError(f"duplicate corpus name {corpus.name!r}")
+            names.add(corpus.name)
+            parts.append(corpus)
+        return parts
+    if synthetic < 2:
+        raise ValueError("--synthetic must be >= 2")
+    corpus = PROFILES_BY_NAME[profile]().build(seed=seed, scale=scale)
+    return build_skewed_partition(corpus, num_databases=synthetic, seed=seed)
+
+
 def _federation_servers(
     corpora: Sequence[str], synthetic: int, scale: float, seed: int
 ) -> dict[str, DatabaseServer]:
@@ -942,23 +1134,40 @@ def _federation_servers(
     Raises :class:`ValueError` with a user-facing message on a bad
     federation spec (the subcommands print it and exit 2).
     """
-    from repro.serving.bench import build_synthetic_federation
+    parts = _federation_parts(corpora, synthetic, scale, seed)
+    return {part.name: DatabaseServer(part) for part in parts}
 
-    if corpora:
-        if len(corpora) < 2:
-            raise ValueError("a federation needs at least two corpora")
-        servers: dict[str, DatabaseServer] = {}
-        for path in corpora:
-            corpus = read_jsonl(path)
-            if corpus.name in servers:
-                raise ValueError(f"duplicate corpus name {corpus.name!r}")
-            servers[corpus.name] = DatabaseServer(corpus)
-        return servers
-    if synthetic < 2:
-        raise ValueError("--synthetic must be >= 2")
-    return build_synthetic_federation(
-        num_databases=synthetic, scale=scale, seed=seed
+
+def _topic_router_for(servers, args, *, profile: str = "wsj88"):
+    """Build or load the topic router ``--route-topics`` asked for.
+
+    Persisted classifications in the ``--models`` store win; otherwise
+    a synthetic federation is classified live — the probe set derives
+    from the same profile/scale/seed that generated the corpora, so the
+    topic vocabulary matches.  Raises :class:`ValueError` with a
+    user-facing message when neither path is available.
+    """
+    from repro.classify import (
+        ClassifyParameters,
+        QueryProbeClassifier,
+        TopicRouter,
+        build_probe_set,
+        load_router,
     )
+
+    if getattr(args, "models", None):
+        router = load_router(open_store(args.models))
+        if router is not None:
+            return router
+    if args.corpora:
+        raise ValueError(
+            "--route-topics over corpus files needs a --models store holding "
+            "persisted classifications (see `repro classify probe --save-router`)"
+        )
+    space = PROFILES_BY_NAME[profile]().topic_space(seed=args.seed, scale=args.scale)
+    probe_set = build_probe_set(space, seed=args.seed)
+    classifier = QueryProbeClassifier(probe_set, ClassifyParameters())
+    return TopicRouter.from_probes(probe_set, classifier.classify_all(servers))
 
 
 def _store_models_for(servers, directory):
@@ -994,12 +1203,11 @@ def _cmd_serve_bench(args) -> int:
         print("--backend-latency must be non-negative", file=sys.stderr)
         return 2
     try:
-        servers = _federation_servers(
-            args.corpora, args.synthetic, args.scale, args.seed
-        )
+        parts = _federation_parts(args.corpora, args.synthetic, args.scale, args.seed)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    servers = {part.name: DatabaseServer(part) for part in parts}
     models = None
     if args.models:
         try:
@@ -1007,15 +1215,31 @@ def _cmd_serve_bench(args) -> int:
         except ValueError as exc:
             print(exc, file=sys.stderr)
             return 2
+    router = None
+    queries = None
+    if args.route_topics:
+        from repro.federation.testbed import topical_queries
+
+        try:
+            router = _topic_router_for(servers, args)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        # Topical queries exercise the router; broadcast modes run the
+        # same set so the fan-out comparison is apples to apples.
+        topical = [query.text for query in topical_queries(parts)]
+        queries = topical or None
     try:
         report = run_serve_bench(
             servers,
+            queries,
             num_queries=args.queries,
             budget=args.budget,
             workers=args.workers,
             backend_latency=args.backend_latency,
             databases_per_query=args.databases_per_query,
             models=models,
+            router=router,
         )
     except TypeError as exc:
         # E.g. a federation of databases without evaluable ground-truth
@@ -1041,6 +1265,11 @@ def _gateway_frontend(args):
     models = None
     if args.models:
         models = _store_models_for(servers, args.models)
+    router = None
+    if getattr(args, "route_topics", False):
+        # Classify before any latency wrapping: LatencyInjected proxies
+        # retrieval only and exposes no hit_count for probes.
+        router = _topic_router_for(servers, args)
     if args.slow_backend > 0:
         # Models come from the store or the unwrapped servers; the
         # injected latency slows retrieval only, so streaming has a
@@ -1068,6 +1297,8 @@ def _gateway_frontend(args):
         )
     except TypeError as exc:
         raise ValueError(f"cannot serve this federation: {exc}") from exc
+    if router is not None:
+        frontend.service.router = router
     return frontend, len(servers)
 
 
@@ -1429,6 +1660,98 @@ def _cmd_fleet(args) -> int:
     return _FLEET_COMMANDS[args.fleet_command](args)
 
 
+def _cmd_classify_probe(args) -> int:
+    from repro.classify import (
+        ClassifyParameters,
+        QueryProbeClassifier,
+        TopicRouter,
+        build_probe_set,
+        save_router,
+    )
+
+    try:
+        parts = _federation_parts(
+            args.corpora, args.synthetic, args.scale, args.seed, args.profile
+        )
+        params = ClassifyParameters(
+            tau_coverage=args.tau_coverage,
+            tau_specificity=args.tau_specificity,
+            probes_per_topic=args.probes_per_topic,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    servers = {part.name: DatabaseServer(part) for part in parts}
+    space = PROFILES_BY_NAME[args.profile]().topic_space(
+        seed=args.seed, scale=args.scale
+    )
+    probe_set = build_probe_set(space, seed=args.seed)
+    classifier = QueryProbeClassifier(probe_set, params)
+    classifications = classifier.classify_all(servers)
+    rows = [
+        {
+            "database": name,
+            "assigned": ",".join(c.assigned) or "-",
+            "confidence": round(c.confidence, 3),
+            "probes": c.probes_issued,
+        }
+        for name, c in classifications.items()
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"Classification over {len(probe_set.topics)} topics "
+            f"(budget {args.probes_per_topic} probes/topic)",
+        )
+    )
+    diffuse = [name for name, c in classifications.items() if not c.assigned]
+    if diffuse:
+        print(f"topically diffuse (will broadcast): {', '.join(diffuse)}")
+    if args.save_router:
+        router = TopicRouter.from_probes(probe_set, classifications)
+        path = save_router(router, args.save_router)
+        print(f"saved classifications -> {path}")
+    return 0
+
+
+def _cmd_classify_bench(args) -> int:
+    from repro.classify.bench import (
+        format_classify_bench,
+        run_classify_bench,
+        write_classify_bench,
+    )
+
+    if args.databases < 2:
+        print("--databases must be >= 2", file=sys.stderr)
+        return 2
+    if any(budget <= 0 for budget in args.budgets):
+        print("--budgets must be positive", file=sys.stderr)
+        return 2
+    report = run_classify_bench(
+        profile=args.profile,
+        num_databases=args.databases,
+        scale=args.scale,
+        seeds=tuple(args.seeds),
+        budgets=tuple(args.budgets),
+        databases_per_query=args.databases_per_query,
+        n=args.n,
+    )
+    print(format_classify_bench(report))
+    write_classify_bench(report, args.output)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+_CLASSIFY_COMMANDS = {
+    "probe": _cmd_classify_probe,
+    "bench": _cmd_classify_bench,
+}
+
+
+def _cmd_classify(args) -> int:
+    return _CLASSIFY_COMMANDS[args.classify_command](args)
+
+
 def _cmd_experiments(args) -> int:
     # Imported lazily: the experiments package pulls in the synthetic
     # corpus machinery, which the file-based subcommands never need.
@@ -1515,6 +1838,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "load-bench": _cmd_load_bench,
     "fleet": _cmd_fleet,
+    "classify": _cmd_classify,
     "experiments": _cmd_experiments,
     "trace": _cmd_trace,
 }

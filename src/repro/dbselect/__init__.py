@@ -19,14 +19,21 @@ experiment Ext-1):
   standard baseline;
 * :func:`recall_at_n` and :class:`SelectionEvaluation` — the R_n
   evaluation methodology comparing a ranking to the best possible one.
+
+Every selector is constructible two ways: directly, or through the
+:func:`make_selector` registry factory by name (``cori``, ``kl``,
+``bgloss``, ``vgloss``, ``redde``) with the family's frozen parameter
+dataclass — the single construction surface the CLI and serving layers
+build on.
 """
 
 from repro.dbselect.base import DatabaseRanking, DatabaseSelector, RankedDatabase
 from repro.dbselect.cori import CoriParameters, CoriSelector
 from repro.dbselect.evaluate import SelectionEvaluation, evaluate_rankings, recall_at_n
-from repro.dbselect.gloss import BGlossSelector, VGlossSelector
-from repro.dbselect.kl import KlSelector
-from repro.dbselect.redde import ReddeSelector
+from repro.dbselect.gloss import BGlossSelector, GlossParameters, VGlossSelector
+from repro.dbselect.kl import KlParameters, KlSelector
+from repro.dbselect.redde import ReddeParameters, ReddeSelector
+from repro.dbselect.registry import make_selector, selector_names
 from repro.dbselect.vectorized import CoriScorer
 
 __all__ = [
@@ -36,11 +43,16 @@ __all__ = [
     "CoriSelector",
     "DatabaseRanking",
     "DatabaseSelector",
+    "GlossParameters",
+    "KlParameters",
     "KlSelector",
     "RankedDatabase",
+    "ReddeParameters",
     "ReddeSelector",
     "SelectionEvaluation",
     "VGlossSelector",
     "evaluate_rankings",
+    "make_selector",
     "recall_at_n",
+    "selector_names",
 ]

@@ -20,6 +20,7 @@ same sample-size scaling argument the paper makes in Section 3.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.dbselect.base import DatabaseRanking, analyze_query, finish_ranking
@@ -27,10 +28,34 @@ from repro.lm.model import LanguageModel
 from repro.text.analyzer import Analyzer
 
 
-class BGlossSelector:
-    """bGlOSS: expected number of documents matching all query terms."""
+@dataclass(frozen=True)
+class GlossParameters:
+    """The GlOSS selectors' parameter dataclass (shared registry idiom).
 
-    def __init__(self, *, analyzer: Analyzer | None = None) -> None:
+    Both GlOSS estimators are parameter-free — the class exists so
+    :func:`~repro.dbselect.registry.make_selector` can treat every
+    selector uniformly (a params dataclass per algorithm family).
+    """
+
+
+class BGlossSelector:
+    """bGlOSS: expected number of documents matching all query terms.
+
+    Parameters
+    ----------
+    params:
+        Accepted for registry uniformity (GlOSS has no constants).
+    analyzer:
+        Query analysis pipeline (raw tokens if ``None``).
+    """
+
+    def __init__(
+        self,
+        params: GlossParameters | None = None,
+        *,
+        analyzer: Analyzer | None = None,
+    ) -> None:
+        self.params = params or GlossParameters()
         self.analyzer = analyzer
 
     def rank(self, query: str, models: Mapping[str, LanguageModel]) -> DatabaseRanking:
@@ -52,9 +77,23 @@ class BGlossSelector:
 
 
 class VGlossSelector:
-    """vGlOSS Max(0): total expected similarity mass for the query."""
+    """vGlOSS Max(0): total expected similarity mass for the query.
 
-    def __init__(self, *, analyzer: Analyzer | None = None) -> None:
+    Parameters
+    ----------
+    params:
+        Accepted for registry uniformity (GlOSS has no constants).
+    analyzer:
+        Query analysis pipeline (raw tokens if ``None``).
+    """
+
+    def __init__(
+        self,
+        params: GlossParameters | None = None,
+        *,
+        analyzer: Analyzer | None = None,
+    ) -> None:
+        self.params = params or GlossParameters()
         self.analyzer = analyzer
 
     def rank(self, query: str, models: Mapping[str, LanguageModel]) -> DatabaseRanking:

@@ -18,6 +18,7 @@ empirical distribution, hence the name.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.dbselect.base import DatabaseRanking, analyze_query, finish_ranking
@@ -25,14 +26,57 @@ from repro.lm.model import LanguageModel
 from repro.text.analyzer import Analyzer
 
 
-class KlSelector:
-    """Smoothed query-likelihood (negative-KL) ranking."""
+@dataclass(frozen=True)
+class KlParameters:
+    """The KL selector's constants, in the shared parameter-dataclass idiom.
 
-    def __init__(self, *, smoothing: float = 0.7, analyzer: Analyzer | None = None) -> None:
-        if not 0.0 < smoothing < 1.0:
+    Parameters
+    ----------
+    smoothing:
+        ``λ`` — the mixture weight of the database model against the
+        background model (Jelinek-Mercer smoothing).
+    """
+
+    smoothing: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.smoothing < 1.0:
             raise ValueError("smoothing must be in (0, 1)")
-        self.smoothing = smoothing
+
+
+class KlSelector:
+    """Smoothed query-likelihood (negative-KL) ranking.
+
+    Parameters
+    ----------
+    params:
+        The selector constants (default :class:`KlParameters`).
+    smoothing:
+        Legacy keyword form of ``params.smoothing``; still accepted so
+        pre-registry call sites keep working (mutually exclusive with
+        ``params``).
+    analyzer:
+        Query analysis pipeline (raw tokens if ``None``).
+    """
+
+    def __init__(
+        self,
+        params: KlParameters | None = None,
+        *,
+        smoothing: float | None = None,
+        analyzer: Analyzer | None = None,
+    ) -> None:
+        if params is not None and smoothing is not None:
+            raise ValueError("pass params or smoothing, not both")
+        if params is None:
+            params = KlParameters() if smoothing is None else KlParameters(smoothing)
+        self.params = params
         self.analyzer = analyzer
+
+    @property
+    def smoothing(self) -> float:
+        """``λ``, the database-vs-background mixture weight."""
+        return self.params.smoothing
 
     def rank(self, query: str, models: Mapping[str, LanguageModel]) -> DatabaseRanking:
         """Rank ``models`` for ``query`` by smoothed query likelihood."""

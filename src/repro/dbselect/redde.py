@@ -20,6 +20,7 @@ are exactly `SamplingRun.documents` and :mod:`repro.sizeest` estimates.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.corpus.collection import Corpus
@@ -31,6 +32,23 @@ from repro.index.search import SearchEngine
 from repro.text.analyzer import Analyzer
 
 
+@dataclass(frozen=True)
+class ReddeParameters:
+    """The ReDDE selector's constants (shared registry idiom).
+
+    Parameters
+    ----------
+    top_n:
+        How deep in the central-sample ranking votes are counted.
+    """
+
+    top_n: int = 50
+
+    def __post_init__(self) -> None:
+        if self.top_n <= 0:
+            raise ValueError("top_n must be positive")
+
+
 class ReddeSelector:
     """ReDDE ranking over a central index of sampled documents.
 
@@ -40,16 +58,18 @@ class ReddeSelector:
         Database name → that database's sampled documents
         (``SamplingRun.documents``).  Document ids must be unique
         across databases (true for any real federation).
+    params:
+        The selector constants (default :class:`ReddeParameters`).
     estimated_sizes:
         Database name → estimated collection size in documents (from
         :mod:`repro.sizeest`, or ground truth in oracle experiments).
         Databases missing an estimate fall back to their sample size
         (i.e. an unscaled vote).
     top_n:
-        How deep in the central ranking votes are counted (ReDDE's
-        single parameter; the original used a rank threshold
-        proportional to the estimated total collection size — a fixed
-        depth is the common simplification).
+        Legacy keyword form of ``params.top_n`` (ReDDE's single
+        parameter; the original used a rank threshold proportional to
+        the estimated total collection size — a fixed depth is the
+        common simplification).  Mutually exclusive with ``params``.
     analyzer:
         Pipeline for the central sample index (default Inquery-style).
     """
@@ -57,17 +77,20 @@ class ReddeSelector:
     def __init__(
         self,
         samples: Mapping[str, list[Document]],
+        params: ReddeParameters | None = None,
         *,
         estimated_sizes: Mapping[str, float] | None = None,
-        top_n: int = 50,
+        top_n: int | None = None,
         analyzer: Analyzer | None = None,
         scorer: Scorer | None = None,
     ) -> None:
         if not samples:
             raise ValueError("need at least one database sample")
-        if top_n <= 0:
-            raise ValueError("top_n must be positive")
-        self.top_n = top_n
+        if params is not None and top_n is not None:
+            raise ValueError("pass params or top_n, not both")
+        if params is None:
+            params = ReddeParameters() if top_n is None else ReddeParameters(top_n)
+        self.params = params
         self._source_of: dict[str, str] = {}
         union = Corpus(name="redde-union")
         for name, documents in samples.items():
@@ -91,6 +114,11 @@ class ReddeSelector:
         self._engine = SearchEngine(
             InvertedIndex(union, analyzer or Analyzer.inquery_style()), scorer
         )
+
+    @property
+    def top_n(self) -> int:
+        """The central-ranking vote depth (``params.top_n``)."""
+        return self.params.top_n
 
     def rank(self, query: str, models: Mapping[str, object] | None = None) -> DatabaseRanking:
         """Rank the sampled databases for ``query``.

@@ -1,0 +1,105 @@
+"""The selector registry: one construction surface for every algorithm.
+
+The five selection algorithms grew up with divergent constructor
+signatures — CORI takes belief constants, KL a smoothing weight, GlOSS
+nothing, ReDDE a sample corpus — which forced every harness (CLI,
+serving, experiments) to hand-wire each class.  The registry unifies
+them behind two idioms:
+
+* every algorithm family has a **frozen parameter dataclass**
+  (:class:`~repro.dbselect.cori.CoriParameters`,
+  :class:`~repro.dbselect.kl.KlParameters`,
+  :class:`~repro.dbselect.gloss.GlossParameters`,
+  :class:`~repro.dbselect.redde.ReddeParameters`) validating its
+  constants in ``__post_init__``;
+* :func:`make_selector` constructs any selector from its registry name
+  and an optional params instance, type-checked against the family.
+
+Direct construction keeps working — the factory is sugar over the
+constructors, not a replacement — and equivalence is pinned by tests:
+``make_selector(name, params)`` ranks identically to building the
+class by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.corpus.document import Document
+from repro.dbselect.base import DatabaseSelector
+from repro.dbselect.cori import CoriParameters, CoriSelector
+from repro.dbselect.gloss import BGlossSelector, GlossParameters, VGlossSelector
+from repro.dbselect.kl import KlParameters, KlSelector
+from repro.dbselect.redde import ReddeParameters, ReddeSelector
+from repro.text.analyzer import Analyzer
+
+__all__ = ["SELECTOR_REGISTRY", "SelectorParameters", "make_selector", "selector_names"]
+
+#: Any selector family's parameter dataclass.
+SelectorParameters = CoriParameters | KlParameters | GlossParameters | ReddeParameters
+
+#: Registry name → (selector class, its parameter dataclass).
+SELECTOR_REGISTRY: dict[str, tuple[type, type]] = {
+    "cori": (CoriSelector, CoriParameters),
+    "kl": (KlSelector, KlParameters),
+    "bgloss": (BGlossSelector, GlossParameters),
+    "vgloss": (VGlossSelector, GlossParameters),
+    "redde": (ReddeSelector, ReddeParameters),
+}
+
+
+def selector_names() -> tuple[str, ...]:
+    """The registered selector names, sorted (CLI choices, docs)."""
+    return tuple(sorted(SELECTOR_REGISTRY))
+
+
+def make_selector(
+    name: str,
+    params: SelectorParameters | None = None,
+    *,
+    analyzer: Analyzer | None = None,
+    samples: Mapping[str, list[Document]] | None = None,
+    estimated_sizes: Mapping[str, float] | None = None,
+) -> DatabaseSelector:
+    """Construct a database selector from its registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`selector_names` (``cori``, ``kl``, ``bgloss``,
+        ``vgloss``, ``redde``).
+    params:
+        The family's parameter dataclass (defaults per family); a
+        params instance of the wrong family raises ``TypeError``.
+    analyzer:
+        Query analysis pipeline, passed through to every family.
+    samples, estimated_sizes:
+        ReDDE's data inputs — the sampled documents its central index
+        is built from (required for ``redde``, rejected elsewhere) and
+        optional per-database size estimates.
+    """
+    try:
+        selector_cls, params_cls = SELECTOR_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown selector {name!r}; registered: {', '.join(selector_names())}"
+        ) from None
+    if params is not None and not isinstance(params, params_cls):
+        raise TypeError(
+            f"selector {name!r} takes {params_cls.__name__}, "
+            f"got {type(params).__name__}"
+        )
+    if name == "redde":
+        if samples is None:
+            raise ValueError(
+                "selector 'redde' needs samples (database name -> sampled documents)"
+            )
+        return ReddeSelector(
+            samples,
+            params,  # type: ignore[arg-type]
+            estimated_sizes=estimated_sizes,
+            analyzer=analyzer,
+        )
+    if samples is not None or estimated_sizes is not None:
+        raise ValueError(f"selector {name!r} does not take samples/estimated_sizes")
+    return selector_cls(params, analyzer=analyzer)

@@ -20,8 +20,15 @@ pass ``workers=N`` to any figure/table function or ``--workers`` to
 ``repro experiments``).  Both optimizations are bit-identical to the
 straightforward serial/full paths — see DESIGN.md's "Performance
 architecture".
+
+Beyond the paper's own evaluation, :func:`accuracy_vs_budget_curve`
+(from :mod:`repro.classify.bench`) measures topic-classification
+accuracy against probe budget with the same synthetic-testbed,
+seed-averaged methodology as the ctf-ratio curves, and renders through
+the same :func:`format_series` path.
 """
 
+from repro.classify.bench import accuracy_vs_budget_curve
 from repro.experiments.figures import (
     figure1_and_2_curves,
     figure3_strategy_curves,
@@ -55,6 +62,7 @@ __all__ = [
     "Testbed",
     "TrialResult",
     "TrialSpec",
+    "accuracy_vs_budget_curve",
     "average_curves",
     "default_scale",
     "figure1_and_2_curves",

@@ -33,9 +33,10 @@ from pathlib import Path
 from typing import Callable, Mapping
 
 from repro.backend import RetrievableDatabase, SearchableDatabase, require_searchable
+from repro.classify.router import RequestRouting, RoutingDecision, TopicRouter
 from repro.dbselect.base import DatabaseRanking, DatabaseSelector
-from repro.dbselect.cori import CoriSelector
 from repro.dbselect.merge import CoriMerger, MergedResult, ResultMerger
+from repro.dbselect.registry import make_selector
 from repro.index.search import SearchResult
 from repro.lm.model import LanguageModel
 from repro.obs.trace import NULL_RECORDER, Recorder
@@ -66,6 +67,14 @@ class SearchRequest:
     databases_per_query:
         Override of the service's configured selection depth for this
         request (``None`` keeps the service default).
+    routing:
+        Optional topic-routing instructions
+        (:class:`~repro.classify.router.RequestRouting`): restrict the
+        fan-out to databases classified into the given topics, or
+        adjust the broadcast-fallback confidence floor.  ``None`` (the
+        default, and what every pre-routing client sends) leaves the
+        decision to the service's router — or to plain broadcast when
+        no router is installed.
     """
 
     query: str
@@ -73,6 +82,7 @@ class SearchRequest:
     docs_per_database: int = 10
     deadline: float | None = None
     databases_per_query: int | None = None
+    routing: RequestRouting | None = None
 
     def __post_init__(self) -> None:
         if self.n <= 0:
@@ -97,6 +107,9 @@ class FederatedResponse:
     ``dropped`` the selected databases that missed the request deadline
     or failed (degradation, not an error); ``timings`` the per-database
     retrieval wall time in seconds for every backend that completed.
+    ``routing`` reports what the topic router did with the query
+    (:class:`~repro.classify.router.RoutingDecision`) — ``None`` when
+    no router was consulted, exactly the pre-routing response shape.
     """
 
     query: str
@@ -105,6 +118,7 @@ class FederatedResponse:
     results: tuple[MergedResult, ...]
     dropped: tuple[str, ...] = ()
     timings: Mapping[str, float] = field(default_factory=dict)
+    routing: RoutingDecision | None = None
 
 
 class FederatedSearchService:
@@ -123,6 +137,12 @@ class FederatedSearchService:
         Result merging strategy (default the CORI merge).
     databases_per_query:
         How many top-ranked databases to actually search.
+    router:
+        Optional :class:`~repro.classify.router.TopicRouter`; when
+        installed, every query passes through
+        :meth:`resolve_candidates`' routing stage, which can restrict
+        the fan-out to topically matching databases (falling back to
+        broadcast on low confidence).
     recorder:
         Observability sink (:mod:`repro.obs`): spans over acquisition
         (``pool_run`` and below) and per federated query
@@ -136,6 +156,7 @@ class FederatedSearchService:
         selector: DatabaseSelector | None = None,
         merger: ResultMerger | None = None,
         databases_per_query: int = 3,
+        router: TopicRouter | None = None,
         recorder: Recorder = NULL_RECORDER,
     ) -> None:
         if not servers:
@@ -146,9 +167,10 @@ class FederatedSearchService:
             name: require_searchable(server, name)
             for name, server in servers.items()
         }
-        self.selector = selector or CoriSelector()
+        self.selector = selector or make_selector("cori")
         self.merger = merger or CoriMerger()
         self.databases_per_query = databases_per_query
+        self.router = router
         self.recorder = recorder
         self.models: dict[str, LanguageModel] = {}
         self._model_epoch = 0
@@ -289,6 +311,46 @@ class FederatedSearchService:
             raise RuntimeError("no language models acquired yet; call learn_models()")
         return self.selector.rank(query, self.models)
 
+    def resolve_candidates(
+        self, request: SearchRequest, ranking: DatabaseRanking
+    ) -> tuple[tuple[str, ...], RoutingDecision | None]:
+        """The fan-out set for ``request``, given a selector ranking.
+
+        This is the *one* place the selection depth and the topic
+        router apply — the serial :meth:`search` path and the
+        concurrent serving frontend
+        (:meth:`~repro.serving.frontend.FederationFrontend.search_incremental`)
+        both call it, so routing behaviour can never diverge between
+        them.  Without a router (and without a requested topic
+        restriction) it is the classic top-``depth`` cut and the
+        decision is ``None`` — the pre-routing response shape.
+        """
+        depth = request.databases_per_query or self.databases_per_query
+        if self.router is None:
+            if request.routing is not None and request.routing.topics:
+                # The client asked for topics but this service has no
+                # classification data: honour the contract by reporting
+                # an explicit fallback instead of guessing.
+                decision = RoutingDecision(
+                    mode="broadcast",
+                    topics=request.routing.topics,
+                    confidence=0.0,
+                    candidates=len(ranking.entries),
+                    fell_back=True,
+                    reason="no_router",
+                )
+                return tuple(ranking.top(depth)), decision
+            return tuple(ranking.top(depth)), None
+        selected, decision = self.router.route(
+            request.query, ranking, depth, requested=request.routing
+        )
+        if self.recorder.enabled:
+            if decision.mode == "routed":
+                self.recorder.count("serving.routed_queries")
+            if decision.fell_back:
+                self.recorder.count("serving.routing_fallbacks")
+        return selected, decision
+
     def require_retrievable(self, name: str) -> RetrievableDatabase:
         """The named server, validated for ranked retrieval."""
         server = self.servers[name]
@@ -324,8 +386,7 @@ class FederatedSearchService:
             )
         with self.recorder.span("federated_search", query=request.query) as federated_span:
             ranking = self.select(request.query)
-            depth = request.databases_per_query or self.databases_per_query
-            selected = tuple(ranking.top(depth))
+            selected, routing = self.resolve_candidates(request, ranking)
             per_database: dict[str, list[SearchResult]] = {}
             timings: dict[str, float] = {}
             dropped: list[str] = []
@@ -369,4 +430,5 @@ class FederatedSearchService:
             results=tuple(merged),
             dropped=tuple(dropped),
             timings=timings,
+            routing=routing,
         )

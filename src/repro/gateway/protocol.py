@@ -24,7 +24,13 @@ reference codec, round-tripping the frozen dataclasses exactly
 
 Version discipline: ``v`` is bumped on breaking changes; a decoder
 receiving a frame from a different major version raises
-:class:`ProtocolError` rather than guessing.
+:class:`ProtocolError` rather than guessing.  Additive optional keys do
+*not* bump the version: the ``routing`` key — on request frames a topic
+restriction (``{"topics": [...], "min_confidence": ...}``), on response
+frames the router's decision (``{"mode", "topics", "confidence",
+"candidates", "fell_back", "reason"}``) — was added after v1 shipped,
+is omitted when absent/None, and is ignored by pre-routing decoders, so
+old and new peers interoperate on v1 unchanged.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro.classify.router import RequestRouting, RoutingDecision
 from repro.dbselect.base import DatabaseRanking, RankedDatabase
 from repro.dbselect.merge import MergedResult
 from repro.federation.service import FederatedResponse, SearchRequest
@@ -138,13 +145,30 @@ Frame = Hello | RequestFrame | PartialResults | ResponseFrame | Overload | Error
 
 
 def _request_payload(request: SearchRequest) -> dict[str, object]:
-    return {
+    row: dict[str, object] = {
         "query": request.query,
         "n": request.n,
         "docs_per_database": request.docs_per_database,
         "deadline": request.deadline,
         "databases_per_query": request.databases_per_query,
     }
+    if request.routing is not None:
+        row["routing"] = {
+            "topics": list(request.routing.topics),
+            "min_confidence": request.routing.min_confidence,
+        }
+    return row
+
+
+def _request_routing_from(payload: object) -> RequestRouting | None:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request routing must be a JSON object")
+    return RequestRouting(
+        topics=tuple(str(topic) for topic in payload.get("topics", ())),
+        min_confidence=payload.get("min_confidence"),
+    )
 
 
 def _request_from(payload: dict[str, object]) -> SearchRequest:
@@ -155,7 +179,10 @@ def _request_from(payload: dict[str, object]) -> SearchRequest:
             docs_per_database=payload.get("docs_per_database", 10),  # type: ignore[arg-type]
             deadline=payload.get("deadline"),  # type: ignore[arg-type]
             databases_per_query=payload.get("databases_per_query"),  # type: ignore[arg-type]
+            routing=_request_routing_from(payload.get("routing")),
         )
+    except ProtocolError:
+        raise
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"invalid request payload: {exc}") from exc
 
@@ -175,7 +202,7 @@ def _results_from(payload: object) -> tuple[MergedResult, ...]:
 
 
 def _response_payload(response: FederatedResponse) -> dict[str, object]:
-    return {
+    row: dict[str, object] = {
         "query": response.query,
         "ranking": [[e.name, e.score] for e in response.ranking.entries],
         "searched": list(response.searched),
@@ -183,6 +210,32 @@ def _response_payload(response: FederatedResponse) -> dict[str, object]:
         "dropped": list(response.dropped),
         "timings": dict(response.timings),
     }
+    if response.routing is not None:
+        decision = response.routing
+        row["routing"] = {
+            "mode": decision.mode,
+            "topics": list(decision.topics),
+            "confidence": decision.confidence,
+            "candidates": decision.candidates,
+            "fell_back": decision.fell_back,
+            "reason": decision.reason,
+        }
+    return row
+
+
+def _routing_decision_from(payload: object) -> RoutingDecision | None:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ProtocolError("response routing must be a JSON object")
+    return RoutingDecision(
+        mode=str(payload.get("mode", "broadcast")),
+        topics=tuple(str(topic) for topic in payload.get("topics", ())),
+        confidence=float(payload.get("confidence", 0.0)),
+        candidates=int(payload.get("candidates", 0)),
+        fell_back=bool(payload.get("fell_back", False)),
+        reason=str(payload.get("reason", "")),
+    )
 
 
 def _response_from(payload: dict[str, object]) -> FederatedResponse:
@@ -204,6 +257,7 @@ def _response_from(payload: dict[str, object]) -> FederatedResponse:
                 str(name): float(seconds)
                 for name, seconds in payload.get("timings", {}).items()  # type: ignore[union-attr]
             },
+            routing=_routing_decision_from(payload.get("routing")),
         )
     except ProtocolError:
         raise

@@ -11,13 +11,19 @@ Backend latency can be injected (:class:`LatencyInjected`) to model
 remote databases: the serial loop pays the latency once per selected
 backend, the concurrent fan-out pays it roughly once per query — the
 gap *is* the point of the fan-out.
+
+With a :class:`~repro.classify.TopicRouter` (``--route-topics``), an
+extra ``search_routed`` mode runs the same fan-out with the CORI
+candidate set restricted to the query's classified topics; the report
+then also carries mean ``databases_per_query`` per mode, so the
+fan-out saving is visible next to the throughput numbers.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.backend import EvaluableDatabase, SearchableDatabase
 from repro.corpus.document import Document
@@ -28,6 +34,9 @@ from repro.lm.model import LanguageModel
 from repro.serving.frontend import FederationFrontend
 from repro.synth.profiles import PROFILES_BY_NAME
 from repro.utils.stats import latency_summary
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.classify.router import TopicRouter
 
 __all__ = [
     "LatencyInjected",
@@ -147,6 +156,8 @@ class ServeBenchReport:
     speedups: Mapping[str, float]
     #: mode → per-op latency summary in seconds (count/mean/min/max/p50/p95/p99)
     latency: Mapping[str, Mapping[str, float]]
+    #: mode → mean databases searched per query (populated when routing)
+    fanout: Mapping[str, float] = field(default_factory=dict)
 
 
 def run_serve_bench(
@@ -159,6 +170,7 @@ def run_serve_bench(
     backend_latency: float = 0.0,
     databases_per_query: int = 3,
     models: Mapping[str, LanguageModel] | None = None,
+    router: "TopicRouter | None" = None,
 ) -> ServeBenchReport:
     """Benchmark serial/scalar/cold baselines against the serving path.
 
@@ -166,7 +178,10 @@ def run_serve_bench(
     modes).  ``models`` defaults to the databases' actual language
     models — the bench measures serving, not acquisition; pass a
     store-loaded set (``repro serve-bench --models DIR``) to bench the
-    warm-start path instead.
+    warm-start path instead.  With ``router``, a seventh
+    ``search_routed`` mode re-runs the concurrent fan-out with
+    topic-aware candidate restriction, and ``report.fanout`` compares
+    mean databases searched per query between the two fan-out modes.
     """
     if models is None:
         models = {
@@ -241,6 +256,26 @@ def run_serve_bench(
             cycle(lambda query: frontend.search(SearchRequest(query=query))),
         )
 
+    fanout: dict[str, float] = {}
+    if router is not None:
+        routed_service = FederatedSearchService(
+            fanout_servers, databases_per_query=depth, router=router
+        )
+        routed_service.use_models(models)
+        searched: list[int] = []
+        with FederationFrontend(routed_service, max_workers=workers) as frontend:
+
+            def routed_one(query: str) -> object:
+                response = frontend.search(SearchRequest(query=query))
+                searched.append(len(response.searched))
+                return response
+
+            measure("search_routed", cycle(routed_one))
+        fanout = {
+            "search_concurrent": float(depth),
+            "search_routed": sum(searched) / len(searched) if searched else 0.0,
+        }
+
     speedups = {
         "vectorized_vs_scalar_select": modes["select_scalar"][0]
         / modes["select_vectorized"][0],
@@ -249,6 +284,10 @@ def run_serve_bench(
         "concurrent_vs_serial_fanout": modes["search_serial"][0]
         / modes["search_concurrent"][0],
     }
+    if "search_routed" in modes:
+        speedups["routed_vs_broadcast_search"] = (
+            modes["search_concurrent"][0] / modes["search_routed"][0]
+        )
     return ServeBenchReport(
         num_databases=len(servers),
         num_queries=len(queries),
@@ -256,6 +295,7 @@ def run_serve_bench(
         modes=modes,
         speedups=speedups,
         latency=latency,
+        fanout=fanout,
     )
 
 
@@ -286,8 +326,17 @@ def format_serve_bench(report: ServeBenchReport) -> str:
         f"{report.num_queries} queries, "
         f"{report.backend_latency * 1000:.0f}ms injected backend latency"
     )
-    return (
+    rendered = (
         format_table(mode_rows, title=title)
         + "\n\n"
         + format_table(speedup_rows, title="Derived speedups")
     )
+    if report.fanout:
+        fanout_rows = [
+            {"mode": mode, "databases_per_query": round(value, 2)}
+            for mode, value in report.fanout.items()
+        ]
+        rendered += "\n\n" + format_table(
+            fanout_rows, title="Fan-out (topic-aware routing)"
+        )
+    return rendered

@@ -15,7 +15,15 @@ query path production-shaped without changing a single answer:
    invalidated whenever the service installs new models
    (``learn_models`` / ``use_models`` / a staleness refresh), observed
    through :attr:`~repro.federation.service.FederatedSearchService.model_epoch`.
-3. **Concurrent fan-out** — selected backends are searched on a bounded
+3. **Topic-aware routing** — when the wrapped service carries a
+   :class:`~repro.classify.TopicRouter`, the CORI candidate set is
+   restricted to databases classified under the query's topics before
+   fan-out (service method
+   :meth:`~repro.federation.service.FederatedSearchService.resolve_candidates`
+   — one shared routing point for both the service and this frontend),
+   with the decision reported in
+   :attr:`~repro.federation.service.FederatedResponse.routing`.
+4. **Concurrent fan-out** — selected backends are searched on a bounded
    :class:`~concurrent.futures.ThreadPoolExecutor` under the request's
    deadline.  A backend that misses the deadline or raises from the
    transport error taxonomy
@@ -159,9 +167,19 @@ class FederationFrontend:
         sharded (a path autodetects via :func:`repro.store.open_store`);
         a sharded store additionally enables per-shard invalidation
         through :meth:`refresh_from_store`.
+
+        If the store carries persisted topic classifications (written
+        by :func:`repro.classify.save_router`) and the service has no
+        router yet, a :class:`~repro.classify.TopicRouter` is rebuilt
+        from them, so topic-aware routing warm-starts together with the
+        models.
         """
         resolved = open_store(store) if isinstance(store, (str, Path)) else store
         service.load_models(resolved)
+        if service.router is None:
+            from repro.classify.persist import load_router
+
+            service.router = load_router(resolved)
         frontend = cls(
             service,
             max_workers=max_workers,
@@ -384,8 +402,7 @@ class FederationFrontend:
         recorder = self.recorder
         with recorder.span("frontend_search", query=request.query) as span:
             ranking = self.select(request.query)
-            depth = request.databases_per_query or self.service.databases_per_query
-            selected = tuple(ranking.top(depth))
+            selected, routing = self.service.resolve_candidates(request, ranking)
             # Misconfiguration (a selected backend with no retrieval
             # engine) stays a hard error; only runtime failures degrade.
             for name in selected:
@@ -465,6 +482,7 @@ class FederationFrontend:
             results=tuple(merged),
             dropped=dropped,
             timings=timings,
+            routing=routing,
         )
 
     def search_many(

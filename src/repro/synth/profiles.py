@@ -94,13 +94,22 @@ class CorpusProfile:
             vocabulary=replace(self.vocabulary, content_size=content_size),
         )
 
-    def build(self, seed: int = 0, scale: float = 1.0) -> Corpus:
-        """Generate the corpus deterministically from ``seed``."""
+    def topic_space(self, seed: int = 0, scale: float = 1.0) -> TopicSpace:
+        """The topic mixture :meth:`build` generates documents from.
+
+        Deterministic in ``(seed, scale)`` and shared with
+        :meth:`build`, so a consumer holding only the profile name and
+        the generation seed — the topic-probe generator
+        (:mod:`repro.classify.probes`) classifying a federation built
+        from this profile — can reconstruct the exact
+        :class:`~repro.synth.topics.TopicModel` set the documents came
+        from.
+        """
         profile = self.scaled(scale)
         vocabulary = SyntheticVocabulary(
             profile.vocabulary, seed=derive_seed(seed, profile.name, "vocab")
         )
-        topic_space = TopicSpace(
+        return TopicSpace(
             vocabulary,
             num_topics=profile.num_topics,
             topic_vocab_size=profile.topic_vocab_size,
@@ -114,8 +123,12 @@ class CorpusProfile:
             always_boost=profile.always_boost,
             seed=derive_seed(seed, profile.name, "topics"),
         )
+
+    def build(self, seed: int = 0, scale: float = 1.0) -> Corpus:
+        """Generate the corpus deterministically from ``seed``."""
+        profile = self.scaled(scale)
         generator = CorpusGenerator(
-            topic_space,
+            profile.topic_space(seed=seed),
             profile.generator,
             seed=derive_seed(seed, profile.name, "docs"),
         )

@@ -84,6 +84,22 @@ class TopicModel:
         pdf = np.diff(self._cdf, prepend=0.0)
         return float(pdf[self.word_ids == word_id].sum())
 
+    def dense_pdf(self, vocabulary_size: int | None = None) -> np.ndarray:
+        """The distribution as a dense vector over word ids.
+
+        Entry ``w`` is the total probability the topic assigns to word
+        id ``w`` (slots in different blocks summed, as in
+        :meth:`probability_of`, but for every word at once).  The probe
+        generator (:mod:`repro.classify.probes`) consumes these to find
+        each topic's distinctive vocabulary.
+        """
+        if vocabulary_size is None:
+            vocabulary_size = int(self.word_ids.max()) + 1
+        pdf = np.diff(self._cdf, prepend=0.0)
+        dense = np.zeros(vocabulary_size, dtype=np.float64)
+        np.add.at(dense, self.word_ids, pdf)
+        return dense
+
 
 class TopicSpace:
     """All topics of one synthetic corpus, sharing a vocabulary.

@@ -1,0 +1,138 @@
+"""Probe generation and Coverage/Specificity classification.
+
+Covers the probe rule's determinism, the classification extremes
+(homogeneous vs diffuse vs empty databases), and the probe-budget
+accounting — everything downstream routing relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify import (
+    ClassifyParameters,
+    QueryProbeClassifier,
+    build_probe_set,
+)
+from repro.corpus import Corpus, Document
+from repro.index import DatabaseServer
+from repro.synth.profiles import PROFILES_BY_NAME
+
+
+@pytest.fixture(scope="module")
+def topic_space():
+    return PROFILES_BY_NAME["wsj88"]().topic_space(seed=0, scale=0.02)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return PROFILES_BY_NAME["wsj88"]().build(seed=0, scale=0.02)
+
+
+@pytest.fixture(scope="module")
+def probe_set(topic_space):
+    return build_probe_set(topic_space, seed=0)
+
+
+class TestProbeDeterminism:
+    def test_same_seed_is_byte_identical(self, topic_space):
+        first = build_probe_set(topic_space, seed=3)
+        second = build_probe_set(topic_space, seed=3)
+        assert first.topics == second.topics
+        for topic in first.topics:
+            assert first.probes(topic) == second.probes(topic)
+        assert first.term_weights == second.term_weights
+
+    def test_different_seeds_draw_differently(self, topic_space):
+        first = build_probe_set(topic_space, seed=0)
+        second = build_probe_set(topic_space, seed=99)
+        assert any(
+            first.probes(topic) != second.probes(topic) for topic in first.topics
+        )
+
+    def test_term_weights_are_seed_independent(self, topic_space):
+        # The candidate pool is rule-derived; only the draw is seeded.
+        first = build_probe_set(topic_space, seed=0)
+        second = build_probe_set(topic_space, seed=99)
+        assert first.term_weights == second.term_weights
+
+    def test_budget_takes_a_prefix(self, probe_set):
+        topic = probe_set.topics[0]
+        assert probe_set.probes(topic, 3) == probe_set.probes(topic)[:3]
+        with pytest.raises(ValueError):
+            probe_set.probes(topic, 0)
+
+    def test_probes_look_like_user_vocabulary(self, probe_set):
+        for probe in probe_set.all_probes():
+            assert len(probe.text) >= 3
+            assert probe.text == probe.text.lower()
+
+
+class TestClassificationExtremes:
+    def test_homogeneous_database_lands_in_its_topic(self, corpus, probe_set):
+        topic = probe_set.topics[0]
+        pure = Corpus(
+            [doc for doc in corpus if doc.topic == topic], name="pure"
+        )
+        assert len(pure) > 0
+        classifier = QueryProbeClassifier(probe_set)
+        result = classifier.classify(DatabaseServer(pure))
+        assert result.assigned, "a single-topic database must classify somewhere"
+        assert result.assigned[0] == topic
+        assert result.confidence == pytest.approx(
+            result.score_for(topic).specificity
+        )
+
+    def test_diffuse_database_spreads_thin(self, corpus, probe_set):
+        # The whole corpus holds every topic: no single topic should
+        # dominate the way it dominates a pure partition.
+        classifier = QueryProbeClassifier(probe_set)
+        whole = classifier.classify(DatabaseServer(corpus), name="whole")
+        uniform = 1.0 / len(probe_set.topics)
+        best = max(score.specificity for score in whole.scores)
+        assert best < 3 * uniform
+
+    def test_empty_database_assigns_nothing(self, probe_set):
+        empty = DatabaseServer(
+            Corpus([Document(doc_id="d0", text="the of and")], name="empty-ish")
+        )
+        result = QueryProbeClassifier(probe_set).classify(empty)
+        assert result.assigned == ()
+        assert result.confidence == 0.0
+        assert all(score.coverage == 0.0 for score in result.scores)
+
+    def test_specificities_sum_to_one(self, corpus, probe_set):
+        result = QueryProbeClassifier(probe_set).classify(DatabaseServer(corpus))
+        assert sum(score.specificity for score in result.scores) == pytest.approx(1.0)
+
+
+class TestBudgetAccounting:
+    def test_probes_issued_respects_budget(self, corpus, probe_set):
+        server = DatabaseServer(corpus)
+        budgeted = QueryProbeClassifier(
+            probe_set, ClassifyParameters(probes_per_topic=2)
+        ).classify(server)
+        assert budgeted.probes_issued == 2 * len(probe_set.topics)
+        full = QueryProbeClassifier(probe_set).classify(server)
+        assert full.probes_issued == sum(
+            len(probe_set.probes(topic)) for topic in probe_set.topics
+        )
+
+    def test_classify_all_is_name_keyed(self, corpus, probe_set):
+        servers = {
+            "a": DatabaseServer(Corpus(list(corpus)[:40], name="a")),
+            "b": DatabaseServer(Corpus(list(corpus)[40:80], name="b")),
+        }
+        results = QueryProbeClassifier(probe_set).classify_all(servers)
+        assert set(results) == {"a", "b"}
+        assert results["a"].database == "a"
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClassifyParameters(tau_coverage=-1)
+        with pytest.raises(ValueError):
+            ClassifyParameters(tau_specificity=1.5)
+        with pytest.raises(ValueError):
+            ClassifyParameters(probes_per_topic=0)

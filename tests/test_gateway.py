@@ -124,6 +124,55 @@ class TestProtocol:
         frame = ResponseFrame(request_id="r5", response=self.sample_response())
         assert decode_frame(encode_frame(frame)) == frame
 
+    def test_routing_request_round_trip(self):
+        from repro.classify import RequestRouting
+
+        frame = RequestFrame(
+            request_id="r6",
+            request=SearchRequest(
+                query="oil market",
+                routing=RequestRouting(topics=("energy",), min_confidence=0.5),
+            ),
+        )
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_routing_response_round_trip(self):
+        from dataclasses import replace
+
+        from repro.classify import RoutingDecision
+
+        response = replace(
+            self.sample_response(),
+            routing=RoutingDecision(
+                mode="routed",
+                topics=("energy",),
+                confidence=0.8,
+                candidates=2,
+            ),
+        )
+        frame = ResponseFrame(request_id="r7", response=response)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_routing_absent_keeps_wire_format_unchanged(self):
+        # Old clients must see byte-identical frames: a request or
+        # response without routing carries no "routing" key at all.
+        request_line = encode_frame(
+            RequestFrame(request_id="r8", request=SearchRequest(query="x"))
+        )
+        assert b"routing" not in request_line
+        response_line = encode_frame(
+            ResponseFrame(request_id="r9", response=self.sample_response())
+        )
+        assert b"routing" not in response_line
+
+    def test_malformed_routing_rejected(self):
+        line = (
+            b'{"v": 1, "type": "request", "id": "r1", '
+            b'"request": {"query": "x", "routing": "energy"}}\n'
+        )
+        with pytest.raises(ProtocolError, match="routing"):
+            decode_frame(line)
+
     def test_frames_are_json_lines(self):
         line = encode_frame(Hello(protocol=PROTOCOL, databases=2))
         assert line.endswith(b"\n")

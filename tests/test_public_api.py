@@ -16,6 +16,7 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.classify",
     "repro.corpus",
     "repro.dbselect",
     "repro.expansion",

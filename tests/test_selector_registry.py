@@ -1,0 +1,144 @@
+"""The selector registry: factory construction and its guarantees.
+
+Pins the redesigned selection API: every registered selector is
+constructible through :func:`make_selector`, factory-built selectors
+rank identically to hand-built ones, and the factory rejects the
+mistakes the old hand-wiring made easy (wrong params family, missing
+ReDDE samples).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Document
+from repro.dbselect import (
+    BGlossSelector,
+    CoriParameters,
+    CoriSelector,
+    GlossParameters,
+    KlParameters,
+    KlSelector,
+    ReddeParameters,
+    ReddeSelector,
+    VGlossSelector,
+    make_selector,
+    selector_names,
+)
+from repro.dbselect.registry import SELECTOR_REGISTRY
+from repro.lm import LanguageModel
+
+
+def make_db(stats: dict[str, tuple[int, int]], docs: int, tokens: int) -> LanguageModel:
+    """term → (df, ctf)."""
+    model = LanguageModel()
+    for term, (df, ctf) in stats.items():
+        model.add_term(term, df=df, ctf=ctf)
+    model.documents_seen = docs
+    model.tokens_seen = tokens
+    return model
+
+
+@pytest.fixture
+def models() -> dict[str, LanguageModel]:
+    return {
+        "sports": make_db(
+            {"football": (80, 200), "team": (60, 90), "market": (5, 5)},
+            docs=100,
+            tokens=10_000,
+        ),
+        "finance": make_db(
+            {"market": (70, 180), "stock": (50, 120), "team": (10, 12)},
+            docs=100,
+            tokens=10_000,
+        ),
+    }
+
+
+@pytest.fixture
+def samples() -> dict[str, list[Document]]:
+    return {
+        "sports": [
+            Document(doc_id="s1", text="football team wins the football match"),
+            Document(doc_id="s2", text="the team trains for the season"),
+        ],
+        "finance": [
+            Document(doc_id="f1", text="stock market rises on trading news"),
+            Document(doc_id="f2", text="market analysts watch the stock index"),
+        ],
+    }
+
+
+class TestRegistrySurface:
+    def test_names_cover_all_five_algorithms(self):
+        assert selector_names() == ("bgloss", "cori", "kl", "redde", "vgloss")
+
+    def test_registry_maps_to_expected_classes(self):
+        assert SELECTOR_REGISTRY["cori"] == (CoriSelector, CoriParameters)
+        assert SELECTOR_REGISTRY["kl"] == (KlSelector, KlParameters)
+        assert SELECTOR_REGISTRY["bgloss"] == (BGlossSelector, GlossParameters)
+        assert SELECTOR_REGISTRY["vgloss"] == (VGlossSelector, GlossParameters)
+        assert SELECTOR_REGISTRY["redde"] == (ReddeSelector, ReddeParameters)
+
+    def test_every_name_constructs(self, samples):
+        for name in selector_names():
+            kwargs = {"samples": samples} if name == "redde" else {}
+            selector, _ = SELECTOR_REGISTRY[name]
+            assert isinstance(make_selector(name, **kwargs), selector)
+
+
+class TestFactoryEquivalence:
+    @pytest.mark.parametrize(
+        ("name", "direct"),
+        [
+            ("cori", CoriSelector),
+            ("kl", KlSelector),
+            ("bgloss", BGlossSelector),
+            ("vgloss", VGlossSelector),
+        ],
+    )
+    def test_model_selectors_rank_identically(self, name, direct, models):
+        factory_made = make_selector(name)
+        hand_made = direct()
+        for query in ("football", "market stock", "team market"):
+            assert (
+                factory_made.rank(query, models).entries
+                == hand_made.rank(query, models).entries
+            )
+
+    def test_custom_params_flow_through(self, models):
+        params = CoriParameters(default_belief=0.6)
+        factory_made = make_selector("cori", params)
+        hand_made = CoriSelector(params)
+        ranking = factory_made.rank("football", models)
+        assert ranking.entries == hand_made.rank("football", models).entries
+        assert factory_made.params == params
+
+    def test_redde_ranks_identically(self, samples):
+        params = ReddeParameters(top_n=3)
+        factory_made = make_selector("redde", params, samples=samples)
+        hand_made = ReddeSelector(samples, params)
+        assert (
+            factory_made.rank("football team").entries
+            == hand_made.rank("football team").entries
+        )
+
+
+class TestFactoryRejections:
+    def test_unknown_name_lists_the_registry(self):
+        with pytest.raises(ValueError, match="bgloss, cori, kl, redde, vgloss"):
+            make_selector("pagerank")
+
+    def test_wrong_params_family(self):
+        with pytest.raises(TypeError, match="CoriParameters"):
+            make_selector("cori", KlParameters())
+
+    def test_redde_requires_samples(self):
+        with pytest.raises(ValueError, match="samples"):
+            make_selector("redde")
+
+    def test_model_selectors_reject_redde_inputs(self, samples):
+        with pytest.raises(ValueError, match="samples"):
+            make_selector("cori", samples=samples)
+        with pytest.raises(ValueError, match="samples"):
+            make_selector("kl", estimated_sizes={"sports": 10.0})
