@@ -24,6 +24,8 @@ Exposes the library's main workflows as ``repro <subcommand>``:
     repro fleet bench -o BENCH_fleet.json
     repro classify probe --synthetic 4 --save-router models-dir
     repro classify bench -o BENCH_classify.json
+    repro scenarios list
+    repro scenarios bench --only drift overlap -o BENCH_scenarios.json
 
 ``sample`` and ``federate`` accept ``--trace PATH`` to record a
 structured JSONL trace of the run (:mod:`repro.obs`); ``repro trace``
@@ -674,6 +676,42 @@ def _add_classify(subparsers) -> None:
     )
 
 
+def _add_scenarios(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "scenarios",
+        help="adversarial-world testbeds: drift, overlap, clusters, caps, sizes",
+    )
+    scenarios = parser.add_subparsers(dest="scenarios_command", required=True)
+
+    scenarios.add_parser(
+        "list", help="the scenario registry: what each world breaks, and how"
+    )
+
+    bench = scenarios.add_parser(
+        "bench",
+        help="measure every scenario's robustness pin "
+        "(the committed BENCH_scenarios.json)",
+    )
+    bench.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="SCENARIO",
+        help="subset of scenario names to run (default: all; see "
+        "`repro scenarios list`)",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=1.0, help="testbed scale factor"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_scenarios.json",
+        help="where the machine-readable report lands",
+    )
+
+
 def _add_experiments(subparsers) -> None:
     parser = subparsers.add_parser(
         "experiments",
@@ -739,6 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_load_bench(subparsers)
     _add_fleet(subparsers)
     _add_classify(subparsers)
+    _add_scenarios(subparsers)
     _add_experiments(subparsers)
     _add_trace(subparsers)
     return parser
@@ -1752,6 +1791,53 @@ def _cmd_classify(args) -> int:
     return _CLASSIFY_COMMANDS[args.classify_command](args)
 
 
+def _cmd_scenarios_list(args) -> int:
+    from repro.scenarios import SCENARIO_SPECS
+
+    for spec in SCENARIO_SPECS:
+        print(f"{spec.name}: {spec.description}")
+        print(f"  breaks: {spec.breaks}")
+        print(f"  signal: {spec.signal}")
+    return 0
+
+
+def _cmd_scenarios_bench(args) -> int:
+    from repro.scenarios import (
+        format_scenarios_bench,
+        run_scenarios_bench,
+        scenario_names,
+        write_scenarios_bench,
+    )
+
+    if args.scale <= 0:
+        print("--scale must be positive", file=sys.stderr)
+        return 2
+    if args.only:
+        unknown = sorted(set(args.only) - set(scenario_names()))
+        if unknown:
+            print(
+                f"unknown scenarios: {', '.join(unknown)} "
+                f"(known: {', '.join(scenario_names())})",
+                file=sys.stderr,
+            )
+            return 2
+    report = run_scenarios_bench(scale=args.scale, seed=args.seed, only=args.only)
+    print(format_scenarios_bench(report))
+    write_scenarios_bench(report, args.output)
+    print(f"\nwrote {args.output}")
+    return 0 if report.all_passed else 1
+
+
+_SCENARIOS_COMMANDS = {
+    "list": _cmd_scenarios_list,
+    "bench": _cmd_scenarios_bench,
+}
+
+
+def _cmd_scenarios(args) -> int:
+    return _SCENARIOS_COMMANDS[args.scenarios_command](args)
+
+
 def _cmd_experiments(args) -> int:
     # Imported lazily: the experiments package pulls in the synthetic
     # corpus machinery, which the file-based subcommands never need.
@@ -1839,6 +1925,7 @@ _COMMANDS = {
     "load-bench": _cmd_load_bench,
     "fleet": _cmd_fleet,
     "classify": _cmd_classify,
+    "scenarios": _cmd_scenarios,
     "experiments": _cmd_experiments,
     "trace": _cmd_trace,
 }

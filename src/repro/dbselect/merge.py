@@ -13,6 +13,14 @@ against its own collection statistics.  Three standard mergers:
   naive baseline; fails when databases' score scales differ).
 * :class:`RoundRobinMerger` — interleave the per-database lists in
   database-rank order (scale-free but quality-blind).
+
+All mergers share two rules.  **Participation**: only databases present
+in the ``ranking`` argument contribute results — a result list from a
+database the selector never ranked (stale fan-out, a misrouted reply)
+is dropped rather than merged unscored.  **Deduplication**: a document
+returned by several databases (overlapping collections replicate
+content across servers) appears once in the merged list, keeping its
+best-scoring provenance, so copies never eat top-``n`` slots.
 """
 
 from __future__ import annotations
@@ -44,6 +52,23 @@ class ResultMerger(Protocol):
     ) -> list[MergedResult]:
         """Return the top ``n`` merged results."""
         ...  # pragma: no cover - protocol
+
+
+def _dedupe_best(merged: Sequence[MergedResult]) -> list[MergedResult]:
+    """Keep the best-scoring occurrence of each ``doc_id``.
+
+    ``merged`` must already be sorted best-first (score desc, then the
+    deterministic tie-break), so the first occurrence of a document is
+    the provenance to keep.
+    """
+    seen: set[str] = set()
+    unique: list[MergedResult] = []
+    for item in merged:
+        if item.doc_id in seen:
+            continue
+        seen.add(item.doc_id)
+        unique.append(item)
+    return unique
 
 
 def _minmax(values: Sequence[float]) -> list[float]:
@@ -87,7 +112,7 @@ class CoriMerger:
                 final = (d_norm + weight * d_norm * c_norm) / (1.0 + weight)
                 merged.append(MergedResult(doc_id=result.doc_id, database=name, score=final))
         merged.sort(key=lambda item: (-item.score, item.database, item.doc_id))
-        return merged[:n]
+        return _dedupe_best(merged)[:n]
 
 
 class RawScoreMerger:
@@ -101,13 +126,15 @@ class RawScoreMerger:
     ) -> list[MergedResult]:
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
+        ranked = set(ranking.names)
         merged = [
             MergedResult(doc_id=result.doc_id, database=name, score=result.score)
             for name, result_list in results.items()
+            if name in ranked
             for result in result_list
         ]
         merged.sort(key=lambda item: (-item.score, item.database, item.doc_id))
-        return merged[:n]
+        return _dedupe_best(merged)[:n]
 
 
 class RoundRobinMerger:
@@ -123,26 +150,33 @@ class RoundRobinMerger:
             raise ValueError(f"n must be positive, got {n}")
         ordered = [name for name in ranking.names if results.get(name)]
         merged: list[MergedResult] = []
+        seen: set[str] = set()
         depth = 0
         while len(merged) < n:
-            emitted = False
+            advanced = False
             for position, name in enumerate(ordered):
                 result_list = results[name]
-                if depth < len(result_list):
-                    result = result_list[depth]
-                    # Score encodes (depth, db-rank) so the list order is
-                    # reconstructible from scores alone.
-                    merged.append(
-                        MergedResult(
-                            doc_id=result.doc_id,
-                            database=name,
-                            score=-(depth * len(ordered) + position),
-                        )
+                if depth >= len(result_list):
+                    continue
+                advanced = True
+                result = result_list[depth]
+                if result.doc_id in seen:
+                    # A copy already emitted from a better-ranked slot;
+                    # interleaving continues without burning a slot on it.
+                    continue
+                seen.add(result.doc_id)
+                # Score encodes (depth, db-rank) so the list order is
+                # reconstructible from scores alone.
+                merged.append(
+                    MergedResult(
+                        doc_id=result.doc_id,
+                        database=name,
+                        score=-(depth * len(ordered) + position),
                     )
-                    emitted = True
-                    if len(merged) == n:
-                        break
-            if not emitted:
+                )
+                if len(merged) == n:
+                    break
+            if not advanced:
                 break
             depth += 1
         return merged

@@ -45,6 +45,7 @@ from repro.sampling.sampler import SamplerConfig
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.staleness import RefreshPolicy, StalenessReport
 from repro.store.base import ModelStorage, open_store
+from repro.text.analyzer import Analyzer
 
 
 @dataclass(frozen=True)
@@ -268,6 +269,7 @@ class FederatedSearchService:
         seed: int = 0,
         *,
         num_workers: int = 4,
+        analyzer: Analyzer | None = None,
     ) -> dict[str, StalenessReport]:
         """Probe every model for staleness; re-sample only the drifted ones.
 
@@ -279,7 +281,10 @@ class FederatedSearchService:
         derived seed as before, stale ones are re-sampled, and if any
         model was actually refreshed the new set is installed and
         :attr:`model_epoch` moves once (so serving caches invalidate).
-        Returns the per-database staleness reports either way.
+        ``analyzer`` is the installed models' text pipeline, threaded
+        through every probe and refresh so a refreshed model speaks the
+        same vocabulary as the one it replaces.  Returns the
+        per-database staleness reports either way.
         """
         if not self.models:
             raise RuntimeError("no language models acquired yet; call learn_models()")
@@ -292,6 +297,7 @@ class FederatedSearchService:
             policy=policy,
             seed=seed,
             num_workers=num_workers,
+            analyzer=analyzer,
             recorder=self.recorder,
         )
         if result.failed_jobs:

@@ -32,6 +32,7 @@ from repro.lm.model import LanguageModel
 from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.sampling.selection import QueryTermSelector
 from repro.sampling.staleness import RefreshPolicy
+from repro.text.analyzer import Analyzer
 
 __all__ = ["SweepResult", "run_refresh_sweep"]
 
@@ -62,6 +63,7 @@ def run_refresh_sweep(
     budget: int | None = None,
     popularity: Mapping[str, float] | None = None,
     num_workers: int = 4,
+    analyzer: Analyzer | None = None,
     checkpoint_root: object | None = None,
     recorder: Recorder = NULL_RECORDER,
 ) -> SweepResult:
@@ -75,6 +77,11 @@ def run_refresh_sweep(
     top-scoring databases are examined this round (the fleet-scale
     mode); the remaining databases keep their stored models and simply
     do not appear in the outcome's reports.
+
+    ``analyzer`` is the stored models' text pipeline, threaded into
+    every probe and refresh so refreshed models stay
+    vocabulary-consistent with the set they join (see
+    :meth:`RefreshPolicy.maybe_refresh`).
 
     The call blocks until the queue drains.  Jobs that exhaust their
     retries surface in ``SweepResult.failed_jobs`` — the caller
@@ -101,6 +108,7 @@ def run_refresh_sweep(
             bootstrap_factory,
             policy,
             outcome,
+            analyzer=analyzer,
             checkpoint_root=checkpoint_root,
             recorder=recorder,
         )

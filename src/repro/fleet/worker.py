@@ -36,6 +36,7 @@ from repro.sampling.staleness import RefreshPolicy, StalenessReport, staleness_p
 from repro.sampling.stopping import MaxDocuments
 from repro.sampling.transport import RETRYABLE_ERRORS, CircuitBreaker, ServerError
 from repro.store.checkpoint import SamplerCheckpointer
+from repro.text.analyzer import Analyzer
 from repro.utils.rand import derive_seed
 
 __all__ = [
@@ -89,6 +90,14 @@ class RefreshRunner:
         Thresholds and refresh sample size.
     outcome:
         Shared sink the runner records results into.
+    analyzer:
+        The text pipeline the stored models were built with (``None``
+        = raw tokens).  Threaded into every staleness probe and refresh
+        re-sample, exactly as
+        :meth:`RefreshPolicy.maybe_refresh` threads it — a probe in a
+        different vocabulary reads as spurious staleness, and a refresh
+        under a different analyzer would install a model inconsistent
+        with the set it joins.
     checkpoint_root:
         When set, each refresh re-sample runs under a per-job
         :class:`SamplerCheckpointer` in ``checkpoint_root/<job_id>/`` —
@@ -106,6 +115,7 @@ class RefreshRunner:
         policy: RefreshPolicy,
         outcome: RefreshOutcome,
         *,
+        analyzer: Analyzer | None = None,
         checkpoint_root: Any | None = None,
         recorder: Recorder = NULL_RECORDER,
     ) -> None:
@@ -114,6 +124,7 @@ class RefreshRunner:
         self.bootstrap_factory = bootstrap_factory
         self.policy = policy
         self.outcome = outcome
+        self.analyzer = analyzer
         self.checkpoint_root = checkpoint_root
         self.recorder = recorder
 
@@ -135,7 +146,12 @@ class RefreshRunner:
         stored = self.stored_models[name]
         bootstrap = self.bootstrap_factory(name)
         report = staleness_probe(
-            database, stored, bootstrap, seed=seed, recorder=self.recorder
+            database,
+            stored,
+            bootstrap,
+            analyzer=self.analyzer,
+            seed=seed,
+            recorder=self.recorder,
         )
         self.recorder.count("fleet.probes_run")
         stale = report.is_stale(self.policy.rdiff_threshold, self.policy.spearman_floor)
@@ -146,6 +162,7 @@ class RefreshRunner:
             database,
             bootstrap=bootstrap,
             stopping=MaxDocuments(self.policy.refresh_documents),
+            analyzer=self.analyzer,
             seed=derive_seed(seed, "refresh"),
             recorder=self.recorder,
         )

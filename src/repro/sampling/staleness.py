@@ -112,15 +112,29 @@ class RefreshPolicy:
         stored_model: LanguageModel,
         bootstrap: QueryTermSelector,
         seed: int = 0,
+        analyzer: Analyzer | None = None,
         recorder: Recorder = NULL_RECORDER,
     ) -> tuple[LanguageModel, StalenessReport, bool]:
         """Probe; re-sample only if stale.
 
         Returns ``(model, report, refreshed)`` where ``model`` is either
         the stored model (fresh enough) or a newly learned one.
+
+        ``analyzer`` must be the pipeline ``stored_model`` was built
+        with (``None`` = raw tokens, the paper's client default).  Both
+        the probe mini-sample and any triggered refresh run through it:
+        a stemmed stored model probed with raw tokens compares two
+        different vocabularies (spurious staleness), and a refresh under
+        a different analyzer would silently install a model whose term
+        space no longer matches the one it replaced.
         """
         report = staleness_probe(
-            database, stored_model, bootstrap, seed=seed, recorder=recorder
+            database,
+            stored_model,
+            bootstrap,
+            analyzer=analyzer,
+            seed=seed,
+            recorder=recorder,
         )
         if not report.is_stale(self.rdiff_threshold, self.spearman_floor):
             return stored_model, report, False
@@ -128,6 +142,7 @@ class RefreshPolicy:
             database,
             bootstrap=bootstrap,
             stopping=MaxDocuments(self.refresh_documents),
+            analyzer=analyzer,
             seed=derive_seed(seed, "refresh"),
             recorder=recorder,
         )
@@ -139,6 +154,7 @@ class RefreshPolicy:
         stored_models: Mapping[str, LanguageModel],
         bootstrap_factory: Callable[[str], QueryTermSelector],
         seed: int = 0,
+        analyzer: Analyzer | None = None,
         recorder: Recorder = NULL_RECORDER,
     ) -> tuple[dict[str, LanguageModel], dict[str, StalenessReport], tuple[str, ...]]:
         """Probe every database; re-sample only the stale ones.
@@ -146,7 +162,9 @@ class RefreshPolicy:
         The whole-federation form of :meth:`maybe_refresh`, used by the
         federated service's staleness sweep.  Per-database seeds are
         derived from ``seed`` and the database name, so adding a
-        database never perturbs the others' probes.  Returns
+        database never perturbs the others' probes.  ``analyzer`` is
+        the stored models' shared text pipeline, threaded through every
+        probe and refresh (see :meth:`maybe_refresh`).  Returns
         ``(models, reports, refreshed)`` where ``models`` maps every
         database to its (possibly refreshed) model and ``refreshed``
         names the databases that were actually re-sampled — empty means
@@ -165,6 +183,7 @@ class RefreshPolicy:
                     stored_models[name],
                     bootstrap_factory(name),
                     seed=derive_seed(seed, "staleness", name),
+                    analyzer=analyzer,
                     recorder=recorder,
                 )
                 span.set(stale=did_refresh, spearman=report.spearman)

@@ -1,0 +1,121 @@
+"""The scenario registry: what each adversarial world breaks, and how.
+
+Every scenario in :mod:`repro.scenarios` is a named violation of one
+assumption the rest of the system quietly relies on.  The registry
+entry states the assumption (``breaks``) and the observable that the
+scenario bench turns into a quantitative pin (``signal``), so ``repro
+scenarios list`` reads as a threat model rather than a file listing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SCENARIO_SPECS", "ScenarioSpec", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One adversarial-world scenario: the assumption it attacks.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier, used by ``repro scenarios bench --only``.
+    description:
+        What the generated world looks like.
+    breaks:
+        The assumption of the sampling/selection stack this world
+        violates.
+    signal:
+        The observable the scenario bench measures and pins.
+    """
+
+    name: str
+    description: str
+    breaks: str
+    signal: str
+
+
+SCENARIO_SPECS: tuple[ScenarioSpec, ...] = (
+    ScenarioSpec(
+        name="cluster",
+        description=(
+            "Cluster-structured corpus: near-disjoint topic vocabularies, "
+            "documents drawn mostly from one cluster"
+        ),
+        breaks=(
+            "query-based sampling assumes retrieved vocabulary leads to the "
+            "rest of the collection; disjoint clusters trap the random walk"
+        ),
+        signal=(
+            "share of the sample drawn from the bootstrap cluster, clustered "
+            "corpus against a shared-vocabulary control at the same budget"
+        ),
+    ),
+    ScenarioSpec(
+        name="drift",
+        description=(
+            "DriftingDatabase: backend contents switch to a different text "
+            "profile on a seeded query-count schedule, mid-sample"
+        ),
+        breaks=(
+            "stored models assume the database they describe is the database "
+            "still answering queries"
+        ),
+        signal=(
+            "staleness probes flag the post-switch database within a bounded "
+            "number of probes, and a fleet refresh sweep re-learns it"
+        ),
+    ),
+    ScenarioSpec(
+        name="result_caps",
+        description=(
+            "Servers impose ServerPolicy.max_results_per_query and a seeded "
+            "result-ranking bias, as real web databases do"
+        ),
+        breaks=(
+            "the sampler assumes asking for N documents returns N; caps and "
+            "biased rankings starve each query's yield"
+        ),
+        signal=(
+            "queries needed to reach the same document budget (capped vs "
+            "uncapped) while model quality stays comparable"
+        ),
+    ),
+    ScenarioSpec(
+        name="overlap",
+        description=(
+            "Overlapping databases: documents replicated verbatim across "
+            "several servers of the federation"
+        ),
+        breaks=(
+            "result merging assumes per-database result lists are disjoint; "
+            "replicas of one document compete for top-n slots"
+        ),
+        signal=(
+            "duplicate doc_ids in a merged top-10 — positive for a naive "
+            "concatenate-and-sort merge, zero for the deduplicating mergers"
+        ),
+    ),
+    ScenarioSpec(
+        name="heavy_tail",
+        description=(
+            "Heavy-tailed database sizes: one giant database, a long tail of "
+            "tiny ones, split from a single corpus"
+        ),
+        breaks=(
+            "a uniform per-database sampling budget assumes databases are "
+            "comparably sized; a fixed sample covers a giant database poorly"
+        ),
+        signal=(
+            "vocabulary coverage (percentage learned) of the largest vs the "
+            "smallest database at the same per-database document budget"
+        ),
+    ),
+)
+
+
+def scenario_names() -> list[str]:
+    """The registered scenario names, in registry order."""
+    return [spec.name for spec in SCENARIO_SPECS]

@@ -1,0 +1,124 @@
+"""Servers that rank results by something other than relevance.
+
+Query-based sampling treats whatever a query returns as an unbiased
+peek at the matching documents.  Real services violate that constantly:
+they rank by recency, by popularity, by paid placement — and they cap
+how many results any query may return
+(:attr:`~repro.index.server.ServerPolicy.max_results_per_query`).  Both
+shrink and skew each query's yield, which is the paper's Section 4
+worry about sampling through a ranked retrieval interface.
+
+:class:`RankBiasedServer` wraps a :class:`DatabaseServer`: it retrieves
+a relevance-ranked candidate pool, reorders it by a deterministic
+non-relevance key, and returns the head — respecting (and metering
+under) the inner server's result-cap policy.  The relevance engine
+still decides *which* documents match; the bias only decides which
+matches the client is shown first, as a recency-ranked news archive
+does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.corpus.document import Document
+from repro.index.server import DatabaseServer, QueryCosts
+from repro.lm.model import LanguageModel
+
+__all__ = ["BIAS_KINDS", "RankBiasedServer"]
+
+#: Supported bias orderings.
+BIAS_KINDS: tuple[str, ...] = ("hash", "newest", "shortest")
+
+
+class RankBiasedServer:
+    """A database whose result order is biased away from relevance.
+
+    Parameters
+    ----------
+    server:
+        The wrapped relevance-ranked database.  Its
+        ``policy.max_results_per_query`` cap is enforced on the biased
+        output too.
+    bias:
+        ``"hash"`` — a seeded pseudo-random but deterministic order
+        (paid placement / A-B noise); ``"newest"`` — descending doc_id
+        (recency ranking, synthetic ids are generation-ordered);
+        ``"shortest"`` — ascending document length (snippet-style
+        services favouring short pages).
+    pool_factor:
+        How many relevance-ranked candidates to draw per requested
+        result before reordering.  Larger pools let the bias reach
+        deeper into the match set.
+    seed:
+        Salt for the ``"hash"`` bias so different servers disagree.
+    """
+
+    def __init__(
+        self,
+        server: DatabaseServer,
+        bias: str = "hash",
+        pool_factor: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if bias not in BIAS_KINDS:
+            raise ValueError(f"unknown bias {bias!r}; expected one of {BIAS_KINDS}")
+        if pool_factor < 1:
+            raise ValueError("pool_factor must be at least 1")
+        self.server = server
+        self.bias = bias
+        self.pool_factor = pool_factor
+        self.seed = seed
+        self.name = server.name
+        self.costs = QueryCosts()
+
+    def _key(self, document: Document) -> tuple[object, str]:
+        if self.bias == "newest":
+            # Synthetic doc_ids sort ascending by generation order; the
+            # caller reverses this sort to put the newest first.
+            return ("", document.doc_id)
+        if self.bias == "shortest":
+            return (len(document.text), document.doc_id)
+        digest = hashlib.blake2b(
+            f"{self.seed}:{document.doc_id}".encode(), digest_size=8
+        ).hexdigest()
+        return (digest, document.doc_id)
+
+    def run_query(self, query: str, max_docs: int = 10) -> list[Document]:
+        """Return up to ``max_docs`` matches, in biased order.
+
+        The candidate pool is fetched straight from the inner engine so
+        the inner server's meters stay untouched; this wrapper meters
+        the interaction the *client* sees in its own ``costs``.
+        """
+        if max_docs <= 0:
+            raise ValueError(f"max_docs must be positive, got {max_docs}")
+        cap = self.server.policy.max_results_per_query
+        if cap is not None:
+            max_docs = min(max_docs, cap)
+        try:
+            pool = self.server.engine.search(query, n=max_docs * self.pool_factor)
+            documents = [self.server.engine.fetch(result.doc_id) for result in pool]
+        except Exception:
+            self.costs.record_error()
+            raise
+        documents.sort(key=self._key, reverse=self.bias == "newest")
+        documents = documents[:max_docs]
+        self.costs.record(documents)
+        return documents
+
+    def hit_count(self, query: str) -> int:
+        """Match count — bias reorders results, it does not hide matches."""
+        self.costs.hit_count_queries += 1
+        return self.server.hit_count(query)
+
+    # -- ground truth (evaluation only) -------------------------------------
+
+    def actual_language_model(self) -> LanguageModel:
+        """The wrapped database's true model. Evaluation only."""
+        return self.server.actual_language_model()
+
+    @property
+    def num_documents(self) -> int:
+        """The wrapped database's true size. Evaluation only."""
+        return self.server.num_documents

@@ -15,13 +15,36 @@ oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.corpus.collection import Corpus
 from repro.corpus.document import Document
-from repro.synth.topics import TopicSpace
+from repro.synth.topics import TopicModel
 from repro.utils.rand import ensure_rng
+
+
+@runtime_checkable
+class TopicSpaceLike(Protocol):
+    """What the generator needs of a topic space.
+
+    :class:`~repro.synth.topics.TopicSpace` is the standard provider;
+    the scenario testbed substitutes hand-built spaces (e.g. the
+    disjoint cluster blocks of :mod:`repro.scenarios.cluster`).
+    """
+
+    def __len__(self) -> int:
+        """Number of topics."""
+        ...  # pragma: no cover - protocol
+
+    def __getitem__(self, index: int) -> TopicModel:
+        """The ``index``-th topic model."""
+        ...  # pragma: no cover - protocol
+
+    def decode(self, word_ids: np.ndarray) -> list[str]:
+        """Map an array of word ids back to word strings."""
+        ...  # pragma: no cover - protocol
 
 
 @dataclass(frozen=True)
@@ -75,7 +98,7 @@ class CorpusGenerator:
 
     def __init__(
         self,
-        topic_space: TopicSpace,
+        topic_space: TopicSpaceLike,
         config: GeneratorConfig = GeneratorConfig(),
         seed: int = 0,
     ) -> None:

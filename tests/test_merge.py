@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.dbselect.base import finish_ranking
-from repro.dbselect.merge import CoriMerger, RawScoreMerger, RoundRobinMerger
+from repro.dbselect.merge import CoriMerger, MergedResult, RawScoreMerger, RoundRobinMerger
 from repro.index.search import SearchResult
 
 
@@ -72,6 +72,19 @@ class TestCoriMerger:
         with pytest.raises(ValueError):
             CoriMerger().merge(ranking, per_db, n=0)
 
+    def test_duplicates_keep_best_provenance(self, ranking):
+        # Document "x" tops the good database's list but sits mid-pack
+        # in mid's; only the best-scoring copy survives the merge.
+        per_db = {
+            "good": results(("x", 5.0), ("g2", 1.0)),
+            "mid": results(("m1", 9.0), ("x", 6.0), ("m3", 3.0)),
+        }
+        merged = CoriMerger().merge(ranking, per_db, n=10)
+        copies = [item for item in merged if item.doc_id == "x"]
+        assert len(copies) == 1
+        assert copies[0].database == "good"  # normalised 1.0 beats mid's 0.5
+        assert len({item.doc_id for item in merged}) == len(merged)
+
 
 class TestRawScoreMerger:
     def test_trusts_raw_scores(self, ranking, per_db):
@@ -81,10 +94,31 @@ class TestRawScoreMerger:
     def test_deterministic_tie_break(self, ranking):
         per_db = {
             "good": results(("x", 1.0)),
-            "mid": results(("x", 1.0)),
+            "mid": results(("x", 1.0), ("y", 1.0)),
         }
         merged = RawScoreMerger().merge(ranking, per_db, n=2)
-        assert [item.database for item in merged] == ["good", "mid"]
+        # "x" appears once (copies deduplicate); its provenance is the
+        # tie-break winner ("good" < "mid"), and "y" still fills slot 2.
+        assert [(item.doc_id, item.database) for item in merged] == [
+            ("x", "good"),
+            ("y", "mid"),
+        ]
+
+    def test_unranked_database_dropped(self, ranking):
+        per_db = {
+            "good": results(("g1", 1.0)),
+            "rogue": results(("r1", 99.0)),  # not in the ranking
+        }
+        merged = RawScoreMerger().merge(ranking, per_db, n=5)
+        assert [item.doc_id for item in merged] == ["g1"]
+
+    def test_duplicates_keep_best_score(self, ranking):
+        per_db = {
+            "good": results(("x", 2.0)),
+            "mid": results(("x", 7.0)),
+        }
+        merged = RawScoreMerger().merge(ranking, per_db, n=5)
+        assert merged == [MergedResult(doc_id="x", database="mid", score=7.0)]
 
 
 class TestRoundRobinMerger:
@@ -105,3 +139,25 @@ class TestRoundRobinMerger:
         per_db = {"good": [], "mid": results(("m1", 1.0))}
         merged = RoundRobinMerger().merge(ranking, per_db, n=5)
         assert [item.doc_id for item in merged] == ["m1"]
+
+    def test_duplicates_emitted_once_from_better_rank(self, ranking):
+        # "x" heads both lists; it must appear once, attributed to the
+        # better-ranked database, without burning a later slot.
+        per_db = {
+            "good": results(("x", 3.0), ("g2", 2.0)),
+            "mid": results(("x", 9.0), ("m2", 8.0)),
+        }
+        merged = RoundRobinMerger().merge(ranking, per_db, n=4)
+        assert [(item.doc_id, item.database) for item in merged] == [
+            ("x", "good"),
+            ("g2", "good"),
+            ("m2", "mid"),
+        ]
+
+    def test_unranked_database_dropped(self, ranking):
+        per_db = {
+            "good": results(("g1", 1.0)),
+            "rogue": results(("r1", 1.0)),
+        }
+        merged = RoundRobinMerger().merge(ranking, per_db, n=5)
+        assert [item.doc_id for item in merged] == ["g1"]

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.index",
     "repro.lm",
     "repro.sampling",
+    "repro.scenarios",
     "repro.serving",
     "repro.sizeest",
     "repro.starts",

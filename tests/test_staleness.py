@@ -14,6 +14,7 @@ from repro.sampling import (
     staleness_probe,
 )
 from repro.synth import cacm_like, wsj88_like
+from repro.text.analyzer import Analyzer
 
 
 @pytest.fixture(scope="module")
@@ -158,6 +159,99 @@ class TestRefreshPolicyThresholds:
         # One sample_run span for the probe and one for the refresh.
         run_spans = [s for s in recorder.spans if s.name == "sample_run"]
         assert len(run_spans) == 2
+
+
+class TestAnalyzerThreading:
+    """The stored model's text pipeline must ride through probe and refresh.
+
+    These pin the fix for a real bug: ``maybe_refresh`` used to probe
+    (and refresh) with raw tokens regardless of how the stored model
+    was built, so a stemming-analyzer model compared two different
+    vocabularies — spurious staleness, then a silent raw-token model
+    installed in its place.
+    """
+
+    @pytest.fixture(scope="class")
+    def stemmed_model(self, stable_server):
+        sampler = QueryBasedSampler(
+            stable_server,
+            bootstrap=RandomFromOther(stable_server.actual_language_model()),
+            stopping=MaxDocuments(200),
+            analyzer=Analyzer.inquery_style(),
+            seed=4,
+        )
+        return sampler.run().model
+
+    def test_stemmed_model_survives_refresh_cycle(self, stable_server, stemmed_model):
+        policy = RefreshPolicy(refresh_documents=100)
+        model, report, refreshed = policy.maybe_refresh(
+            stable_server,
+            stemmed_model,
+            bootstrap=RandomFromOther(stable_server.actual_language_model()),
+            seed=3,
+            analyzer=Analyzer.inquery_style(),
+        )
+        assert not refreshed
+        assert model is stemmed_model
+        assert not report.is_stale(), report
+
+    def test_matched_probe_agrees_better_than_mismatched(
+        self, stable_server, stemmed_model
+    ):
+        bootstrap = RandomFromOther(stable_server.actual_language_model())
+        matched = staleness_probe(
+            stable_server,
+            stemmed_model,
+            bootstrap=bootstrap,
+            probe_documents=50,
+            analyzer=Analyzer.inquery_style(),
+            seed=7,
+        )
+        mismatched = staleness_probe(
+            stable_server,
+            stemmed_model,
+            bootstrap=bootstrap,
+            probe_documents=50,
+            seed=7,  # pre-fix behaviour: raw tokens against a stemmed model
+        )
+        assert matched.spearman > mismatched.spearman
+
+    def test_forced_refresh_keeps_analyzer(self, stable_server, stemmed_model):
+        from repro.utils.rand import derive_seed
+
+        policy = RefreshPolicy(spearman_floor=1.1, refresh_documents=60)
+        model, _, refreshed = policy.maybe_refresh(
+            stable_server,
+            stemmed_model,
+            bootstrap=RandomFromOther(stable_server.actual_language_model()),
+            seed=5,
+            analyzer=Analyzer.inquery_style(),
+        )
+        assert refreshed
+        # The refreshed model must be exactly the sample a direct run
+        # with the same analyzer produces at the derived refresh seed.
+        direct = QueryBasedSampler(
+            stable_server,
+            bootstrap=RandomFromOther(stable_server.actual_language_model()),
+            stopping=MaxDocuments(60),
+            analyzer=Analyzer.inquery_style(),
+            seed=derive_seed(5, "refresh"),
+        ).run().model
+        assert model.vocabulary == direct.vocabulary
+        assert all(model.df(t) == direct.df(t) and model.ctf(t) == direct.ctf(t) for t in direct)
+
+    def test_refresh_all_threads_analyzer(self, stable_server, stemmed_model):
+        policy = RefreshPolicy(refresh_documents=50)
+        models, reports, refreshed = policy.refresh_all(
+            {"cacm": stable_server},
+            {"cacm": stemmed_model},
+            lambda name: RandomFromOther(stable_server.actual_language_model()),
+            seed=11,
+            analyzer=Analyzer.inquery_style(),
+        )
+        assert refreshed == ()
+        assert models["cacm"] is stemmed_model
+        assert not reports["cacm"].is_stale()
 
 
 class _QueryRecordingDatabase:
